@@ -1,0 +1,295 @@
+(* BISRAMGEN command-line driver.
+
+   Subcommands:
+     compile    generate a BISR RAM module: datasheet, floorplan, CIF
+     selftest   inject faults into the generated RAM and run BIST/BISR
+     processes  list the bundled CMOS processes
+     marches    list the bundled march algorithms *)
+
+open Cmdliner
+
+module Config = Bisram_core.Config
+module Compiler = Bisram_core.Compiler
+module Pr = Bisram_tech.Process
+module Org = Bisram_sram.Org
+module March = Bisram_bist.March
+module Alg = Bisram_bist.Algorithms
+module I = Bisram_faults.Injection
+module Repair = Bisram_bisr.Repair
+module Floorplan = Bisram_pr.Floorplan
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments *)
+
+let process_arg =
+  let doc = "CMOS process (cda.5u3m1p, mos.6u3m1pHP, cda.7u3m1p)." in
+  Arg.(value & opt string "CDA.7u3m1p" & info [ "p"; "process" ] ~doc)
+
+let words_arg =
+  let doc = "Number of words (positive multiple of bpc)." in
+  Arg.(value & opt int 4096 & info [ "w"; "words" ] ~doc)
+
+let bpw_arg =
+  let doc = "Bits per word (power of two)." in
+  Arg.(value & opt int 128 & info [ "bpw" ] ~doc)
+
+let bpc_arg =
+  let doc = "Bits per column / column-mux degree (power of two)." in
+  Arg.(value & opt int 8 & info [ "bpc" ] ~doc)
+
+let spares_arg =
+  let doc = "Spare rows: 0, 4, 8 or 16." in
+  Arg.(value & opt int 4 & info [ "s"; "spares" ] ~doc)
+
+let drive_arg =
+  let doc = "Critical-gate size multiplier (1-8)." in
+  Arg.(value & opt int 2 & info [ "drive" ] ~doc)
+
+let strap_arg =
+  let doc = "Cells between strap columns (0 disables)." in
+  Arg.(value & opt int 32 & info [ "strap" ] ~doc)
+
+let march_arg =
+  let doc =
+    "March algorithm: a library name (IFA-9, IFA-13, MATS+, \"March C-\", \
+     \"March B\", Zero-One) or an inline notation like \
+     \"u(w0); u(r0,w1); d(r1,w0)\"."
+  in
+  Arg.(value & opt string "IFA-9" & info [ "m"; "march" ] ~doc)
+
+let lookup_process name =
+  match Pr.find name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown process %S (see `bisramgen processes')" name)
+
+let lookup_march s =
+  match Alg.find s with
+  | Some m -> Ok m
+  | None -> (
+      match March.of_string ~name:"custom" s with
+      | m -> Ok m
+      | exception Invalid_argument e -> Error e)
+
+let build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march =
+  match (lookup_process process, lookup_march march) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok p, Ok m -> (
+      match Config.make ~spares ~drive ~strap ~march:m ~process:p ~words ~bpw ~bpc () with
+      | cfg -> Ok cfg
+      | exception Invalid_argument e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* compile *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let do_compile process words bpw bpc spares drive strap march config_file
+    show_floorplan show_rtl cif_dir =
+  let cfg_result =
+    match config_file with
+    | Some path -> (
+        match Bisram_core.Config_file.of_string (read_file path) with
+        | Ok cfg -> Ok cfg
+        | Error e -> Error (path ^ ": " ^ e)
+        | exception Sys_error e -> Error e)
+    | None ->
+        build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march
+  in
+  match cfg_result with
+  | Error e ->
+      Printf.eprintf "bisramgen: %s\n" e;
+      1
+  | Ok cfg ->
+      let d = Compiler.compile cfg in
+      print_string (Compiler.datasheet d);
+      if show_floorplan then begin
+        Format.printf "@.%a@." Floorplan.pp d.Compiler.floorplan;
+        print_string (Floorplan.render ~width:76 d.Compiler.floorplan)
+      end;
+      if show_rtl then begin
+        print_newline ();
+        print_string (Compiler.rtl d)
+      end;
+      (match cif_dir with
+      | None -> ()
+      | Some dir ->
+          (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+          List.iter
+            (fun (name, cif) ->
+              let path = Filename.concat dir (name ^ ".cif") in
+              let oc = open_out path in
+              output_string oc cif;
+              close_out oc;
+              Printf.printf "wrote %s\n" path)
+            (Compiler.leaf_library_cif d));
+      0
+
+let compile_cmd =
+  let floorplan_arg =
+    Arg.(value & flag & info [ "floorplan" ] ~doc:"Print the placed floorplan.")
+  in
+  let cif_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cif" ] ~docv:"DIR" ~doc:"Write the leaf-cell library as CIF files into $(docv).")
+  in
+  let rtl_arg =
+    Arg.(
+      value & flag
+      & info [ "rtl" ] ~doc:"Print the BIST/BISR engine as structural Verilog.")
+  in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "c"; "config" ] ~docv:"FILE"
+          ~doc:"Read the configuration from a key = value file (overrides the individual flags).")
+  in
+  let term =
+    Term.(
+      const do_compile $ process_arg $ words_arg $ bpw_arg $ bpc_arg
+      $ spares_arg $ drive_arg $ strap_arg $ march_arg $ config_arg
+      $ floorplan_arg $ rtl_arg $ cif_arg)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Generate a BISR RAM module.") term
+
+(* ------------------------------------------------------------------ *)
+(* selftest *)
+
+let do_selftest process words bpw bpc spares drive strap march nfaults seed =
+  match build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march with
+  | Error e ->
+      Printf.eprintf "bisramgen: %s\n" e;
+      1
+  | Ok cfg ->
+      let org = cfg.Config.org in
+      let rng = Random.State.make [| seed |] in
+      let faults =
+        I.inject rng ~rows:(Org.total_rows org) ~cols:(Org.cols org)
+          ~mix:I.default_mix ~n:nfaults
+      in
+      Format.printf "injected %d fault(s):@." nfaults;
+      List.iter (fun f -> Format.printf "  %a@." Bisram_faults.Fault.pp f) faults;
+      let d = Compiler.compile cfg in
+      let outcome, report = Compiler.self_test d ~faults in
+      Format.printf "outcome : %a@." Repair.pp_outcome outcome;
+      Format.printf "cycles  : %d@." report.Bisram_bist.Controller.cycles;
+      Format.printf "recorded: %d row(s)@."
+        report.Bisram_bist.Controller.faults_recorded;
+      (match outcome with Repair.Repair_unsuccessful _ -> 2 | _ -> 0)
+
+let selftest_cmd =
+  let nfaults_arg =
+    Arg.(value & opt int 2 & info [ "n"; "faults" ] ~doc:"Faults to inject.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+  in
+  let term =
+    Term.(
+      const do_selftest $ process_arg $ words_arg $ bpw_arg $ bpc_arg
+      $ spares_arg $ drive_arg $ strap_arg $ march_arg $ nfaults_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "selftest"
+       ~doc:"Inject random faults and run the two-pass self-test/repair.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* analyze: yield / reliability / power what-if *)
+
+let do_analyze process words bpw bpc spares drive strap march =
+  match build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march with
+  | Error e ->
+      Printf.eprintf "bisramgen: %s\n" e;
+      1
+  | Ok cfg ->
+      let d = Compiler.compile cfg in
+      let org = cfg.Config.org in
+      let a = d.Compiler.area in
+      Printf.printf "analysis for %s\n\n"
+        (Format.asprintf "%a" Config.pp cfg);
+      (* yield *)
+      let geom =
+        if org.Org.spares = 0 then
+          Bisram_yield.Repairable.bare ~regular_rows:(Org.rows org)
+        else
+          Bisram_yield.Repairable.make ~regular_rows:(Org.rows org)
+            ~spares:org.Org.spares
+            ~logic_fraction:(a.Compiler.logic_mm2 /. a.Compiler.module_mm2)
+            ~growth_factor:(max 1.0 a.Compiler.growth_factor)
+      in
+      Printf.printf "module yield (alpha = 2):\n";
+      List.iter
+        (fun n ->
+          Printf.printf "  %5.1f mean defects -> %.4f\n" n
+            (Bisram_yield.Repairable.yield geom ~mean_defects:n ~alpha:2.0))
+        [ 0.5; 1.0; 2.0; 5.0; 10.0 ];
+      (* reliability *)
+      let lambda = 1e-10 in
+      let rel = Bisram_rel.Reliability.of_org org ~lambda in
+      Printf.printf
+        "\nreliability (lambda = %g /bit/h): R(1y) = %.5f, R(10y) = %.5f, \
+         MTTF = %.3g h\n"
+        lambda
+        (Bisram_rel.Reliability.reliability rel 8760.0)
+        (Bisram_rel.Reliability.reliability rel 87600.0)
+        (Bisram_rel.Reliability.mttf rel);
+      (* power *)
+      let pw =
+        Bisram_sram.Power.estimate cfg.Config.process org
+          ~drive:(float_of_int cfg.Config.drive)
+      in
+      Printf.printf "\npower: %s\n" (Format.asprintf "%a" Bisram_sram.Power.pp pw);
+      List.iter
+        (fun mhz ->
+          Printf.printf "  Icc at %3.0f MHz: %.1f mA\n" mhz
+            (Bisram_sram.Power.supply_current pw ~frequency_hz:(mhz *. 1e6)
+            *. 1e3))
+        [ 25.0; 50.0; 100.0 ];
+      0
+
+let analyze_cmd =
+  let term =
+    Term.(
+      const do_analyze $ process_arg $ words_arg $ bpw_arg $ bpc_arg
+      $ spares_arg $ drive_arg $ strap_arg $ march_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Yield, reliability and power analysis for a configuration.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* listings *)
+
+let processes_cmd =
+  let run () =
+    List.iter (fun p -> Format.printf "%a@." Pr.pp p) Pr.all;
+    0
+  in
+  Cmd.v (Cmd.info "processes" ~doc:"List bundled CMOS processes.")
+    Term.(const run $ const ())
+
+let marches_cmd =
+  let run () =
+    List.iter (fun m -> Format.printf "%a@." March.pp m) Alg.all;
+    0
+  in
+  Cmd.v (Cmd.info "marches" ~doc:"List bundled march algorithms.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "bisramgen" ~version:"1.0.0"
+      ~doc:"Physical design tool for built-in self-repairable static RAMs"
+  in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; selftest_cmd; analyze_cmd; processes_cmd; marches_cmd ]))

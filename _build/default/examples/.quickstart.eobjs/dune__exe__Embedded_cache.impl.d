@@ -1,0 +1,1 @@
+examples/embedded_cache.ml: Bisram_core Bisram_pr Bisram_sram Bisram_tech Format List Printf String

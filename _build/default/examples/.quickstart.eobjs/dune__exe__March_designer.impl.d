@@ -1,0 +1,1 @@
+examples/march_designer.ml: Array Bisram_bist Bisram_faults Bisram_sram List Printf Sys

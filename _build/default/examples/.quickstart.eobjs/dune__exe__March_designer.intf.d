@@ -1,0 +1,1 @@
+examples/march_designer.mli:

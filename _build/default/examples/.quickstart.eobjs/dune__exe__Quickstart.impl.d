@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bisram_bisr Bisram_bist Bisram_core Bisram_faults Bisram_gates Bisram_layout Bisram_sram Bisram_tech Format List String

@@ -1,0 +1,1 @@
+examples/soc_integration.ml: Bisram_bist Bisram_core Bisram_faults Bisram_sram Bisram_tech List Printf

@@ -1,0 +1,1 @@
+examples/yield_explorer.ml: Bisram_core Bisram_cost Bisram_rel Bisram_sram Bisram_tech Bisram_yield List Printf

@@ -1,0 +1,70 @@
+(* Quickstart: generate a small built-in self-repairable RAM, break it,
+   and watch it heal.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Config = Bisram_core.Config
+module Compiler = Bisram_core.Compiler
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module Word = Bisram_sram.Word
+module F = Bisram_faults.Fault
+module Repair = Bisram_bisr.Repair
+
+let () =
+  (* 1. Describe the RAM: 256 words of 8 bits, 4-way column muxing,
+     four spare rows, on the bundled 0.7 um process. *)
+  let cfg =
+    Config.make ~process:Bisram_tech.Process.cda_07u3m1p ~words:256 ~bpw:8
+      ~bpc:4 ~spares:4 ()
+  in
+
+  (* 2. Compile: layout synthesis + timing/area guarantees. *)
+  let design = Compiler.compile cfg in
+  print_string (Compiler.datasheet design);
+
+  (* 3. Manufacture a faulty chip: a behavioural model of the array
+     with a stuck-at cell and an up-transition-fault cell. *)
+  let faults =
+    [ F.Stuck_at ({ F.row = 5; col = 9 }, true)
+    ; F.Transition ({ F.row = 20; col = 0 }, true)
+    ]
+  in
+
+  (* 4. Power-on self-test: the TRPLA microprogram runs IFA-9 twice;
+     pass 1 records the faulty rows in the TLB, pass 2 verifies the
+     repaired array (including the mapped spare rows). *)
+  let outcome, report = Compiler.self_test design ~faults in
+  Format.printf "@.self-test: %a after %d controller cycles@."
+    Repair.pp_outcome outcome report.Bisram_bist.Controller.cycles;
+
+  (* 5. Use the repaired RAM in normal mode: accesses to the faulty
+     rows are diverted to spares by the TLB, invisibly to the user. *)
+  let model = Model.create cfg.Config.org in
+  Model.set_faults model faults;
+  let backgrounds = Config.backgrounds cfg in
+  (match Repair.run model cfg.Config.march ~backgrounds with
+  | Repair.Repaired rows, _, _ ->
+      Format.printf "repaired rows: %s@."
+        (String.concat ", " (List.map string_of_int rows))
+  | _ -> assert false);
+  let faulty_addr = Org.addr_of cfg.Config.org ~row:5 ~col:1 in
+  let data = Word.of_int ~width:8 0xA5 in
+  Model.write_word model faulty_addr data;
+  let back = Model.read_word model faulty_addr in
+  Format.printf "wrote 0x%02X to a repaired address, read back %s -> %s@." 0xA5
+    (Word.to_string back)
+    (if Word.equal data back then "OK" else "CORRUPT");
+
+  (* 6. Peek at the physical design: the 6T cell the array tiles
+     (metal2 bitlines 'H', poly word line '|', metal1 rails '='). *)
+  Format.printf "@.the 6T leaf cell (24 x 20 lambda):@.%s"
+    (Bisram_layout.Cell_render.render (Bisram_layout.Leaf.sram_6t ()));
+
+  (* 7. And the synthesizable face of the self-test engine. *)
+  let net = Bisram_bist.Pla_gates.controller_netlist design.Compiler.controller in
+  let opt, stats = Bisram_gates.Optimize.optimize net in
+  Format.printf
+    "@.BIST engine as gates: %d gates + %d flip-flops (~%d transistors)@."
+    stats.Bisram_gates.Optimize.gates_after stats.Bisram_gates.Optimize.ffs
+    (Bisram_gates.Netlist.transistor_count opt)

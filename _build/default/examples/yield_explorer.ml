@@ -1,0 +1,108 @@
+(* Yield / reliability / cost what-if exploration (Sections VII-X).
+
+   For a user-chosen embedded RAM, sweeps the spare-row count and the
+   process defectivity, and reports manufacturing yield, field
+   reliability and the impact on die cost — the analysis a design team
+   would run before committing to a repair strategy.
+
+   Run with:  dune exec examples/yield_explorer.exe *)
+
+module Config = Bisram_core.Config
+module Compiler = Bisram_core.Compiler
+module Org = Bisram_sram.Org
+module Repairable = Bisram_yield.Repairable
+module Stapper = Bisram_yield.Stapper
+module Rel = Bisram_rel.Reliability
+module Chips = Bisram_cost.Chips
+module Mpr = Bisram_cost.Mpr
+module Pr = Bisram_tech.Process
+
+let alpha = 2.0
+
+(* Measure geometry (growth factor, logic fraction) from real compiles. *)
+let geometry ~words ~bpw ~bpc spares =
+  let rows = words / bpc in
+  if spares = 0 then Repairable.bare ~regular_rows:rows
+  else begin
+    let cfg = Config.make ~process:Pr.cda_07u3m1p ~words ~bpw ~bpc ~spares () in
+    let a = (Compiler.compile cfg).Compiler.area in
+    Repairable.make ~regular_rows:rows ~spares
+      ~logic_fraction:(a.Compiler.logic_mm2 /. a.Compiler.module_mm2)
+      ~growth_factor:(max 1.0 a.Compiler.growth_factor)
+  end
+
+let () =
+  let words = 16384 and bpw = 16 and bpc = 8 in
+  Printf.printf "target RAM: %d words x %d bits (%d rows), 0.7 um\n" words bpw
+    (words / bpc);
+
+  (* ---- manufacturing yield vs spares and defectivity ---- *)
+  Printf.printf "\nmodule yield vs spares (rows %d, alpha=%.0f)\n"
+    (words / bpc) alpha;
+  Printf.printf "%18s" "defects/module";
+  List.iter (fun s -> Printf.printf " %8s" (Printf.sprintf "s=%d" s)) [ 0; 4; 8; 16 ];
+  Printf.printf "\n";
+  let geoms = List.map (fun s -> (s, geometry ~words ~bpw ~bpc s)) [ 0; 4; 8; 16 ] in
+  List.iter
+    (fun n ->
+      Printf.printf "%18.1f" n;
+      List.iter
+        (fun (_, g) ->
+          Printf.printf " %8.4f" (Repairable.yield g ~mean_defects:n ~alpha))
+        geoms;
+      Printf.printf "\n")
+    [ 0.5; 1.0; 2.0; 4.0; 8.0 ];
+
+  (* ---- field reliability ---- *)
+  let lambda = 1e-10 in
+  Printf.printf "\nfield reliability (lambda = %g /bit/h)\n" lambda;
+  List.iter
+    (fun s ->
+      let org = Org.make ~words ~bpw ~bpc ~spares:s () in
+      let c = Rel.of_org org ~lambda in
+      let yr = 8760.0 in
+      Printf.printf
+        "  %2d spares: R(1y) = %.5f, R(10y) = %.5f, MTTF = %.3g h\n" s
+        (Rel.reliability c yr)
+        (Rel.reliability c (10.0 *. yr))
+        (Rel.mttf c))
+    [ 0; 4; 8; 16 ];
+
+  (* ---- die-cost impact when this RAM is embedded in a processor ---- *)
+  Printf.printf "\ndie-cost impact when embedded at 25%% of a 150 mm2 die\n";
+  let host =
+    { Chips.name = "host ASIC"
+    ; feature_um = 0.7
+    ; metal_layers = 3
+    ; die_mm2 = 150.0
+    ; wafer_mm = 200.0
+    ; wafer_cost = 1400.0
+    ; die_yield = 0.45
+    ; cache_fraction = 0.25
+    ; pins = 240
+    ; package = Chips.PGA
+    ; test_minutes = 2.0
+    ; tester_rate = 5.0
+    }
+  in
+  List.iter
+    (fun s ->
+      let params =
+        { Mpr.default_bisr with Mpr.spares = s; cache_rows = words / bpc }
+      in
+      match Mpr.die_bisr host params with
+      | Some w ->
+          let plain = Mpr.die_plain host in
+          Printf.printf
+            "  %2d spares: die yield %.1f%% -> %.1f%%, $/die %.2f -> %.2f\n" s
+            (100.0 *. plain.Mpr.die_yield)
+            (100.0 *. w.Mpr.die_yield)
+            plain.Mpr.cost_per_good_die w.Mpr.cost_per_good_die
+      | None -> ())
+    [ 4; 8; 16 ];
+
+  (* ---- recommendation ---- *)
+  Printf.printf
+    "\nrecommendation: four spare rows — the yield knee is between 4 and 8\n\
+     spares at realistic defectivity, the TLB delay stays maskable only up\n\
+     to four spares, and early-life reliability favours fewer spares.\n"

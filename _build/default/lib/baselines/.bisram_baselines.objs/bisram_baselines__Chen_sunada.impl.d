@@ -1,0 +1,1 @@
+lib/baselines/chen_sunada.ml: Array Bisram_bist Bisram_faults Bisram_spice Bisram_sram Bisram_tech Hashtbl Int List

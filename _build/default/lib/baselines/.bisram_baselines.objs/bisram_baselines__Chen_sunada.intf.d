@@ -1,0 +1,1 @@
+lib/baselines/chen_sunada.mli: Bisram_bist Bisram_faults Bisram_sram Bisram_tech

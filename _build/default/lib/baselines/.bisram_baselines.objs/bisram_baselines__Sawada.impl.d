@@ -1,0 +1,1 @@
+lib/baselines/sawada.ml: Bisram_bist Bisram_faults Bisram_sram Hashtbl Int List

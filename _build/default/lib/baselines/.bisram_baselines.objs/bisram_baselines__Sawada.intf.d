@@ -1,0 +1,1 @@
+lib/baselines/sawada.mli: Bisram_bist Bisram_faults Bisram_sram

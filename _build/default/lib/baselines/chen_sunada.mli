@@ -1,0 +1,50 @@
+(** Chen and Sunada's hierarchical self-test/self-repair structure
+    (Section III).
+
+    The memory is decomposed into subblocks; the lowest level carries
+    the self-test (IFA-13) and a fault-signature block with {e two}
+    fault-capture registers, so at most two faulty word addresses per
+    subblock can be redirected to the subblock's redundant locations.
+    Subblocks with more than two faults are excluded by the top-level
+    fault assembler, which diverts their accesses to spare subblocks.
+    In normal mode the incoming address is compared {e sequentially}
+    with the two captured addresses, costing two compare delays on the
+    access path.  The data generator applies a single pattern and its
+    complement (no Johnson backgrounds). *)
+
+type t
+
+(** [create org ~subblocks ~spare_blocks] — [subblocks] must divide the
+    word count. *)
+val create : Bisram_sram.Org.t -> subblocks:int -> spare_blocks:int -> t
+
+val subblocks : t -> int
+val words_per_block : t -> int
+
+(** The backgrounds its data generator can apply: all-0 and all-1. *)
+val backgrounds : bpw:int -> Bisram_sram.Word.t list
+
+type outcome =
+  | Passed_clean
+  | Repaired of { word_repairs : int; block_repairs : int }
+  | Unsuccessful
+
+(** Two-pass test-and-repair over a faulty model (word diversion via
+    the capture registers, block diversion via the fault assembler). *)
+val repair :
+  t ->
+  Bisram_sram.Model.t ->
+  Bisram_bist.March.t ->
+  backgrounds:Bisram_sram.Word.t list ->
+  outcome
+
+(** Static repairability: every subblock has <= 2 faulty words, except
+    that up to [spare_blocks] over-budget subblocks may be excluded. *)
+val repairable : t -> Bisram_faults.Fault.t list -> bool
+
+(** Normal-mode delay penalty of sequentially comparing the incoming
+    address with [entries] capture registers (Chen-Sunada uses two);
+    contrast with BISRAMGEN's parallel TLB, whose match time is
+    independent of the entry count. *)
+val delay_penalty :
+  ?entries:int -> Bisram_tech.Process.t -> org:Bisram_sram.Org.t -> float

@@ -1,0 +1,1 @@
+lib/bisr/analysis.ml: Bisram_faults Bisram_sram Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/bisr/analysis.mli: Bisram_faults Bisram_sram

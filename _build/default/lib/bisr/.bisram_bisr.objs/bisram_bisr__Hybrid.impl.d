@@ -1,0 +1,1 @@
+lib/bisr/hybrid.ml: Bisram_bist Bisram_faults Bisram_sram Hashtbl Int List Tlb_timing

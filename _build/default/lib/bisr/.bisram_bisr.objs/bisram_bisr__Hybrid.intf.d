@@ -1,0 +1,1 @@
+lib/bisr/hybrid.mli: Bisram_bist Bisram_faults Bisram_sram Bisram_tech

@@ -1,0 +1,1 @@
+lib/bisr/repair.ml: Bisram_bist Bisram_sram Format List String Tlb

@@ -1,0 +1,1 @@
+lib/bisr/repair.mli: Bisram_bist Bisram_sram Format Tlb

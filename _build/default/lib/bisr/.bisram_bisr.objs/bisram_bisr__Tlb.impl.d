@@ -1,0 +1,1 @@
+lib/bisr/tlb.ml: Format Int List Option

@@ -1,0 +1,1 @@
+lib/bisr/tlb.mli: Format

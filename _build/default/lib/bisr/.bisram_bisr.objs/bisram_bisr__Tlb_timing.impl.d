@@ -1,0 +1,1 @@
+lib/bisr/tlb_timing.ml: Bisram_spice Bisram_sram Bisram_tech Format

@@ -1,0 +1,1 @@
+lib/bisr/tlb_timing.mli: Bisram_sram Bisram_tech Format

@@ -1,0 +1,46 @@
+module Org = Bisram_sram.Org
+module F = Bisram_faults.Fault
+
+type verdict = { faulty_regular_rows : int; faulty_spare_rows : int }
+
+let classify org faults =
+  let regular = Hashtbl.create 16 and spare = Hashtbl.create 16 in
+  let rows = Org.rows org in
+  List.iter
+    (fun f ->
+      let r = (F.victim f).F.row in
+      if r < rows then Hashtbl.replace regular r ()
+      else Hashtbl.replace spare r ())
+    faults;
+  { faulty_regular_rows = Hashtbl.length regular
+  ; faulty_spare_rows = Hashtbl.length spare
+  }
+
+let repairable_strict org faults =
+  let v = classify org faults in
+  v.faulty_spare_rows = 0 && v.faulty_regular_rows <= org.Org.spares
+
+let repairable_iterated org faults =
+  let v = classify org faults in
+  v.faulty_regular_rows <= org.Org.spares - v.faulty_spare_rows
+
+let swamped_columns org faults =
+  let per_col = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let c = F.victim f in
+      let set =
+        match Hashtbl.find_opt per_col c.F.col with
+        | Some s -> s
+        | None ->
+            let s = Hashtbl.create 8 in
+            Hashtbl.add per_col c.F.col s;
+            s
+      in
+      Hashtbl.replace set c.F.row ())
+    faults;
+  Hashtbl.fold
+    (fun col rows acc ->
+      if Hashtbl.length rows > org.Org.spares then col :: acc else acc)
+    per_col []
+  |> List.sort Int.compare

@@ -1,0 +1,34 @@
+(** Static repairability analysis of fault patterns.
+
+    Two notions from the paper:
+
+    - {b strict} "goodness" (Section VII, used for the yield model): a
+      BISR'ed RAM is good iff the number of faulty regular rows is at
+      most the number of spare rows {e and} every spare row is
+      fault-free — the manufacturer's guarantee, since BISRAMGEN
+      performs one round of spare substitution per test cycle and the
+      part must stay repairable in the field.
+
+    - {b iterated} repairability (the 2k-pass flow): faulty spares may
+      themselves be replaced by later spares, so a pattern is
+      repairable iff #faulty regular rows <= #fault-free spares. *)
+
+type verdict = { faulty_regular_rows : int; faulty_spare_rows : int }
+
+val classify :
+  Bisram_sram.Org.t -> Bisram_faults.Fault.t list -> verdict
+
+(** Strict: faulty_regular_rows <= spares && faulty_spare_rows = 0. *)
+val repairable_strict :
+  Bisram_sram.Org.t -> Bisram_faults.Fault.t list -> bool
+
+(** Iterated: faulty_regular_rows <= spares - faulty_spare_rows. *)
+val repairable_iterated :
+  Bisram_sram.Org.t -> Bisram_faults.Fault.t list -> bool
+
+(** Column-failure detection: a fault pattern whose victims swamp a
+    single column across more rows than there are spares cannot be
+    repaired by row redundancy (the paper's column-failure discussion);
+    returns the offending columns. *)
+val swamped_columns :
+  Bisram_sram.Org.t -> Bisram_faults.Fault.t list -> int list

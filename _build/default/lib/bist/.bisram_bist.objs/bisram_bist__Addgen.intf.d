@@ -1,0 +1,1 @@
+lib/bist/addgen.mli: March

@@ -1,0 +1,1 @@
+lib/bist/algorithms.ml: List March String

@@ -1,0 +1,1 @@
+lib/bist/controller.ml: Addgen Array Bisram_sram Format List March Printf Trpla

@@ -1,0 +1,1 @@
+lib/bist/controller.mli: Bisram_sram Format March Trpla

@@ -1,0 +1,1 @@
+lib/bist/coverage.ml: Bisram_faults Bisram_sram Engine Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/bist/coverage.mli: Bisram_faults Bisram_sram Format March Random

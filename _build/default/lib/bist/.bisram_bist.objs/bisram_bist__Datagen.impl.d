@@ -1,0 +1,1 @@
+lib/bist/datagen.ml: Array Bisram_sram List

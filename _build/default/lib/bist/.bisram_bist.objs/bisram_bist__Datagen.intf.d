@@ -1,0 +1,1 @@
+lib/bist/datagen.mli: Bisram_sram

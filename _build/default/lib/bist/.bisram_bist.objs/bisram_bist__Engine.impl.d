@@ -1,0 +1,1 @@
+lib/bist/engine.ml: Bisram_sram Format Hashtbl List March

@@ -1,0 +1,1 @@
+lib/bist/engine.mli: Bisram_sram Format March

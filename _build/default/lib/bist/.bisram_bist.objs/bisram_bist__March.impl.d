@@ -1,0 +1,1 @@
+lib/bist/march.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/bist/pla_gates.ml: Bisram_gates Controller List Printf String Trpla

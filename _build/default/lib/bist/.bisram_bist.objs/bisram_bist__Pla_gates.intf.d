@@ -1,0 +1,1 @@
+lib/bist/pla_gates.mli: Bisram_gates Controller Trpla

@@ -1,0 +1,1 @@
+lib/bist/synthesis.ml: Bisram_sram Coverage Engine List March

@@ -1,0 +1,1 @@
+lib/bist/synthesis.mli: Bisram_faults Bisram_sram Coverage March

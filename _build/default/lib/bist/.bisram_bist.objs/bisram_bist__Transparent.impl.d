@@ -1,0 +1,1 @@
+lib/bist/transparent.ml: Array Bisram_sram Engine Hashtbl List March

@@ -1,0 +1,1 @@
+lib/bist/transparent.mli: Bisram_sram Engine March

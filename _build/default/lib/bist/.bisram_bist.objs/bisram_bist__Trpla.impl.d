@@ -1,0 +1,1 @@
+lib/bist/trpla.ml: Array Bisram_tech List Printf String

@@ -1,0 +1,1 @@
+lib/bist/trpla.mli: Bisram_tech

@@ -1,0 +1,31 @@
+(** ADDGEN: the test address generator.
+
+    March elements need a forward and a reverse addressing sequence, so
+    ADDGEN is a binary up/down counter over [0, limit).  The model is
+    register-accurate: [step] advances one address per test clock and
+    reports wrap-around (the element-done condition sampled by the
+    controller). *)
+
+type t
+
+(** [create ~limit] counts over addresses [0 .. limit-1]. *)
+val create : limit:int -> t
+
+val limit : t -> int
+
+(** Park the counter at the first address of the given direction
+    (0 for [Up], limit-1 for [Down]). *)
+val reset : t -> dir:March.order -> unit
+
+val value : t -> int
+
+(** Advance one step in the direction; returns [true] when the counter
+    wrapped (all addresses visited). *)
+val step : t -> dir:March.order -> bool
+
+(** Hardware cost of the counter: flip-flop count (address width). *)
+val width : t -> int
+
+(** Approximate gate count: a loadable up/down counter costs about ten
+    gate equivalents per stage. *)
+val gate_count : t -> int

@@ -1,0 +1,45 @@
+let ifa_9 =
+  March.of_string ~name:"IFA-9"
+    "u(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); D; u(r0,w1); D; u(r1)"
+
+let ifa_13 =
+  March.of_string ~name:"IFA-13"
+    "u(w0); u(r0,w1,r1); u(r1,w0,r0); d(r0,w1,r1); d(r1,w0,r0); D; u(r0,w1); \
+     D; u(r1)"
+
+let mats_plus = March.of_string ~name:"MATS+" "u(w0); u(r0,w1); d(r1,w0)"
+
+let march_c_minus =
+  March.of_string ~name:"March C-"
+    "u(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); d(r0)"
+
+let march_b =
+  March.of_string ~name:"March B"
+    "u(w0); u(r0,w1,r1,w0,r0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)"
+
+let zero_one = March.of_string ~name:"Zero-One" "u(w0); u(r0); u(w1); u(r1)"
+
+let march_a =
+  March.of_string ~name:"March A"
+    "u(w0); u(r0,w1,w0,w1); u(r1,w0,w1); d(r1,w0,w1,w0); d(r0,w1,w0)"
+
+let march_y =
+  March.of_string ~name:"March Y" "u(w0); u(r0,w1,r1); d(r1,w0,r0); u(r0)"
+
+let march_lr =
+  March.of_string ~name:"March LR"
+    "u(w0); d(r0,w1); u(r1,w0,r0,w1); u(r1,w0); u(r0,w1,r1,w0); u(r0)"
+
+let pmovi =
+  March.of_string ~name:"PMOVI"
+    "d(w0); u(r0,w1,r1); u(r1,w0,r0); d(r0,w1,r1); d(r1,w0,r0)"
+
+let all =
+  [ ifa_9; ifa_13; mats_plus; march_c_minus; march_b; zero_one; march_a
+  ; march_y; march_lr; pmovi
+  ]
+
+let find name =
+  List.find_opt
+    (fun m -> String.lowercase_ascii m.March.name = String.lowercase_ascii name)
+    all

@@ -1,0 +1,62 @@
+(** The microprogrammed test-and-repair controller.
+
+    The FSM is compiled from a march test: per pass (test pass and
+    verify pass) it chains one setup state per march element, one state
+    per operation, one wait state per retention delay and a
+    per-background loop state; global states handle idle, the TLB
+    overflow check, pass-2 setup and the two terminal statuses.  The
+    state graph is exported as TRPLA plane images, and the interpreter
+    can execute either the symbolic graph or the PLA image — the test
+    suite checks they agree cycle by cycle.
+
+    Pass semantics follow the paper: in the first pass every failing
+    row address is recorded in the TLB (mapped to the predetermined,
+    strictly increasing spare sequence); in the second pass the remap
+    is active, the array and the mapped spares are retested, and any
+    mismatch raises "Repair Unsuccessful". *)
+
+type hooks = {
+  record_fault : row:int -> [ `Ok | `Full ];
+      (** record a failing logical row; [`Full] = would overflow *)
+  would_overflow : row:int -> bool;
+      (** true when recording this (new) row would overflow the TLB *)
+  enable_remap : unit -> unit;  (** install the TLB translation *)
+  faults_recorded : unit -> int;
+}
+
+(** Hooks for a RAM with no repair logic at all (pure BIST): recording
+    always overflows, so the first fault fails the run. *)
+val no_repair_hooks : hooks
+
+type outcome = Passed_clean | Repaired | Repair_unsuccessful
+
+type t
+
+(** Compile the controller for a march test over a given number of
+    words and list of backgrounds. *)
+val compile :
+  March.t -> words:int -> backgrounds:Bisram_sram.Word.t list -> t
+
+val state_count : t -> int
+val flipflop_count : t -> int
+
+(** Names of the FSM states in id order (for reports). *)
+val state_names : t -> string array
+
+type report = {
+  outcome : outcome;
+  cycles : int;  (** controller clock cycles consumed *)
+  faults_recorded : int;
+}
+
+(** Execute the two-pass self-test/self-repair against the RAM model. *)
+val run : t -> Bisram_sram.Model.t -> hooks -> report
+
+(** Export the control program as TRPLA planes. *)
+val to_pla : t -> Trpla.t
+
+(** Execute by evaluating the TRPLA image each cycle instead of the
+    symbolic graph (slower; used to validate the PLA compilation). *)
+val run_via_pla : t -> Bisram_sram.Model.t -> hooks -> report
+
+val pp_outcome : Format.formatter -> outcome -> unit

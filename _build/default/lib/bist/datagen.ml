@@ -1,0 +1,45 @@
+module Word = Bisram_sram.Word
+
+type t = { bpw : int; mutable state : bool array }
+
+let create ~bpw =
+  if bpw <= 0 then invalid_arg "Datagen.create: bpw must be positive";
+  { bpw; state = Array.make bpw false }
+
+let bpw t = t.bpw
+let reset t = t.state <- Array.make t.bpw false
+let state t = Word.of_bits t.state
+
+let step t =
+  let n = t.bpw in
+  let next = Array.make n false in
+  next.(0) <- not t.state.(n - 1);
+  for i = 1 to n - 1 do
+    next.(i) <- t.state.(i - 1)
+  done;
+  t.state <- next
+
+let required_count ~bpw = (bpw / 2) + 1
+
+let half_cycle_backgrounds ~bpw =
+  let g = create ~bpw in
+  let out = ref [ state g ] in
+  for _ = 1 to bpw do
+    step g;
+    out := state g :: !out
+  done;
+  List.rev !out
+
+let required_backgrounds ~bpw =
+  let half = Array.of_list (half_cycle_backgrounds ~bpw) in
+  let n = required_count ~bpw in
+  (* every second state, pinned to start at all-0 and end at all-1 *)
+  List.init n (fun i ->
+      if i = n - 1 then half.(bpw) else half.(min (2 * i) bpw))
+
+let matches ~expected ~got = Word.equal expected got
+let ff_count t = t.bpw
+
+let gate_count t =
+  (* ~6 gates per Johnson stage + 3 per comparator XOR + OR tree *)
+  (6 * t.bpw) + (3 * t.bpw) + t.bpw

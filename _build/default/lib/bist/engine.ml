@@ -1,0 +1,109 @@
+module Model = Bisram_sram.Model
+module Org = Bisram_sram.Org
+module Word = Bisram_sram.Word
+
+type failure = {
+  background : Word.t;
+  item : int;
+  op : int;
+  addr : int;
+  expected : Word.t;
+  got : Word.t;
+}
+
+exception Stop
+
+type ram = {
+  words : int;
+  read : int -> Word.t;
+  write : int -> Word.t -> unit;
+  retention_wait : unit -> unit;
+}
+
+let ram_of_model model =
+  { words = (Model.org model).Org.words
+  ; read = Model.read_word model
+  ; write = Model.write_word model
+  ; retention_wait = (fun () -> Model.retention_wait model)
+  }
+
+let iter_addresses n order f =
+  match order with
+  | March.Up | March.Either ->
+      for a = 0 to n - 1 do
+        f a
+      done
+  | March.Down ->
+      for a = n - 1 downto 0 do
+        f a
+      done
+
+let run_general ram test ~backgrounds ~stop_at_first =
+  let failures = ref [] in
+  (try
+     List.iter
+       (fun bg ->
+         List.iteri
+           (fun item_idx item ->
+             match item with
+             | March.Wait -> ram.retention_wait ()
+             | March.Elem { order; ops } ->
+                 iter_addresses ram.words order (fun addr ->
+                     List.iteri
+                       (fun op_idx op ->
+                         match op with
+                         | March.W compl ->
+                             let w = if compl then Word.lnot_ bg else bg in
+                             ram.write addr w
+                         | March.R compl ->
+                             let expected =
+                               if compl then Word.lnot_ bg else bg
+                             in
+                             let got = ram.read addr in
+                             if not (Word.equal expected got) then begin
+                               failures :=
+                                 { background = bg
+                                 ; item = item_idx
+                                 ; op = op_idx
+                                 ; addr
+                                 ; expected
+                                 ; got
+                                 }
+                                 :: !failures;
+                               if stop_at_first then raise Stop
+                             end)
+                       ops))
+           test.March.items)
+       backgrounds
+   with Stop -> ());
+  List.rev !failures
+
+let run_ram ram test ~backgrounds =
+  run_general ram test ~backgrounds ~stop_at_first:false
+
+let run model test ~backgrounds =
+  Model.clear model;
+  run_general (ram_of_model model) test ~backgrounds ~stop_at_first:false
+
+let passes model test ~backgrounds =
+  Model.clear model;
+  run_general (ram_of_model model) test ~backgrounds ~stop_at_first:true = []
+
+let failing_rows org failures =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun f ->
+      let row = Org.row_of_addr org f.addr in
+      if Hashtbl.mem seen row then None
+      else begin
+        Hashtbl.add seen row ();
+        Some row
+      end)
+    failures
+
+let op_count test org ~backgrounds =
+  March.ops_per_address test * org.Org.words * backgrounds
+
+let pp_failure ppf f =
+  Format.fprintf ppf "bg=%a item=%d op=%d addr=%d expected=%a got=%a" Word.pp
+    f.background f.item f.op f.addr Word.pp f.expected Word.pp f.got

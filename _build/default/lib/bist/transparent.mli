@@ -1,0 +1,30 @@
+(** Transparent BIST (Kebichi and Nicolaidis, Section III).
+
+    A transparent march test leaves the RAM's normal-mode contents
+    intact: the initialization element is dropped, every datum is
+    expressed relative to each cell's initial content s (w0 becomes
+    "write s xor background", etc.), read results are compressed into a
+    MISR signature, and a prediction phase computes the fault-free
+    signature from the same read sequence.  A final restoring element
+    returns every word to s, so a periodic field self-test does not
+    destroy state. *)
+
+(** Signature of the transparent transform of a march test: the ops per
+    address actually applied (initialization dropped, restore element
+    appended when the test ends off-phase). *)
+val transformed_ops_per_address : March.t -> int
+
+type result = {
+  detected : bool;  (** predicted and observed signatures differ *)
+  contents_preserved : bool;
+      (** post-test contents equal pre-test contents (checked against a
+          snapshot; a detected fault may legitimately break this) *)
+}
+
+(** [run ram test] executes the transparent transform of [test] over
+    the abstract RAM.  The background is taken relative to the cell
+    contents, so no background sweep is needed. *)
+val run : Engine.ram -> March.t -> result
+
+(** Convenience: transparent self-test of a model. *)
+val run_model : Bisram_sram.Model.t -> March.t -> result

@@ -1,0 +1,120 @@
+type lit = T | F | X
+
+type t = {
+  n_inputs : int;
+  n_outputs : int;
+  mutable terms : (lit array * bool array) list; (* reversed *)
+  mutable n_terms : int;
+}
+
+let create ~n_inputs ~n_outputs =
+  if n_inputs <= 0 || n_outputs <= 0 then invalid_arg "Trpla.create";
+  { n_inputs; n_outputs; terms = []; n_terms = 0 }
+
+let n_inputs t = t.n_inputs
+let n_outputs t = t.n_outputs
+let term_count t = t.n_terms
+
+let add_term t ~ands ~ors =
+  if Array.length ands <> t.n_inputs then
+    invalid_arg "Trpla.add_term: AND-plane width mismatch";
+  if Array.length ors <> t.n_outputs then
+    invalid_arg "Trpla.add_term: OR-plane width mismatch";
+  t.terms <- (Array.copy ands, Array.copy ors) :: t.terms;
+  t.n_terms <- t.n_terms + 1
+
+let term_matches ands inputs =
+  let n = Array.length ands in
+  let rec go i =
+    if i >= n then true
+    else
+      match ands.(i) with
+      | X -> go (i + 1)
+      | T -> inputs.(i) && go (i + 1)
+      | F -> (not inputs.(i)) && go (i + 1)
+  in
+  go 0
+
+let eval t inputs =
+  if Array.length inputs <> t.n_inputs then
+    invalid_arg "Trpla.eval: input width mismatch";
+  let out = Array.make t.n_outputs false in
+  List.iter
+    (fun (ands, ors) ->
+      if term_matches ands inputs then
+        Array.iteri (fun i o -> if o then out.(i) <- true) ors)
+    t.terms;
+  out
+
+let in_order t = List.rev t.terms
+
+let and_plane_image t =
+  List.map
+    (fun (ands, _) ->
+      String.init t.n_inputs (fun i ->
+          match ands.(i) with T -> '1' | F -> '0' | X -> '-'))
+    (in_order t)
+
+let or_plane_image t =
+  List.map
+    (fun (_, ors) ->
+      String.init t.n_outputs (fun i -> if ors.(i) then '1' else '.'))
+    (in_order t)
+
+let of_images ~and_plane ~or_plane =
+  (match (and_plane, or_plane) with
+  | [], _ | _, [] -> invalid_arg "Trpla.of_images: empty plane"
+  | _ -> ());
+  if List.length and_plane <> List.length or_plane then
+    invalid_arg "Trpla.of_images: plane row counts differ";
+  let n_inputs = String.length (List.hd and_plane) in
+  let n_outputs = String.length (List.hd or_plane) in
+  let t = create ~n_inputs ~n_outputs in
+  List.iter2
+    (fun al ol ->
+      if String.length al <> n_inputs then
+        invalid_arg "Trpla.of_images: ragged AND plane";
+      if String.length ol <> n_outputs then
+        invalid_arg "Trpla.of_images: ragged OR plane";
+      let ands =
+        Array.init n_inputs (fun i ->
+            match al.[i] with
+            | '1' -> T
+            | '0' -> F
+            | '-' -> X
+            | c -> invalid_arg (Printf.sprintf "Trpla.of_images: bad char %c" c))
+      in
+      let ors =
+        Array.init n_outputs (fun i ->
+            match ol.[i] with
+            | '1' -> true
+            | '.' | '0' -> false
+            | c -> invalid_arg (Printf.sprintf "Trpla.of_images: bad char %c" c))
+      in
+      add_term t ~ands ~ors)
+    and_plane or_plane;
+  t
+
+let transistor_count t =
+  let literal_devices =
+    List.fold_left
+      (fun acc (ands, ors) ->
+        let a =
+          Array.fold_left
+            (fun n lit -> match lit with X -> n | T | F -> n + 1)
+            0 ands
+        in
+        let o = Array.fold_left (fun n b -> if b then n + 1 else n) 0 ors in
+        acc + a + o)
+      0 t.terms
+  in
+  (* pseudo-NMOS pull-ups: one per term line and one per output line;
+     input buffers: two devices per input (true + complement drivers) *)
+  literal_devices + t.n_terms + t.n_outputs + (2 * t.n_inputs)
+
+let area_lambda2 rules t =
+  let pitch = Bisram_tech.Rules.contact_pitch rules in
+  let columns = (2 * t.n_inputs) + t.n_outputs in
+  let rows = t.n_terms in
+  (* plus a one-pitch ring for pull-ups and buffers on each side *)
+  (columns + 2) * pitch * ((rows + 2) * pitch)

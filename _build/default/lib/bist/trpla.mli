@@ -1,0 +1,46 @@
+(** TRPLA: the pseudo-NMOS NOR-NOR programmable logic array that holds
+    the test-and-repair control program.
+
+    A NOR-NOR PLA with complemented inputs and outputs computes the
+    same function as the AND-OR form modeled here: each product term
+    selects inputs as true / complemented / don't-care; each output is
+    the OR of its connected terms.  The control code is loaded from two
+    plane images (one for the AND plane, one for the OR plane), exactly
+    as BISRAMGEN reads them from two input files at layout-synthesis
+    time — changing the files changes the test algorithm. *)
+
+type lit = T  (** input must be 1 *) | F  (** input must be 0 *) | X  (** don't care *)
+
+type t
+
+val create : n_inputs:int -> n_outputs:int -> t
+val n_inputs : t -> int
+val n_outputs : t -> int
+val term_count : t -> int
+
+(** [add_term t ~ands ~ors] appends a product term.  [ands] has one lit
+    per input; [ors] one bool per output. *)
+val add_term : t -> ands:lit array -> ors:bool array -> unit
+
+(** Evaluate: each output is the OR over matching terms. *)
+val eval : t -> bool array -> bool array
+
+(** Plane images: AND plane uses characters '1' (true), '0'
+    (complemented), '-' (don't care); OR plane uses '1' and '.'.
+    One line per term. *)
+val and_plane_image : t -> string list
+
+val or_plane_image : t -> string list
+
+(** Load from plane images. @raise Invalid_argument on malformed or
+    inconsistent images. *)
+val of_images : and_plane:string list -> or_plane:string list -> t
+
+(** Transistor-count estimate of the pseudo-NMOS NOR-NOR
+    implementation: one device per programmed AND-plane literal, one
+    per OR-plane connection, plus the pull-ups. *)
+val transistor_count : t -> int
+
+(** Core area in lambda^2: (2*inputs + outputs) columns x terms rows at
+    one contacted pitch each. *)
+val area_lambda2 : Bisram_tech.Rules.t -> t -> int

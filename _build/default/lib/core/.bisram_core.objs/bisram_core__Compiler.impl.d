@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Bisram_bisr Bisram_bist Bisram_gates Bisram_geometry Bisram_layout Bisram_pr Bisram_sram Bisram_tech Buffer Config List Macros Printf String

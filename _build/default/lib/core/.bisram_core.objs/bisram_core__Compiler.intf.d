@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Bisram_bisr Bisram_bist Bisram_faults Bisram_pr Bisram_sram Config Macros

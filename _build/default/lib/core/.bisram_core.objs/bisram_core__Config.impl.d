@@ -1,0 +1,1 @@
+lib/core/config.ml: Bisram_bist Bisram_sram Bisram_tech Format Printf

@@ -1,0 +1,1 @@
+lib/core/config_file.ml: Bisram_bist Bisram_tech Config List Option Printf Result String

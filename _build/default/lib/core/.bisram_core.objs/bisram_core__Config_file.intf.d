@@ -1,0 +1,1 @@
+lib/core/config_file.mli: Config

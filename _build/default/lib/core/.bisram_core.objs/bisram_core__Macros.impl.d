@@ -1,0 +1,1 @@
+lib/core/macros.ml: Bisram_bist Bisram_geometry Bisram_layout Bisram_pr Bisram_sram Config List

@@ -1,0 +1,1 @@
+lib/core/macros.mli: Bisram_bist Bisram_layout Bisram_pr Config

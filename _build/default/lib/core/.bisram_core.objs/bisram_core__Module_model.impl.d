@@ -1,0 +1,1 @@
+lib/core/module_model.ml: Bisram_bisr Bisram_bist Bisram_sram Compiler Config

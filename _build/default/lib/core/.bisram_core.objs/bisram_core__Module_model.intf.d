@@ -1,0 +1,1 @@
+lib/core/module_model.mli: Bisram_bist Bisram_faults Bisram_sram Compiler

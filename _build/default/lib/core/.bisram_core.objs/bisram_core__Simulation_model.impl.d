@@ -1,0 +1,1 @@
+lib/core/simulation_model.ml: Bisram_spice Bisram_sram Bisram_tech Config Format Printf

@@ -1,0 +1,1 @@
+lib/core/simulation_model.mli: Bisram_spice Config

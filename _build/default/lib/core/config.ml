@@ -1,0 +1,28 @@
+type t = {
+  process : Bisram_tech.Process.t;
+  org : Bisram_sram.Org.t;
+  drive : int;
+  strap : int;
+  march : Bisram_bist.March.t;
+}
+
+let make ?(spares = 4) ?(drive = 2) ?(strap = 32)
+    ?(march = Bisram_bist.Algorithms.ifa_9) ~process ~words ~bpw ~bpc () =
+  if not (Bisram_tech.Process.supports_bisr process) then
+    invalid_arg
+      (Printf.sprintf
+         "Config.make: process %s has %d metal layers; BISRAMGEN needs 3"
+         process.Bisram_tech.Process.name
+         process.Bisram_tech.Process.metal_layers);
+  if drive < 1 || drive > 8 then invalid_arg "Config.make: drive must be 1..8";
+  if strap < 0 then invalid_arg "Config.make: strap must be >= 0";
+  let org = Bisram_sram.Org.make ~spares ~words ~bpw ~bpc () in
+  { process; org; drive; strap; march }
+
+let backgrounds t =
+  Bisram_bist.Datagen.required_backgrounds ~bpw:t.org.Bisram_sram.Org.bpw
+
+let pp ppf t =
+  Format.fprintf ppf "%a on %a, drive x%d, strap %d, march %s"
+    Bisram_sram.Org.pp t.org Bisram_tech.Process.pp t.process t.drive t.strap
+    t.march.Bisram_bist.March.name

@@ -1,0 +1,24 @@
+(** User-facing configuration of a BISRAMGEN run: the circuit
+    parameters the paper's tool prompts for, plus the march algorithm
+    microprogrammed into the TRPLA. *)
+
+type t = {
+  process : Bisram_tech.Process.t;
+  org : Bisram_sram.Org.t;
+  drive : int;  (** critical-gate size multiplier ("buffer size") *)
+  strap : int;  (** cells between straps; 0 disables strapping *)
+  march : Bisram_bist.March.t;
+}
+
+(** @raise Invalid_argument when the process has fewer than three metal
+    layers (BISR needs over-the-cell metal-3 routing), when [drive] is
+    not in [1,8] or when [strap] is negative.  [march] defaults to
+    IFA-9, [drive] to 2, [strap] to 32, [spares] to 4. *)
+val make :
+  ?spares:int -> ?drive:int -> ?strap:int -> ?march:Bisram_bist.March.t ->
+  process:Bisram_tech.Process.t -> words:int -> bpw:int -> bpc:int -> unit -> t
+
+(** The data backgrounds the Johnson counter applies: bpw/2 + 1. *)
+val backgrounds : t -> Bisram_sram.Word.t list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Key = value configuration files for the CLI.
+
+    {v
+    # 64 KB embedded cache
+    process = CDA.7u3m1p
+    words   = 4096
+    bpw     = 128
+    bpc     = 8
+    spares  = 4
+    drive   = 2
+    strap   = 32
+    march   = IFA-9
+    v}
+
+    Unknown keys are rejected; missing keys take the same defaults as
+    the CLI.  [march] accepts a library name or inline notation. *)
+
+(** Parse file contents into key/value pairs.
+    @raise Invalid_argument on malformed lines. *)
+val parse : string -> (string * string) list
+
+(** Build a configuration; [Error] carries a human-readable message. *)
+val to_config : (string * string) list -> (Config.t, string) result
+
+(** Convenience: [parse] + [to_config]. *)
+val of_string : string -> (Config.t, string) result

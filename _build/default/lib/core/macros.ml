@@ -1,0 +1,225 @@
+module P = Bisram_geometry.Point
+module R = Bisram_geometry.Rect
+module Org = Bisram_sram.Org
+module Leaf = Bisram_layout.Leaf
+module Cell = Bisram_layout.Cell
+module Macro = Bisram_layout.Macro
+module Port = Bisram_layout.Port
+module Block = Bisram_pr.Block
+module Trpla = Bisram_bist.Trpla
+
+type t = {
+  ram_array : Macro.t;
+  row_decoder : Macro.t;
+  wl_drivers : Macro.t;
+  precharge : Macro.t;
+  column_mux : Macro.t;
+  sense_amps : Macro.t;
+  column_decoder : Macro.t;
+  addgen : Macro.t;
+  datagen : Macro.t;
+  tlb : Macro.t;
+  trpla : Macro.t;
+  streg : Macro.t;
+}
+
+let log2i n =
+  let rec go acc k = if k >= n then acc else go (acc + 1) (k * 2) in
+  go 0 1
+
+let row_bits cfg = max 1 (log2i (Org.rows cfg.Config.org))
+let addr_bits cfg = max 1 (log2i cfg.Config.org.Org.words)
+
+let cell_w = 24
+let cell_h = 20
+let strap_w = 8
+
+(* The RAM core: subarrays of [strap] columns separated by strap
+   columns, [total_rows] tall, odd rows mirrored to share rails. *)
+let ram_array cfg =
+  let org = cfg.Config.org in
+  let cols = Org.cols org and rows = Org.total_rows org in
+  let cell = Leaf.sram_6t () in
+  let strap_cell = Leaf.strap ~w:strap_w in
+  let group = if cfg.Config.strap = 0 then cols else min cfg.Config.strap cols in
+  let elements = ref [] in
+  let x = ref 0 in
+  let remaining = ref cols in
+  let first = ref true in
+  while !remaining > 0 do
+    if not !first then begin
+      elements :=
+        Macro.array ~origin:(P.make !x 0) ~nx:1 ~ny:rows ~mirror_odd_rows:true
+          strap_cell
+        :: !elements;
+      x := !x + strap_w
+    end;
+    first := false;
+    let n = min group !remaining in
+    elements :=
+      Macro.array ~origin:(P.make !x 0) ~nx:n ~ny:rows ~mirror_odd_rows:true
+        cell
+      :: !elements;
+    x := !x + (n * cell_w);
+    remaining := !remaining - n
+  done;
+  Macro.make ~name:"RAMARRAY" (List.rev !elements)
+
+let column_peripheral cfg ~name cell =
+  let cols = Org.cols cfg.Config.org in
+  Macro.make ~name [ Macro.array ~origin:P.zero ~nx:cols ~ny:1 cell ]
+
+let generate cfg ~pla =
+  let org = cfg.Config.org in
+  let rows = Org.total_rows org in
+  let rb = row_bits cfg and ab = addr_bits cfg in
+  let ram_array = ram_array cfg in
+  let row_decoder =
+    Macro.make ~name:"ROWDEC"
+      [ Macro.array ~origin:P.zero ~nx:1 ~ny:rows ~mirror_odd_rows:true
+          (Leaf.row_decoder_slice ~bits:rb)
+      ]
+  in
+  let wl_drivers =
+    Macro.make ~name:"WLDRV"
+      [ Macro.array ~origin:P.zero ~nx:1 ~ny:rows ~mirror_odd_rows:true
+          (Leaf.wordline_driver ~drive:cfg.Config.drive)
+      ]
+  in
+  let precharge = column_peripheral cfg ~name:"PRECH" (Leaf.precharge ()) in
+  (* Column datapath blocks are pitch-matched to the I/O pitch (bpc
+     cells per I/O), so they stack under the array with no dead shelf;
+     the slack inside each slice carries feed-through routing. *)
+  let io_pitch = cell_w * org.Org.bpc in
+  let column_mux =
+    Macro.make ~name:"COLMUX"
+      [ Macro.array ~origin:P.zero ~nx:org.Org.bpw ~ny:1
+          (Leaf.column_mux ~bpc:org.Org.bpc)
+      ]
+  in
+  let sense_amps =
+    Macro.make ~name:"SENSE"
+      [ Macro.array ~origin:P.zero
+          ~pitch_x:(max io_pitch (Cell.width (Leaf.sense_amp ())))
+          ~nx:org.Org.bpw ~ny:1 (Leaf.sense_amp ())
+      ]
+  in
+  let column_decoder =
+    let w = (6 * max 1 (log2i org.Org.bpc)) + (10 * org.Org.bpc) in
+    Macro.make ~name:"COLDEC"
+      [ Macro.inst (Cell.make ~name:"col_dec" ~w ~h:24 [] []) ]
+  in
+  (* register strips fold into multiple rows when the module is
+     narrower than the strip (narrow-word organizations) *)
+  let folded_strip ~name cell n =
+    let max_w = max (Macro.width ram_array) (Cell.width cell) in
+    let per_row = max 1 (min n (max_w / Cell.width cell)) in
+    let rows = (n + per_row - 1) / per_row in
+    Macro.make ~name [ Macro.array ~origin:P.zero ~nx:per_row ~ny:rows cell ]
+  in
+  let addgen = folded_strip ~name:"ADDGEN" (Leaf.addgen_stage ()) ab in
+  let datagen =
+    Macro.make ~name:"DATAGEN"
+      [ Macro.array ~origin:P.zero
+          ~pitch_x:(max io_pitch (Cell.width (Leaf.datagen_stage ())))
+          ~nx:org.Org.bpw ~ny:1 (Leaf.datagen_stage ())
+      ]
+  in
+  let tlb =
+    let cam = Leaf.cam_bit () in
+    let encoder =
+      Cell.make ~name:"tlb_encoder" ~w:40 ~h:(cell_h * max 1 org.Org.spares) []
+        []
+    in
+    Macro.make ~name:"TLB"
+      [ Macro.array ~origin:P.zero ~nx:rb ~ny:(max 1 org.Org.spares) cam
+      ; Macro.inst
+          ~at:(Bisram_geometry.Transform.translation (P.make (36 * rb) 0))
+          encoder
+      ]
+  in
+  let trpla =
+    Macro.make ~name:"TRPLA"
+      [ Macro.inst
+          (Leaf.pla ~n_inputs:(Trpla.n_inputs pla)
+             ~n_outputs:(Trpla.n_outputs pla) ~n_terms:(Trpla.term_count pla))
+      ]
+  in
+  let streg =
+    Macro.make ~name:"STREG"
+      [ Macro.array ~origin:P.zero ~nx:8 ~ny:1 (Leaf.dff ()) ]
+  in
+  { ram_array
+  ; row_decoder
+  ; wl_drivers
+  ; precharge
+  ; column_mux
+  ; sense_amps
+  ; column_decoder
+  ; addgen
+  ; datagen
+  ; tlb
+  ; trpla
+  ; streg
+  }
+
+let to_list t =
+  [ ("RAMARRAY", t.ram_array)
+  ; ("ROWDEC", t.row_decoder)
+  ; ("WLDRV", t.wl_drivers)
+  ; ("PRECH", t.precharge)
+  ; ("COLMUX", t.column_mux)
+  ; ("SENSE", t.sense_amps)
+  ; ("COLDEC", t.column_decoder)
+  ; ("ADDGEN", t.addgen)
+  ; ("DATAGEN", t.datagen)
+  ; ("TLB", t.tlb)
+  ; ("TRPLA", t.trpla)
+  ; ("STREG", t.streg)
+  ]
+
+(* Floorplanner view: representative pins encode the module netlist so
+   the placer's port-alignment heuristic pulls connected blocks
+   together. *)
+let block_of name (m : Macro.t) pins =
+  let box = Macro.bbox m in
+  let w = R.width box and h = R.height box in
+  let n = List.length pins in
+  Block.make ~name ~w ~h
+    (List.mapi
+       (fun i (net, edge) ->
+         let along =
+           match edge with
+           | Port.North | Port.South -> w
+           | Port.East | Port.West -> h
+         in
+         (* spread the block's pins evenly along their edges so no two
+            nets depart from the same routing line *)
+         let offset = along * (i + 1) / (n + 1) in
+         { Block.net; edge; offset })
+       pins)
+
+let base_blocks t =
+  [ block_of "RAMARRAY" t.ram_array
+      [ ("wl", Port.West); ("bl", Port.South); ("pbl", Port.North) ]
+  ; block_of "WLDRV" t.wl_drivers [ ("rdec", Port.West); ("wl", Port.East) ]
+  ; block_of "ROWDEC" t.row_decoder
+      [ ("rdec", Port.East); ("addr", Port.South); ("saddr", Port.West) ]
+  ; block_of "PRECH" t.precharge [ ("pbl", Port.South); ("ctl", Port.East) ]
+  ; block_of "COLMUX" t.column_mux
+      [ ("bl", Port.North); ("muxio", Port.South); ("csel", Port.West) ]
+  ; block_of "COLDEC" t.column_decoder
+      [ ("csel", Port.East); ("addr", Port.West) ]
+  ; block_of "SENSE" t.sense_amps
+      [ ("muxio", Port.North); ("dout", Port.South) ]
+  ]
+
+let blocks t =
+  base_blocks t
+  @ [ block_of "DATAGEN" t.datagen [ ("dout", Port.North); ("ctl", Port.West) ]
+    ; block_of "ADDGEN" t.addgen [ ("addr", Port.North); ("ctl", Port.West) ]
+    ; block_of "TLB" t.tlb
+        [ ("addr", Port.South); ("saddr", Port.East); ("ctl", Port.West) ]
+    ; block_of "TRPLA" t.trpla [ ("ctl", Port.East); ("status", Port.South) ]
+    ; block_of "STREG" t.streg [ ("status", Port.North) ]
+    ]

@@ -1,0 +1,37 @@
+(** Macrocell generation: the named blocks of the BISR-RAM module.
+
+    Every macrocell is generated bottom-up from the leaf library as a
+    symbolic {!Bisram_layout.Macro.t}; the floorplanner consumes the
+    derived {!Bisram_pr.Block.t} views connected by the module's nets. *)
+
+type t = {
+  ram_array : Bisram_layout.Macro.t;  (** regular + spare rows + straps *)
+  row_decoder : Bisram_layout.Macro.t;
+  wl_drivers : Bisram_layout.Macro.t;
+  precharge : Bisram_layout.Macro.t;
+  column_mux : Bisram_layout.Macro.t;
+  sense_amps : Bisram_layout.Macro.t;
+  column_decoder : Bisram_layout.Macro.t;
+  addgen : Bisram_layout.Macro.t;
+  datagen : Bisram_layout.Macro.t;
+  tlb : Bisram_layout.Macro.t;
+  trpla : Bisram_layout.Macro.t;
+  streg : Bisram_layout.Macro.t;
+}
+
+val generate : Config.t -> pla:Bisram_bist.Trpla.t -> t
+
+(** All macros with their block names, in floorplanning order. *)
+val to_list : t -> (string * Bisram_layout.Macro.t) list
+
+(** Floorplanner views, with pins wired per the module netlist. *)
+val blocks : t -> Bisram_pr.Block.t list
+
+(** Floorplanner views of the base RAM only (array, row and column
+    periphery) — the module a non-BISR compiler would emit.  Used to
+    measure the true area cost of BIST/BISR by comparing floorplanned
+    bounding boxes. *)
+val base_blocks : t -> Bisram_pr.Block.t list
+
+(** Address width of the row field. *)
+val row_bits : Config.t -> int

@@ -1,0 +1,91 @@
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module Word = Bisram_sram.Word
+module Controller = Bisram_bist.Controller
+module Repair = Bisram_bisr.Repair
+module Tlb = Bisram_bisr.Tlb
+
+type t = {
+  design : Compiler.t;
+  model : Model.t;
+  mutable tlb : Tlb.t option;
+  mutable fail : bool;
+  mutable test_seen : bool; (* for rising-level detection *)
+  mutable last_report : Controller.report option;
+  mutable n_cycles : int;
+}
+
+let create design =
+  { design
+  ; model = Model.create design.Compiler.config.Config.org
+  ; tlb = None
+  ; fail = false
+  ; test_seen = false
+  ; last_report = None
+  ; n_cycles = 0
+  }
+
+let inject t faults =
+  Model.set_faults t.model faults;
+  (* manufacturing reset: any previous repair is void *)
+  t.tlb <- None;
+  t.fail <- false;
+  t.last_report <- None;
+  Model.set_remap t.model None
+
+type pins_in = {
+  addr : int;
+  din : Word.t;
+  we : bool;
+  cs : bool;
+  test : bool;
+}
+
+type pins_out = { dout : Word.t; busy : bool; fail : bool }
+
+let idle ~bpw = { addr = 0; din = Word.zero bpw; we = false; cs = false; test = false }
+
+let run_self_test t =
+  let cfg = t.design.Compiler.config in
+  let backgrounds = Config.backgrounds cfg in
+  Model.set_remap t.model None;
+  let outcome, report, tlb =
+    Repair.run t.model cfg.Config.march ~backgrounds
+  in
+  t.last_report <- Some report;
+  (match outcome with
+  | Repair.Passed_clean | Repair.Repaired _ ->
+      t.tlb <- Some tlb;
+      t.fail <- false
+  | Repair.Repair_unsuccessful _ ->
+      t.tlb <- None;
+      Model.set_remap t.model None;
+      t.fail <- true);
+  report
+
+let cycle t pins =
+  t.n_cycles <- t.n_cycles + 1;
+  let org = t.design.Compiler.config.Config.org in
+  let bpw = org.Org.bpw in
+  let busy = ref false in
+  (* rising level on TEST starts the power-on self-test *)
+  if pins.test && not t.test_seen then begin
+    ignore (run_self_test t);
+    busy := true
+  end;
+  t.test_seen <- pins.test;
+  let dout =
+    if pins.cs && not !busy then begin
+      if pins.addr < 0 || pins.addr >= org.Org.words then Word.zero bpw
+      else if pins.we then begin
+        Model.write_word t.model pins.addr pins.din;
+        Word.zero bpw
+      end
+      else Model.read_word t.model pins.addr
+    end
+    else Word.zero bpw
+  in
+  { dout; busy = !busy; fail = t.fail }
+
+let last_test t = t.last_report
+let cycles t = t.n_cycles

@@ -1,0 +1,47 @@
+(** Pin-accurate behavioural model of the generated BISR RAM module.
+
+    Wraps the fault-aware array, the TLB and the microprogrammed
+    controller behind the module's actual interface (see
+    {!Compiler.pinout}): drive it cycle by cycle with address, data and
+    control pins exactly as an SoC integration would.
+
+    Normal mode ([cs] high, [test] low): combinational-read semantics —
+    [dout] of the cycle reflects the addressed word (through the TLB
+    diversion once repaired); [we] high writes [din].
+
+    Test mode: pulsing [test] runs the complete two-pass self-test and
+    repair internally (the controller's cycles are not interleaved with
+    user cycles — BUSY covers them, as in a real power-on BIST whose
+    duration the system only observes through BUSY/FAIL). *)
+
+type t
+
+val create : Compiler.t -> t
+
+(** Manufacture faults into the underlying array (before power-on). *)
+val inject : t -> Bisram_faults.Fault.t list -> unit
+
+type pins_in = {
+  addr : int;
+  din : Bisram_sram.Word.t;
+  we : bool;
+  cs : bool;
+  test : bool;  (** start self-test (sampled on a rising level) *)
+}
+
+type pins_out = {
+  dout : Bisram_sram.Word.t;
+  busy : bool;  (** self-test ran during this cycle *)
+  fail : bool;  (** latched "Repair Unsuccessful" *)
+}
+
+val idle : bpw:int -> pins_in
+
+(** One interface cycle. *)
+val cycle : t -> pins_in -> pins_out
+
+(** Statistics of the last self-test, if any. *)
+val last_test : t -> Bisram_bist.Controller.report option
+
+(** Number of interface cycles driven so far. *)
+val cycles : t -> int

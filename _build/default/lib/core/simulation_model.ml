@@ -1,0 +1,108 @@
+module C = Bisram_spice.Circuit
+module Tr = Bisram_spice.Transient
+module Export = Bisram_spice.Spice_export
+module E = Bisram_tech.Electrical
+module Pr = Bisram_tech.Process
+module Org = Bisram_sram.Org
+module Timing = Bisram_sram.Timing
+
+type column = {
+  circuit : C.t;
+  bl : C.net;
+  blb : C.net;
+  wordline : C.net;
+  pclk : C.net;
+  q : C.net;
+  qb : C.net;
+}
+
+let lambda_m cfg = float_of_int cfg.Config.process.Pr.lambda_nm *. 1e-9
+let feature_m cfg = float_of_int cfg.Config.process.Pr.feature_nm *. 1e-9
+
+let column cfg ~stored =
+  let p = cfg.Config.process in
+  let e = p.Pr.electrical in
+  let lam = lambda_m cfg and l = feature_m cfg in
+  let ckt = C.create e in
+  let vdd = C.vdd_net ckt in
+  let bl = C.fresh_net ~name:"bl" ckt in
+  let blb = C.fresh_net ~name:"blb" ckt in
+  let wordline = C.fresh_net ~name:"wl" ckt in
+  let pclk = C.fresh_net ~name:"pclk" ckt in
+  let q = C.fresh_net ~name:"q" ckt in
+  let qb = C.fresh_net ~name:"qb" ckt in
+  let nmos ~gate ~drain ~source ~w =
+    C.add ckt (C.Mos { kind = C.Nmos; gate; drain; source; w; l })
+  in
+  let pmos ~gate ~drain ~source ~w =
+    C.add ckt (C.Mos { kind = C.Pmos; gate; drain; source; w; l })
+  in
+  (* precharge head: two precharge devices + equalizer *)
+  pmos ~gate:pclk ~drain:bl ~source:vdd ~w:(8.0 *. lam);
+  pmos ~gate:pclk ~drain:blb ~source:vdd ~w:(8.0 *. lam);
+  pmos ~gate:pclk ~drain:bl ~source:blb ~w:(6.0 *. lam);
+  (* the accessed 6T cell: cross-coupled inverters + access devices *)
+  pmos ~gate:qb ~drain:q ~source:vdd ~w:(3.0 *. lam);
+  nmos ~gate:qb ~drain:q ~source:C.gnd ~w:(6.0 *. lam);
+  pmos ~gate:q ~drain:qb ~source:vdd ~w:(3.0 *. lam);
+  nmos ~gate:q ~drain:qb ~source:C.gnd ~w:(6.0 *. lam);
+  nmos ~gate:wordline ~drain:bl ~source:q ~w:(4.0 *. lam);
+  nmos ~gate:wordline ~drain:blb ~source:qb ~w:(4.0 *. lam);
+  (* bit-line parasitics of the full column height *)
+  let org = cfg.Config.org in
+  let bl_len = Timing.bitline_length p org in
+  let c_bl =
+    (e.E.cap_area Bisram_tech.Layer.Metal1 *. bl_len *. (3.0 *. lam))
+    +. (e.E.cap_fringe Bisram_tech.Layer.Metal1 *. 2.0 *. bl_len)
+    +. (float_of_int (Org.total_rows org)
+       *. E.cdiff e ~feature_m:l ~w:(3.0 *. lam))
+  in
+  C.add ckt (C.Capacitor { a = bl; b = C.gnd; farads = c_bl });
+  C.add ckt (C.Capacitor { a = blb; b = C.gnd; farads = c_bl });
+  (* weak bias imposing the stored state on both latch nodes: strong
+     enough to set the state during the precharge phase, weak enough
+     (>> Ron) not to disturb the read *)
+  let high, low = if stored then (q, qb) else (qb, q) in
+  C.add ckt (C.Resistor { a = high; b = vdd; ohms = 20e3 });
+  C.add ckt (C.Resistor { a = low; b = C.gnd; ohms = 20e3 });
+  { circuit = ckt; bl; blb; wordline; pclk; q; qb }
+
+let spice_deck cfg =
+  let col = column cfg ~stored:true in
+  Export.deck
+    ~title:
+      (Printf.sprintf "BISRAMGEN column slice: %s"
+         (Format.asprintf "%a" Org.pp cfg.Config.org))
+    ~controls:
+      [ "VWL wl 0 PULSE(0 5 2.5N 0.1N 0.1N 3N 10N)"
+      ; "VPC pclk 0 PULSE(0 5 2.0N 0.1N 0.1N 7N 20N)"
+      ; ".TRAN 10P 6N"
+      ; ".PRINT TRAN V(bl) V(blb) V(q) V(qb)"
+      ]
+    col.circuit
+
+type read_result = { differential : float; correct : bool }
+
+let simulate_read cfg ~stored =
+  let col = column cfg ~stored in
+  let e = cfg.Config.process.Pr.electrical in
+  let vdd = e.E.vdd in
+  (* pclk low (precharge on) until 2 ns; word line rises at 2.5 ns *)
+  let res =
+    Tr.simulate col.circuit ~feature_m:(feature_m cfg)
+      ~sources:
+        [ (col.pclk, Tr.step ~vdd ~at:2e-9)
+        ; (col.wordline, Tr.step ~vdd ~at:2.5e-9)
+        ]
+      ~tstop:6e-9 ~dt:20e-12
+  in
+  let differential = Tr.final res col.bl -. Tr.final res col.blb in
+  (* reading a stored 1 discharges blb (the qb=0 side): diff > 0 *)
+  let correct =
+    if stored then differential > 0.2 else differential < -0.2
+  in
+  { differential; correct }
+
+let verify_read_path cfg =
+  (simulate_read cfg ~stored:true).correct
+  && (simulate_read cfg ~stored:false).correct

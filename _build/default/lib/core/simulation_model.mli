@@ -1,0 +1,37 @@
+(** Simulation-model generation (the second output of Fig. 1).
+
+    Builds a transistor-level circuit of one RAM column — precharge
+    head, the accessed 6T cell, the bit-line parasitics of the full
+    column height — exports it as a SPICE deck, and can exercise a read
+    through the built-in switch-level transient engine to confirm the
+    correct bit-line differential develops for both stored values. *)
+
+type column = {
+  circuit : Bisram_spice.Circuit.t;
+  bl : Bisram_spice.Circuit.net;
+  blb : Bisram_spice.Circuit.net;
+  wordline : Bisram_spice.Circuit.net;
+  pclk : Bisram_spice.Circuit.net;
+  q : Bisram_spice.Circuit.net;
+  qb : Bisram_spice.Circuit.net;
+}
+
+(** Transistor-level column for the configuration; the stored value is
+    imposed through a weak bias on the storage node. *)
+val column : Config.t -> stored:bool -> column
+
+(** SPICE deck of the column (with a .TRAN control). *)
+val spice_deck : Config.t -> string
+
+type read_result = {
+  differential : float;
+      (** v(bl) - v(blb) at the end of the sensing window *)
+  correct : bool;  (** sign matches the stored value *)
+}
+
+(** Simulate a read: precharge, release, raise the word line, measure
+    the developed differential. *)
+val simulate_read : Config.t -> stored:bool -> read_result
+
+(** Both polarities read correctly. *)
+val verify_read_path : Config.t -> bool

@@ -1,0 +1,1 @@
+lib/cost/mpr.ml: Bisram_yield Chips List Option Wafer

@@ -1,0 +1,187 @@
+type package = PGA | PQFP | TAB | MCM
+
+type t = {
+  name : string;
+  feature_um : float;
+  metal_layers : int;
+  die_mm2 : float;
+  wafer_mm : float;
+  wafer_cost : float;
+  die_yield : float;
+  cache_fraction : float;
+  pins : int;
+  package : package;
+  test_minutes : float;
+  tester_rate : float;
+}
+
+(* Representative MPR 1993-94 figures.  Die areas, processes, pin counts
+   and packages are the published ones; wafer costs, die yields and
+   cache fractions (from die photographs) are period-realistic
+   estimates. *)
+let all =
+  [ { name = "Intel 486DX2"
+    ; feature_um = 0.8
+    ; metal_layers = 3
+    ; die_mm2 = 81.0
+    ; wafer_mm = 150.0
+    ; wafer_cost = 900.0
+    ; die_yield = 0.60
+    ; cache_fraction = 0.10
+    ; pins = 168
+    ; package = PGA
+    ; test_minutes = 0.75
+    ; tester_rate = 5.0
+    }
+  ; { name = "AMD 486DX2"
+    ; feature_um = 0.8
+    ; metal_layers = 3
+    ; die_mm2 = 81.0
+    ; wafer_mm = 150.0
+    ; wafer_cost = 850.0
+    ; die_yield = 0.55
+    ; cache_fraction = 0.12
+    ; pins = 168
+    ; package = PGA
+    ; test_minutes = 0.75
+    ; tester_rate = 5.0
+    }
+  ; { name = "Intel Pentium"
+    ; feature_um = 0.8
+    ; metal_layers = 4
+    ; die_mm2 = 294.0
+    ; wafer_mm = 200.0
+    ; wafer_cost = 1300.0
+    ; die_yield = 0.28
+    ; cache_fraction = 0.13
+    ; pins = 273
+    ; package = PGA
+    ; test_minutes = 5.0
+    ; tester_rate = 5.0
+    }
+  ; { name = "Pentium P54C"
+    ; feature_um = 0.6
+    ; metal_layers = 4
+    ; die_mm2 = 148.0
+    ; wafer_mm = 200.0
+    ; wafer_cost = 1500.0
+    ; die_yield = 0.40
+    ; cache_fraction = 0.14
+    ; pins = 296
+    ; package = PGA
+    ; test_minutes = 5.0
+    ; tester_rate = 5.0
+    }
+  ; { name = "TI SuperSPARC"
+    ; feature_um = 0.8
+    ; metal_layers = 3
+    ; die_mm2 = 256.0
+    ; wafer_mm = 150.0
+    ; wafer_cost = 1100.0
+    ; die_yield = 0.10 (* huge 0.8 um BiCMOS die; redundancy-era yields *)
+    ; cache_fraction = 0.35 (* 20K I$ + 16K D$ + tags dominate the plot *)
+    ; pins = 293
+    ; package = PGA
+    ; test_minutes = 5.0
+    ; tester_rate = 5.0
+    }
+  ; { name = "MIPS R4600"
+    ; feature_um = 0.64
+    ; metal_layers = 3
+    ; die_mm2 = 77.0
+    ; wafer_mm = 150.0
+    ; wafer_cost = 1000.0
+    ; die_yield = 0.55
+    ; cache_fraction = 0.30
+    ; pins = 179
+    ; package = PGA
+    ; test_minutes = 1.5
+    ; tester_rate = 5.0
+    }
+  ; { name = "PowerPC 601"
+    ; feature_um = 0.6
+    ; metal_layers = 4
+    ; die_mm2 = 121.0
+    ; wafer_mm = 200.0
+    ; wafer_cost = 1400.0
+    ; die_yield = 0.45
+    ; cache_fraction = 0.25
+    ; pins = 304
+    ; package = PGA
+    ; test_minutes = 2.5
+    ; tester_rate = 5.0
+    }
+  ; { name = "PowerPC 604"
+    ; feature_um = 0.5
+    ; metal_layers = 4
+    ; die_mm2 = 196.0
+    ; wafer_mm = 200.0
+    ; wafer_cost = 1600.0
+    ; die_yield = 0.32
+    ; cache_fraction = 0.25
+    ; pins = 304
+    ; package = PGA
+    ; test_minutes = 3.0
+    ; tester_rate = 5.0
+    }
+  ; { name = "Alpha 21064A"
+    ; feature_um = 0.5
+    ; metal_layers = 4
+    ; die_mm2 = 166.0
+    ; wafer_mm = 200.0
+    ; wafer_cost = 1700.0
+    ; die_yield = 0.35
+    ; cache_fraction = 0.22
+    ; pins = 431
+    ; package = PGA
+    ; test_minutes = 3.0
+    ; tester_rate = 5.0
+    }
+  ; { name = "Intel 386DX" (* 2-metal: blank row in Table II *)
+    ; feature_um = 1.0
+    ; metal_layers = 2
+    ; die_mm2 = 42.0
+    ; wafer_mm = 150.0
+    ; wafer_cost = 700.0
+    ; die_yield = 0.75
+    ; cache_fraction = 0.0
+    ; pins = 132
+    ; package = PQFP
+    ; test_minutes = 0.5
+    ; tester_rate = 5.0
+    }
+  ; { name = "Motorola 68040" (* 2-metal: blank row in Table II *)
+    ; feature_um = 0.8
+    ; metal_layers = 2
+    ; die_mm2 = 126.0
+    ; wafer_mm = 150.0
+    ; wafer_cost = 800.0
+    ; die_yield = 0.45
+    ; cache_fraction = 0.18
+    ; pins = 179
+    ; package = PGA
+    ; test_minutes = 1.0
+    ; tester_rate = 5.0
+    }
+  ]
+
+let find name =
+  List.find_opt
+    (fun c -> String.lowercase_ascii c.name = String.lowercase_ascii name)
+    all
+
+let bisr_capable = List.filter (fun c -> c.metal_layers >= 3) all
+
+let final_test_yield = function
+  | PGA -> 0.97
+  | PQFP -> 0.93
+  | TAB -> 0.95
+  | MCM -> 0.90
+
+let package_cost c =
+  (* one cent per pin, divided by the final-test yield *)
+  0.01 *. float_of_int c.pins /. final_test_yield c.package
+
+let pp ppf c =
+  Format.fprintf ppf "%s (%.2fum %dM, %.0f mm2, %d pins)" c.name c.feature_um
+    c.metal_layers c.die_mm2 c.pins

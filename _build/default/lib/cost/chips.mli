@@ -1,0 +1,40 @@
+(** The commercial-microprocessor database behind Tables II and III.
+
+    Values are representative of the Microprocessor Report 1993-94 data
+    the paper cites: die area, process, metal layers, wafer size and
+    cost, published die yield, embedded-cache area fraction (from die
+    photographs), package and pin count, and tester time.  Chips with
+    fewer than three metal layers cannot host BISRAMGEN's BISR (the
+    blank rows of Table II). *)
+
+type package = PGA | PQFP | TAB | MCM
+
+type t = {
+  name : string;
+  feature_um : float;
+  metal_layers : int;
+  die_mm2 : float;
+  wafer_mm : float;
+  wafer_cost : float;  (** dollars *)
+  die_yield : float;  (** published/estimated die yield without BISR *)
+  cache_fraction : float;  (** embedded RAM area / die area *)
+  pins : int;
+  package : package;
+  test_minutes : float;  (** wafer-test time for a good chip *)
+  tester_rate : float;  (** dollars per minute of wafer test *)
+}
+
+val all : t list
+val find : string -> t option
+
+(** Chips with >= 3 metal layers (BISR-capable). *)
+val bisr_capable : t list
+
+(** Final-test yield by package type (93% PQFP, 97% PGA etc.). *)
+val final_test_yield : package -> float
+
+(** Packaging + final-test cost: about one cent per pin, adjusted by
+    the final-test yield. *)
+val package_cost : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+module Stapper = Bisram_yield.Stapper
+module Repairable = Bisram_yield.Repairable
+
+type bisr_params = {
+  spares : int;
+  cache_rows : int;
+  area_overhead : float;
+  alpha : float;
+}
+
+let default_bisr =
+  { spares = 4; cache_rows = 1024; area_overhead = 0.066; alpha = 2.0 }
+
+type die_costs = {
+  die_area_mm2 : float;
+  dies_per_wafer : int;
+  die_yield : float;
+  cost_per_good_die : float;
+}
+
+let mk_die_costs c ~area ~yield =
+  let dpw = Wafer.dies_per_wafer ~wafer_mm:c.Chips.wafer_mm ~die_mm2:area in
+  { die_area_mm2 = area
+  ; dies_per_wafer = dpw
+  ; die_yield = yield
+  ; cost_per_good_die = c.Chips.wafer_cost /. (float_of_int dpw *. yield)
+  }
+
+let die_plain c = mk_die_costs c ~area:c.Chips.die_mm2 ~yield:c.Chips.die_yield
+
+let ram_yield c = c.Chips.die_yield ** c.Chips.cache_fraction
+
+let cache_geometry p =
+  (* logic is roughly a third of the BISR overhead; the rest is spare
+     rows and routing, all folded into the growth factor *)
+  Repairable.make ~regular_rows:p.cache_rows ~spares:p.spares
+    ~logic_fraction:(p.area_overhead /. 3.0)
+    ~growth_factor:(1.0 +. p.area_overhead)
+
+let ram_yield_bisr c p =
+  let y_ram = ram_yield c in
+  let mean = Stapper.mean_defects_of_yield ~yield:y_ram ~alpha:p.alpha in
+  Repairable.yield (cache_geometry p) ~mean_defects:mean ~alpha:p.alpha
+
+let die_bisr c p =
+  if c.Chips.metal_layers < 3 then None
+  else begin
+    let y_ram = ram_yield c in
+    let y_ram' = ram_yield_bisr c p in
+    let yield' = c.Chips.die_yield /. y_ram *. y_ram' in
+    let area' =
+      c.Chips.die_mm2 *. (1.0 +. (c.Chips.cache_fraction *. p.area_overhead))
+    in
+    Some (mk_die_costs c ~area:area' ~yield:(min 1.0 yield'))
+  end
+
+type totals = {
+  die : float;
+  test_assembly : float;
+  package : float;
+  total : float;
+}
+
+let bad_chip_test_minutes = 5.0 /. 60.0
+
+let mk_totals c (d : die_costs) =
+  (* every die on the wafer is probed: good ones get the full test, bad
+     ones a few seconds; amortize over the good ones *)
+  let test_assembly =
+    c.Chips.tester_rate
+    *. (c.Chips.test_minutes
+       +. ((1.0 -. d.die_yield) /. d.die_yield *. bad_chip_test_minutes))
+  in
+  let package = Chips.package_cost c in
+  { die = d.cost_per_good_die
+  ; test_assembly
+  ; package
+  ; total = d.cost_per_good_die +. test_assembly +. package
+  }
+
+let totals_plain c = mk_totals c (die_plain c)
+let totals_bisr c p = Option.map (mk_totals c) (die_bisr c p)
+
+type table2_row = {
+  chip : Chips.t;
+  without_bisr : die_costs;
+  with_bisr : die_costs option;
+}
+
+type table3_row = {
+  chip3 : Chips.t;
+  plain : totals;
+  bisr : totals option;
+  reduction_pct : float option;
+}
+
+let table2 ?(params = default_bisr) () =
+  List.map
+    (fun chip ->
+      { chip; without_bisr = die_plain chip; with_bisr = die_bisr chip params })
+    Chips.all
+
+let table3 ?(params = default_bisr) () =
+  List.map
+    (fun chip3 ->
+      let plain = totals_plain chip3 in
+      let bisr = totals_bisr chip3 params in
+      let reduction_pct =
+        Option.map
+          (fun b -> 100.0 *. (plain.total -. b.total) /. plain.total)
+          bisr
+      in
+      { chip3; plain; bisr; reduction_pct })
+    Chips.all

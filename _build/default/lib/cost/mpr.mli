@@ -1,0 +1,68 @@
+(** The MPR manufacturing-cost model (Section X):
+
+    cost/chip = die cost + test & assembly cost + package & final test,
+    with die cost = wafer cost / (dies per wafer x yield).
+
+    BISR changes two factors: the die grows slightly (cache area x BISR
+    overhead), lowering dies-per-wafer, while the embedded-RAM yield —
+    and with it the whole-die yield — improves substantially.  Tables II
+    and III of the paper are [table2_row]/[table3_row] over the chip
+    database. *)
+
+type bisr_params = {
+  spares : int;
+  cache_rows : int;  (** row count of the modeled embedded array *)
+  area_overhead : float;  (** BIST/BISR + spares area / cache area *)
+  alpha : float;  (** defect clustering factor *)
+}
+
+(** Four spare rows, 1024-row cache, the sub-7% overhead BISRAMGEN
+    achieves, alpha = 2. *)
+val default_bisr : bisr_params
+
+type die_costs = {
+  die_area_mm2 : float;
+  dies_per_wafer : int;
+  die_yield : float;
+  cost_per_good_die : float;
+}
+
+(** Die cost without BISR (straight from the database row). *)
+val die_plain : Chips.t -> die_costs
+
+(** Die cost with embedded-RAM BISR; [None] when the chip's process has
+    fewer than three metal layers (the blank entries of Table II). *)
+val die_bisr : Chips.t -> bisr_params -> die_costs option
+
+(** Embedded-RAM yield extracted from the die yield:
+    Y_ram = Y_die ^ cache_fraction (the paper's formula). *)
+val ram_yield : Chips.t -> float
+
+(** RAM yield after BISR, from the repairable-yield model. *)
+val ram_yield_bisr : Chips.t -> bisr_params -> float
+
+type totals = {
+  die : float;
+  test_assembly : float;
+  package : float;
+  total : float;
+}
+
+val totals_plain : Chips.t -> totals
+val totals_bisr : Chips.t -> bisr_params -> totals option
+
+type table2_row = {
+  chip : Chips.t;
+  without_bisr : die_costs;
+  with_bisr : die_costs option;
+}
+
+type table3_row = {
+  chip3 : Chips.t;
+  plain : totals;
+  bisr : totals option;
+  reduction_pct : float option;
+}
+
+val table2 : ?params:bisr_params -> unit -> table2_row list
+val table3 : ?params:bisr_params -> unit -> table3_row list

@@ -1,0 +1,13 @@
+let dies_per_wafer ~wafer_mm ~die_mm2 =
+  assert (wafer_mm > 0.0 && die_mm2 > 0.0);
+  let r = wafer_mm /. 2.0 in
+  let gross =
+    (Float.pi *. r *. r /. die_mm2)
+    -. (Float.pi *. wafer_mm /. sqrt (2.0 *. die_mm2))
+  in
+  max 0 (int_of_float gross)
+
+let die_count_gain ~die_mm2 ~from_mm ~to_mm =
+  let a = dies_per_wafer ~wafer_mm:from_mm ~die_mm2 in
+  let b = dies_per_wafer ~wafer_mm:to_mm ~die_mm2 in
+  if a = 0 then infinity else float_of_int b /. float_of_int a

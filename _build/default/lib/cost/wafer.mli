@@ -1,0 +1,11 @@
+(** Wafer geometry: gross dies per wafer.
+
+    Standard estimate: pi (d/2)^2 / A  -  pi d / sqrt(2 A), the second
+    term accounting for edge loss; [d] wafer diameter in mm, [A] die
+    area in mm^2. *)
+
+val dies_per_wafer : wafer_mm:float -> die_mm2:float -> int
+
+(** The paper's observation: moving from 150 mm to 200 mm wafers raises
+    wafer cost ~50% but die count by 80-100%. *)
+val die_count_gain : die_mm2:float -> from_mm:float -> to_mm:float -> float

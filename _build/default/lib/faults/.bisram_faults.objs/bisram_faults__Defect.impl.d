@@ -1,0 +1,1 @@
+lib/faults/defect.ml: Array Float Random

@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Format Int

@@ -1,0 +1,1 @@
+lib/faults/injection.ml: Defect Fault Int List Random

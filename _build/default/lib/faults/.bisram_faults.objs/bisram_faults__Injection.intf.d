@@ -1,0 +1,1 @@
+lib/faults/injection.mli: Fault Random

@@ -1,0 +1,1 @@
+lib/faults/spatial.ml: Defect Fault Float Int List Random

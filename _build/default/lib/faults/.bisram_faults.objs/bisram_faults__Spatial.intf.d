@@ -1,0 +1,1 @@
+lib/faults/spatial.mli: Fault Random

@@ -1,0 +1,92 @@
+(* Knuth's product method below lambda=30; normal approximation with
+   continuity correction above (counts here are small-to-moderate). *)
+let rec poisson rng lambda =
+  assert (lambda >= 0.0);
+  if lambda = 0.0 then 0
+  else if lambda > 30.0 then begin
+    (* split: X ~ Pois(30) + Pois(lambda-30) *)
+    poisson rng 30.0 + poisson rng (lambda -. 30.0)
+  end
+  else begin
+    let limit = exp (-.lambda) in
+    let rec go k p =
+      let p = p *. Random.State.float rng 1.0 in
+      if p <= limit then k else go (k + 1) p
+    in
+    go 0 1.0
+  end
+
+let rec gamma rng ~shape ~scale =
+  assert (shape > 0.0 && scale > 0.0);
+  if shape < 1.0 then
+    (* boost: Gamma(a) = Gamma(a+1) * U^(1/a) *)
+    let u = Random.State.float rng 1.0 in
+    gamma rng ~shape:(shape +. 1.0) ~scale *. (u ** (1.0 /. shape))
+  else begin
+    let d = shape -. (1.0 /. 3.0) in
+    let c = 1.0 /. sqrt (9.0 *. d) in
+    let rec normal () =
+      (* Box-Muller *)
+      let u1 = Random.State.float rng 1.0 and u2 = Random.State.float rng 1.0 in
+      if u1 <= 0.0 then normal ()
+      else sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+    in
+    let rec try_once () =
+      let x = normal () in
+      let v = (1.0 +. (c *. x)) ** 3.0 in
+      if v <= 0.0 then try_once ()
+      else
+        let u = Random.State.float rng 1.0 in
+        if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then
+          d *. v *. scale
+        else try_once ()
+    in
+    try_once ()
+  end
+
+let negative_binomial rng ~mean ~alpha =
+  assert (mean >= 0.0 && alpha > 0.0);
+  if mean = 0.0 then 0
+  else
+    (* Gamma-Poisson mixture: lambda ~ Gamma(alpha, mean/alpha) *)
+    let lambda = gamma rng ~shape:alpha ~scale:(mean /. alpha) in
+    poisson rng lambda
+
+(* Lanczos log-gamma *)
+let rec log_gamma x =
+  let g = 7.0 in
+  let coefs =
+    [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028
+     ; 771.32342877765313; -176.61502916214059; 12.507343278686905
+     ; -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7
+    |]
+  in
+  if x < 0.5 then
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma_aux g coefs (1.0 -. x)
+  else log_gamma_aux g coefs x
+
+and log_gamma_aux g coefs x =
+  let x = x -. 1.0 in
+  let a = ref coefs.(0) in
+  let t = x +. g +. 0.5 in
+  for i = 1 to 8 do
+    a := !a +. (coefs.(i) /. (x +. float_of_int i))
+  done;
+  (0.5 *. log (2.0 *. Float.pi))
+  +. ((x +. 0.5) *. log t)
+  -. t
+  +. log !a
+
+let poisson_pmf ~mean k =
+  assert (k >= 0);
+  exp ((float_of_int k *. log mean) -. mean -. log_gamma (float_of_int k +. 1.0))
+
+let negative_binomial_pmf ~mean ~alpha k =
+  assert (k >= 0);
+  let kf = float_of_int k in
+  let p = mean /. (mean +. alpha) in
+  exp
+    (log_gamma (kf +. alpha) -. log_gamma alpha
+    -. log_gamma (kf +. 1.0)
+    +. (alpha *. log (1.0 -. p))
+    +. (kf *. log p))

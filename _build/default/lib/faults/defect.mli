@@ -1,0 +1,23 @@
+(** Statistical defect-count models.
+
+    Manufacturing defects are counted per die either with a Poisson
+    model or with Stapper's clustered (negative-binomial) model, which
+    is the Gamma mixture of Poissons with clustering factor alpha. *)
+
+(** [poisson rng lambda] samples a Poisson variate with mean [lambda]. *)
+val poisson : Random.State.t -> float -> int
+
+(** [gamma rng ~shape ~scale] samples a Gamma variate
+    (Marsaglia-Tsang). [shape] > 0, [scale] > 0. *)
+val gamma : Random.State.t -> shape:float -> scale:float -> float
+
+(** [negative_binomial rng ~mean ~alpha] samples a defect count with
+    mean [mean] and clustering factor [alpha] (small alpha = heavy
+    clustering; alpha -> infinity recovers Poisson). *)
+val negative_binomial : Random.State.t -> mean:float -> alpha:float -> int
+
+(** Probability mass function of the clustered count (exact, via log
+    Gamma), useful for analytic cross-checks of the samplers. *)
+val negative_binomial_pmf : mean:float -> alpha:float -> int -> float
+
+val poisson_pmf : mean:float -> int -> float

@@ -1,0 +1,71 @@
+type cell = { row : int; col : int }
+
+type t =
+  | Stuck_at of cell * bool
+  | Transition of cell * bool
+  | Stuck_open of cell
+  | Coupling_inversion of { aggressor : cell; victim : cell }
+  | Coupling_idempotent of {
+      aggressor : cell;
+      rising : bool;
+      victim : cell;
+      forces : bool;
+    }
+  | State_coupling of {
+      aggressor : cell;
+      when_state : bool;
+      victim : cell;
+      reads_as : bool;
+    }
+  | Data_retention of cell * bool
+
+let victim = function
+  | Stuck_at (c, _) -> c
+  | Transition (c, _) -> c
+  | Stuck_open c -> c
+  | Coupling_inversion { victim; _ } -> victim
+  | Coupling_idempotent { victim; _ } -> victim
+  | State_coupling { victim; _ } -> victim
+  | Data_retention (c, _) -> c
+
+let cells = function
+  | Stuck_at (c, _) | Transition (c, _) | Stuck_open c | Data_retention (c, _)
+    ->
+      [ c ]
+  | Coupling_inversion { aggressor; victim } -> [ victim; aggressor ]
+  | Coupling_idempotent { aggressor; victim; _ } -> [ victim; aggressor ]
+  | State_coupling { aggressor; victim; _ } -> [ victim; aggressor ]
+
+let equal_cell (a : cell) b = a.row = b.row && a.col = b.col
+
+let compare_cell (a : cell) b =
+  match Int.compare a.row b.row with 0 -> Int.compare a.col b.col | c -> c
+
+let pp_cell ppf c = Format.fprintf ppf "r%dc%d" c.row c.col
+
+let class_name = function
+  | Stuck_at _ -> "SAF"
+  | Transition _ -> "TF"
+  | Stuck_open _ -> "SOF"
+  | Coupling_inversion _ -> "CFin"
+  | Coupling_idempotent _ -> "CFid"
+  | State_coupling _ -> "CFst"
+  | Data_retention _ -> "DRF"
+
+let all_class_names = [ "SAF"; "TF"; "SOF"; "CFin"; "CFid"; "CFst"; "DRF" ]
+
+let pp ppf = function
+  | Stuck_at (c, v) -> Format.fprintf ppf "SAF(%a=%b)" pp_cell c v
+  | Transition (c, up) ->
+      Format.fprintf ppf "TF(%a,%s)" pp_cell c (if up then "up" else "down")
+  | Stuck_open c -> Format.fprintf ppf "SOF(%a)" pp_cell c
+  | Coupling_inversion { aggressor; victim } ->
+      Format.fprintf ppf "CFin(%a->%a)" pp_cell aggressor pp_cell victim
+  | Coupling_idempotent { aggressor; rising; victim; forces } ->
+      Format.fprintf ppf "CFid(%a%s->%a:=%b)" pp_cell aggressor
+        (if rising then "^" else "v")
+        pp_cell victim forces
+  | State_coupling { aggressor; when_state; victim; reads_as } ->
+      Format.fprintf ppf "CFst(%a=%b->%a~%b)" pp_cell aggressor when_state
+        pp_cell victim reads_as
+  | Data_retention (c, v) -> Format.fprintf ppf "DRF(%a->%b)" pp_cell c v

@@ -1,0 +1,47 @@
+(** Random fault injection for an array of [rows] x [cols] cells.
+
+    A spot defect is mapped to a functional fault at a uniformly random
+    cell; the fault class is drawn from a distribution representative of
+    inductive fault analysis results (stuck-at faults dominate, coupling
+    and retention faults form the tail). *)
+
+type mix = {
+  stuck_at : float;
+  transition : float;
+  stuck_open : float;
+  coupling_inversion : float;
+  coupling_idempotent : float;
+  state_coupling : float;
+  data_retention : float;
+}
+(** Relative weights of each fault class; need not sum to 1. *)
+
+(** The default IFA-flavoured mix. *)
+val default_mix : mix
+
+(** Every weight on stuck-at faults: the classical row-kill model used
+    for the paper's yield analysis (a defect makes one cell bad). *)
+val stuck_at_only : mix
+
+(** [random_fault rng ~rows ~cols ~mix] draws one fault.  Coupling
+    aggressors are drawn from the victim's neighbourhood (same column,
+    adjacent row, or adjacent column) as physical adjacency dictates. *)
+val random_fault :
+  Random.State.t -> rows:int -> cols:int -> mix:mix -> Fault.t
+
+(** [inject rng ~rows ~cols ~mix ~n] draws [n] independent faults. *)
+val inject :
+  Random.State.t -> rows:int -> cols:int -> mix:mix -> n:int -> Fault.t list
+
+(** Defect count drawn from Poisson with the given mean. *)
+val inject_poisson :
+  Random.State.t -> rows:int -> cols:int -> mix:mix -> mean:float ->
+  Fault.t list
+
+(** Defect count drawn from the clustered (negative binomial) model. *)
+val inject_clustered :
+  Random.State.t -> rows:int -> cols:int -> mix:mix -> mean:float ->
+  alpha:float -> Fault.t list
+
+(** Rows containing at least one victim cell, deduplicated, sorted. *)
+val faulty_rows : Fault.t list -> int list

@@ -1,0 +1,74 @@
+type defect = { x : int; y : int; radius : int }
+
+(* Inverse-CDF sampling of p(r) ~ r^-3 on [r_min, r_max]:
+   F(r) = (rmin^-2 - r^-2) / (rmin^-2 - rmax^-2). *)
+let sample_radius rng ~r_min ~r_max =
+  if r_min < 1 || r_max < r_min then invalid_arg "Spatial.sample_radius";
+  if r_min = r_max then r_min
+  else begin
+    let a = 1.0 /. (float_of_int r_min ** 2.0) in
+    let b = 1.0 /. (float_of_int r_max ** 2.0) in
+    let u = Random.State.float rng 1.0 in
+    let inv = a -. (u *. (a -. b)) in
+    let r = 1.0 /. sqrt inv in
+    max r_min (min r_max (int_of_float (Float.round r)))
+  end
+
+let sample_defect rng ~w ~h ~r_min ~r_max =
+  { x = Random.State.int rng (max 1 w)
+  ; y = Random.State.int rng (max 1 h)
+  ; radius = sample_radius rng ~r_min ~r_max
+  }
+
+let cells_hit ~cell_w ~cell_h ~rows ~cols d =
+  if cell_w <= 0 || cell_h <= 0 then invalid_arg "Spatial.cells_hit";
+  let col_lo = max 0 ((d.x - d.radius) / cell_w) in
+  let col_hi = min (cols - 1) ((d.x + d.radius) / cell_w) in
+  let row_lo = max 0 ((d.y - d.radius) / cell_h) in
+  let row_hi = min (rows - 1) ((d.y + d.radius) / cell_h) in
+  let out = ref [] in
+  for r = row_hi downto row_lo do
+    for c = col_hi downto col_lo do
+      (* distance from the disc centre to the cell rectangle *)
+      let cx0 = c * cell_w and cy0 = r * cell_h in
+      let nx = max cx0 (min d.x (cx0 + cell_w)) in
+      let ny = max cy0 (min d.y (cy0 + cell_h)) in
+      let dx = d.x - nx and dy = d.y - ny in
+      if (dx * dx) + (dy * dy) <= d.radius * d.radius then
+        out := (r, c) :: !out
+    done
+  done;
+  !out
+
+let faults_of_defect rng ~cell_w ~cell_h ~rows ~cols d =
+  let hits = cells_hit ~cell_w ~cell_h ~rows ~cols d in
+  let stuck =
+    List.map
+      (fun (r, c) -> Fault.Stuck_at ({ Fault.row = r; col = c }, Random.State.bool rng))
+      hits
+  in
+  let rec bridges = function
+    | (r1, c1) :: ((r2, c2) :: _ as rest) ->
+        Fault.Coupling_inversion
+          { aggressor = { Fault.row = r1; col = c1 }
+          ; victim = { Fault.row = r2; col = c2 }
+          }
+        :: bridges rest
+    | [ _ ] | [] -> []
+  in
+  stuck @ bridges hits
+
+let inject rng ~cell_w ~cell_h ~rows ~cols ~r_min ~r_max ~mean ~alpha =
+  let n = Defect.negative_binomial rng ~mean ~alpha in
+  List.concat
+    (List.init n (fun _ ->
+         let d =
+           sample_defect rng ~w:(cols * cell_w) ~h:(rows * cell_h) ~r_min
+             ~r_max
+         in
+         faults_of_defect rng ~cell_w ~cell_h ~rows ~cols d))
+
+let rows_hit faults =
+  faults
+  |> List.concat_map (fun f -> List.map (fun c -> c.Fault.row) (Fault.cells f))
+  |> List.sort_uniq Int.compare

@@ -1,0 +1,1 @@
+lib/gates/builders.ml: List Netlist Printf

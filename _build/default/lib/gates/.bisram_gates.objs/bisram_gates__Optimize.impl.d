@@ -1,0 +1,1 @@
+lib/gates/optimize.ml: Array Hashtbl List Netlist Queue

@@ -1,0 +1,139 @@
+module N = Netlist
+
+let bits_for n =
+  let rec go acc k = if k >= n then acc else go (acc + 1) (k * 2) in
+  go 0 1
+
+let up_down_counter ~bits =
+  if bits < 1 then invalid_arg "Builders.up_down_counter: bits";
+  let t = N.create () in
+  let reset_up = N.input t "reset_up" in
+  let reset_down = N.input t "reset_down" in
+  let en = N.input t "en" in
+  let up = N.input t "up" in
+  let qs = List.init bits (fun i -> N.dff t (Printf.sprintf "q%d" i)) in
+  (* ripple carry: counting up propagates through 1s, down through 0s *)
+  let one = N.const t true in
+  let _final_carry, nexts =
+    List.fold_left
+      (fun (carry, acc) q ->
+        let toggled = N.xor_ t q carry in
+        let prop = N.mux t ~sel:up ~t1:q ~t0:(N.not_ t q) in
+        let carry' = N.and_ t carry prop in
+        (carry', (q, toggled) :: acc))
+      (one, []) qs
+  in
+  let nexts = List.rev nexts in
+  List.iter
+    (fun (q, toggled) ->
+      let counted = N.mux t ~sel:en ~t1:toggled ~t0:q in
+      let after_down = N.mux t ~sel:reset_down ~t1:one ~t0:counted in
+      let zero = N.const t false in
+      let d = N.mux t ~sel:reset_up ~t1:zero ~t0:after_down in
+      N.connect t ~q ~d)
+    nexts;
+  (* wrap: stepping off the terminal value (all-ones up, zero down) *)
+  let all_ones = N.and_list t qs in
+  let all_zero = N.and_list t (List.map (N.not_ t) qs) in
+  let terminal = N.mux t ~sel:up ~t1:all_ones ~t0:all_zero in
+  N.output t "wrap" (N.and_ t en terminal);
+  List.iteri (fun i q -> N.output t (Printf.sprintf "q%d" i) q) qs;
+  t
+
+let johnson_counter ~bits =
+  if bits < 1 then invalid_arg "Builders.johnson_counter: bits";
+  let t = N.create () in
+  let reset = N.input t "reset" in
+  let en = N.input t "en" in
+  let qs = List.init bits (fun i -> N.dff t (Printf.sprintf "q%d" i)) in
+  let last = List.nth qs (bits - 1) in
+  let zero = N.const t false in
+  List.iteri
+    (fun i q ->
+      let shifted =
+        if i = 0 then N.not_ t last else List.nth qs (i - 1)
+      in
+      let stepped = N.mux t ~sel:en ~t1:shifted ~t0:q in
+      N.connect t ~q ~d:(N.mux t ~sel:reset ~t1:zero ~t0:stepped))
+    qs;
+  List.iteri (fun i q -> N.output t (Printf.sprintf "q%d" i) q) qs;
+  t
+
+let comparator ~bits =
+  if bits < 1 then invalid_arg "Builders.comparator: bits";
+  let t = N.create () in
+  let diffs =
+    List.init bits (fun i ->
+        let a = N.input t (Printf.sprintf "a%d" i) in
+        let b = N.input t (Printf.sprintf "b%d" i) in
+        N.xor_ t a b)
+  in
+  N.output t "neq" (N.or_list t diffs);
+  t
+
+let cam ~entries ~bits =
+  if entries < 1 || bits < 1 then invalid_arg "Builders.cam: dims";
+  let t = N.create () in
+  let key = List.init bits (fun i -> N.input t (Printf.sprintf "key%d" i)) in
+  let write = N.input t "write" in
+  (* allocation pointer counts 0..entries (the extra state = full) *)
+  let abits = bits_for (entries + 1) in
+  let alloc =
+    List.init abits (fun i -> N.dff t (Printf.sprintf "alloc%d" i))
+  in
+  let alloc_is k =
+    N.and_list t
+      (List.mapi
+         (fun i q -> if (k lsr i) land 1 = 1 then q else N.not_ t q)
+         alloc)
+  in
+  let full = alloc_is entries in
+  let do_write = N.and_ t write (N.not_ t full) in
+  (* alloc increment *)
+  let one = N.const t true in
+  let _c, alloc_next =
+    List.fold_left
+      (fun (carry, acc) q ->
+        (N.and_ t carry q, (q, N.xor_ t q carry) :: acc))
+      (one, []) alloc
+  in
+  List.iter
+    (fun (q, inc) -> N.connect t ~q ~d:(N.mux t ~sel:do_write ~t1:inc ~t0:q))
+    (List.rev alloc_next);
+  (* entries: valid bit + key register each *)
+  let match_lines =
+    List.init entries (fun e ->
+        let valid = N.dff t (Printf.sprintf "v%d" e) in
+        let sel = N.and_ t do_write (alloc_is e) in
+        N.connect t ~q:valid ~d:(N.or_ t valid sel);
+        let stored =
+          List.mapi
+            (fun i k ->
+              let q = N.dff t (Printf.sprintf "e%dk%d" e i) in
+              N.connect t ~q ~d:(N.mux t ~sel ~t1:k ~t0:q);
+              q)
+            key
+        in
+        let eq =
+          N.and_list t
+            (List.map2 (fun s k -> N.not_ t (N.xor_ t s k)) stored key)
+        in
+        N.and_ t valid eq)
+  in
+  N.output t "hit" (N.or_list t match_lines);
+  N.output t "full" full;
+  (* one-hot to binary index (entries are distinct, so <= 1 match) *)
+  let ibits = max 1 (bits_for entries) in
+  for i = 0 to ibits - 1 do
+    let contributors =
+      List.filteri (fun e _ -> (e lsr i) land 1 = 1) match_lines
+    in
+    let bit =
+      match contributors with
+      | [] -> N.const t false
+      | l -> N.or_list t l
+    in
+    N.output t (Printf.sprintf "idx%d" i) bit
+  done;
+  List.iteri (fun e m -> N.output t (Printf.sprintf "match%d" e) m) match_lines;
+  t

@@ -1,0 +1,31 @@
+(** Gate-level generators for the BIST/BISR datapath blocks.
+
+    Each builder returns the netlist plus the naming conventions of its
+    ports; the test suite proves them cycle-equivalent to the
+    behavioural models in [Bisram_bist] / [Bisram_bisr]. *)
+
+(** ADDGEN: a [bits]-wide binary up/down counter.
+
+    Inputs: [reset_up] (load 0), [reset_down] (load all-ones), [en]
+    (count one step), [up] (direction).  Outputs: [q0..] (count before
+    the step), [wrap] (the step leaves the terminal address). *)
+val up_down_counter : bits:int -> Netlist.t
+
+(** DATAGEN core: a [bits]-stage Johnson counter.
+
+    Inputs: [reset], [en].  Outputs: [q0..] (state before the step). *)
+val johnson_counter : bits:int -> Netlist.t
+
+(** Word comparator: inputs [a0..], [b0..]; output [neq]. *)
+val comparator : bits:int -> Netlist.t
+
+(** TLB CAM: [entries] keys of [bits] each, allocated in strictly
+    increasing order.
+
+    Inputs: [key0..] (lookup/write key), [write] (allocate the next
+    entry for the key).  Outputs: [hit], [idx0..] (matched entry index),
+    [full]. *)
+val cam : entries:int -> bits:int -> Netlist.t
+
+(** Bits needed to count to [n] (ceil log2). *)
+val bits_for : int -> int

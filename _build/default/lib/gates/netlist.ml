@@ -1,0 +1,246 @@
+type signal = int
+
+type node =
+  | Input of string
+  | Const of bool
+  | Not of signal
+  | And of signal * signal
+  | Or of signal * signal
+  | Xor of signal * signal
+  | Mux of signal * signal * signal (* sel, t1, t0 *)
+  | Dff of { name : string; init : bool; mutable d : signal option }
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int;
+  mutable outputs : (string * signal) list;
+}
+
+let create () = { nodes = Array.make 64 (Const false); n = 0; outputs = [] }
+
+let add t node =
+  if t.n >= Array.length t.nodes then begin
+    let grown = Array.make (2 * Array.length t.nodes) (Const false) in
+    Array.blit t.nodes 0 grown 0 t.n;
+    t.nodes <- grown
+  end;
+  t.nodes.(t.n) <- node;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let input t name = add t (Input name)
+let const t b = add t (Const b)
+let not_ t a = add t (Not a)
+let and_ t a b = add t (And (a, b))
+let or_ t a b = add t (Or (a, b))
+let xor_ t a b = add t (Xor (a, b))
+let mux t ~sel ~t1 ~t0 = add t (Mux (sel, t1, t0))
+
+let rec reduce f t = function
+  | [] -> invalid_arg "Netlist.reduce: empty"
+  | [ s ] -> s
+  | a :: b :: rest -> reduce f t (f t a b :: rest)
+
+let and_list t l = reduce and_ t l
+let or_list t l = reduce or_ t l
+let dff t ?(init = false) name = add t (Dff { name; init; d = None })
+
+let connect t ~q ~d =
+  match t.nodes.(q) with
+  | Dff r ->
+      if r.d <> None then invalid_arg "Netlist.connect: already connected";
+      r.d <- Some d
+  | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ ->
+      invalid_arg "Netlist.connect: not a flip-flop"
+
+let output t name s = t.outputs <- (name, s) :: t.outputs
+
+let gate_count t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i) with
+    | Not _ | And _ | Or _ | Xor _ | Mux _ -> incr c
+    | Input _ | Const _ | Dff _ -> ()
+  done;
+  !c
+
+let ff_count t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i) with
+    | Dff _ -> incr c
+    | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ -> ()
+  done;
+  !c
+
+let transistor_count t =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    total :=
+      !total
+      +
+      match t.nodes.(i) with
+      | Input _ | Const _ -> 0
+      | Not _ -> 2
+      | And _ | Or _ -> 6
+      | Xor _ -> 10
+      | Mux _ -> 8
+      | Dff _ -> 22
+  done;
+  !total
+
+type state = {
+  net : t;
+  values : bool array; (* combinational values, recomputed per step *)
+  regs : bool array; (* flip-flop contents, indexed by node id *)
+  mutable last_outputs : (string * bool) list;
+}
+
+let simulate net =
+  let regs = Array.make net.n false in
+  for i = 0 to net.n - 1 do
+    match net.nodes.(i) with
+    | Dff { init; d; _ } ->
+        if d = None then
+          invalid_arg "Netlist.simulate: unconnected flip-flop";
+        regs.(i) <- init
+    | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ -> ()
+  done;
+  { net; values = Array.make net.n false; regs; last_outputs = [] }
+
+let reset st =
+  for i = 0 to st.net.n - 1 do
+    match st.net.nodes.(i) with
+    | Dff { init; _ } -> st.regs.(i) <- init
+    | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ -> ()
+  done
+
+let eval_pass st inputs =
+  let net = st.net in
+  let v = st.values in
+  (* nodes reference only earlier ids except through flip-flops, so one
+     forward pass evaluates the combinational logic *)
+  for i = 0 to net.n - 1 do
+    v.(i) <-
+      (match net.nodes.(i) with
+      | Input name -> (
+          match List.assoc_opt name inputs with
+          | Some b -> b
+          | None -> invalid_arg ("Netlist.step: missing input " ^ name))
+      | Const b -> b
+      | Not a -> not v.(a)
+      | And (a, b) -> v.(a) && v.(b)
+      | Or (a, b) -> v.(a) || v.(b)
+      | Xor (a, b) -> v.(a) <> v.(b)
+      | Mux (sel, t1, t0) -> if v.(sel) then v.(t1) else v.(t0)
+      | Dff _ -> st.regs.(i))
+  done;
+  let outs =
+    List.rev_map (fun (name, s) -> (name, v.(s))) net.outputs
+  in
+  st.last_outputs <- outs;
+  outs
+
+let eval st inputs = eval_pass st inputs
+
+let step st inputs =
+  let outs = eval_pass st inputs in
+  (* clock edge *)
+  let net = st.net in
+  for i = 0 to net.n - 1 do
+    match net.nodes.(i) with
+    | Dff { d = Some d; _ } -> st.regs.(i) <- st.values.(d)
+    | Dff { d = None; _ } -> assert false
+    | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ -> ()
+  done;
+  outs
+
+let peek st name =
+  match List.assoc_opt name st.last_outputs with
+  | Some b -> b
+  | None -> invalid_arg ("Netlist.peek: no output " ^ name)
+
+type view =
+  | VInput of string
+  | VConst of bool
+  | VNot of signal
+  | VAnd of signal * signal
+  | VOr of signal * signal
+  | VXor of signal * signal
+  | VMux of signal * signal * signal
+  | VDff of { ff_name : string; init : bool; d : signal option }
+
+let size t = t.n
+
+let view t s =
+  if s < 0 || s >= t.n then invalid_arg "Netlist.view";
+  match t.nodes.(s) with
+  | Input n -> VInput n
+  | Const b -> VConst b
+  | Not a -> VNot a
+  | And (a, b) -> VAnd (a, b)
+  | Or (a, b) -> VOr (a, b)
+  | Xor (a, b) -> VXor (a, b)
+  | Mux (s', a, b) -> VMux (s', a, b)
+  | Dff { name; init; d } -> VDff { ff_name = name; init; d }
+
+let outputs t = List.rev t.outputs
+
+let to_verilog ~name t =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let wire i = Printf.sprintf "w%d" i in
+  let inputs = ref [] and ffs = ref [] in
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i) with
+    | Input n -> inputs := (n, i) :: !inputs
+    | Dff { name = n; init; d } -> ffs := (n, i, init, d) :: !ffs
+    | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ -> ()
+  done;
+  let inputs = List.rev !inputs and ffs = List.rev !ffs in
+  let ports =
+    [ "clk"; "rst" ]
+    @ List.map fst inputs
+    @ List.map (fun (n, _) -> n) t.outputs
+  in
+  out "module %s(%s);" name (String.concat ", " ports);
+  out "  input clk, rst%s;"
+    (String.concat ""
+       (List.map (fun (n, _) -> Printf.sprintf ", %s" n) inputs));
+  List.iter (fun (n, _) -> out "  output %s;" n) t.outputs;
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i) with
+    | Dff _ -> out "  reg %s;" (wire i)
+    | Input _ | Const _ | Not _ | And _ | Or _ | Xor _ | Mux _ ->
+        out "  wire %s;" (wire i)
+  done;
+  List.iter (fun (n, i) -> out "  assign %s = %s;" (wire i) n) inputs;
+  for i = 0 to t.n - 1 do
+    match t.nodes.(i) with
+    | Input _ | Dff _ -> ()
+    | Const b -> out "  assign %s = 1'b%d;" (wire i) (if b then 1 else 0)
+    | Not a -> out "  assign %s = ~%s;" (wire i) (wire a)
+    | And (a, b) -> out "  assign %s = %s & %s;" (wire i) (wire a) (wire b)
+    | Or (a, b) -> out "  assign %s = %s | %s;" (wire i) (wire a) (wire b)
+    | Xor (a, b) -> out "  assign %s = %s ^ %s;" (wire i) (wire a) (wire b)
+    | Mux (s, t1, t0) ->
+        out "  assign %s = %s ? %s : %s;" (wire i) (wire s) (wire t1) (wire t0)
+  done;
+  out "  always @(posedge clk) begin";
+  out "    if (rst) begin";
+  List.iter
+    (fun (_, i, init, _) ->
+      out "      %s <= 1'b%d;" (wire i) (if init then 1 else 0))
+    ffs;
+  out "    end else begin";
+  List.iter
+    (fun (_, i, _, d) ->
+      match d with
+      | Some d -> out "      %s <= %s;" (wire i) (wire d)
+      | None -> invalid_arg "Netlist.to_verilog: unconnected flip-flop")
+    ffs;
+  out "    end";
+  out "  end";
+  List.iter (fun (n, s) -> out "  assign %s = %s;" n (wire s)) t.outputs;
+  out "endmodule";
+  Buffer.contents buf

@@ -1,0 +1,99 @@
+(** Gate-level netlists and their cycle-accurate simulator.
+
+    BISRAMGEN's BIST datapath blocks (ADDGEN, DATAGEN, the comparator,
+    the TLB CAM) are generated here as synchronous gate netlists — the
+    structural "simulation models" behind the phantom layout cells.
+    The test suite proves each netlist cycle-equivalent to its
+    behavioural model.
+
+    A netlist is a DAG of combinational gates over primary inputs and
+    flip-flop outputs; D flip-flops update on [step]. *)
+
+type signal = int
+(** node id, in construction order — usable as an array index *)
+
+type t
+
+val create : unit -> t
+
+(** Primary input; its value is supplied to every [step]. *)
+val input : t -> string -> signal
+
+val const : t -> bool -> signal
+val not_ : t -> signal -> signal
+val and_ : t -> signal -> signal -> signal
+val or_ : t -> signal -> signal -> signal
+val xor_ : t -> signal -> signal -> signal
+
+(** [mux t ~sel ~t1 ~t0] — [t1] when [sel], else [t0]. *)
+val mux : t -> sel:signal -> t1:signal -> t0:signal -> signal
+
+(** Reduction over a non-empty list. *)
+val and_list : t -> signal list -> signal
+
+val or_list : t -> signal list -> signal
+
+(** D flip-flop, initial value [init].  Returns its Q output; the D
+    input is connected afterwards with [connect] (enabling feedback). *)
+val dff : t -> ?init:bool -> string -> signal
+
+val connect : t -> q:signal -> d:signal -> unit
+
+(** Mark a signal as a named primary output. *)
+val output : t -> string -> signal -> unit
+
+(** Gate count (combinational gates only). *)
+val gate_count : t -> int
+
+val ff_count : t -> int
+
+(** Static-CMOS transistor estimate: NOT 2, AND/OR 6 (nand/nor + inv),
+    XOR 10, MUX 8, DFF 22; inputs/constants free. *)
+val transistor_count : t -> int
+
+(** {2 Simulation} *)
+
+type state
+
+val simulate : t -> state
+
+(** Reset flip-flops to their initial values. *)
+val reset : state -> unit
+
+(** One clock cycle: evaluate combinational logic under the given
+    primary-input values, sample outputs, then clock the flip-flops.
+    @raise Invalid_argument on a missing input or if some flip-flop was
+    never [connect]ed. *)
+val step : state -> (string * bool) list -> (string * bool) list
+
+(** Evaluate outputs under the given inputs WITHOUT clocking the
+    flip-flops (the combinational view of the current state). *)
+val eval : state -> (string * bool) list -> (string * bool) list
+
+(** Peek an output's value from the last [step] without advancing. *)
+val peek : state -> string -> bool
+
+(** {2 Inspection} *)
+
+type view =
+  | VInput of string
+  | VConst of bool
+  | VNot of signal
+  | VAnd of signal * signal
+  | VOr of signal * signal
+  | VXor of signal * signal
+  | VMux of signal * signal * signal  (** sel, t1, t0 *)
+  | VDff of { ff_name : string; init : bool; d : signal option }
+
+val size : t -> int
+(** number of nodes; signals are [0 .. size-1] in construction order *)
+
+val view : t -> signal -> view
+val outputs : t -> (string * signal) list
+
+(** {2 Export} *)
+
+(** Structural Verilog: one module with the primary inputs, the named
+    outputs, a [clk] port clocking every flip-flop, and an active-high
+    synchronous [rst] restoring the declared initial values. *)
+val to_verilog : name:string -> t -> string

@@ -1,0 +1,150 @@
+module N = Netlist
+
+type stats = { gates_before : int; gates_after : int; ffs : int }
+
+(* structural keys for hash-consing in the rebuilt netlist *)
+type key =
+  | KConst of bool
+  | KNot of int
+  | KAnd of int * int
+  | KOr of int * int
+  | KXor of int * int
+  | KMux of int * int * int
+
+let one_pass src =
+  let n = N.size src in
+  (* ---- reachability from outputs, flowing through flip-flop D pins *)
+  let reachable = Array.make n false in
+  let queue = Queue.create () in
+  let mark s =
+    if not reachable.(s) then begin
+      reachable.(s) <- true;
+      Queue.add s queue
+    end
+  in
+  List.iter (fun (_, s) -> mark s) (N.outputs src);
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    match N.view src s with
+    | N.VInput _ | N.VConst _ -> ()
+    | N.VNot a -> mark a
+    | N.VAnd (a, b) | N.VOr (a, b) | N.VXor (a, b) ->
+        mark a;
+        mark b
+    | N.VMux (c, a, b) ->
+        mark c;
+        mark a;
+        mark b
+    | N.VDff { d = Some d; _ } -> mark d
+    | N.VDff { d = None; _ } -> ()
+  done;
+  (* ---- rebuild with folding and hash-consing *)
+  let dst = N.create () in
+  let consts : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let interned : (key, int) Hashtbl.t = Hashtbl.create 256 in
+  let const_of s = Hashtbl.find_opt consts s in
+  let intern key make =
+    match Hashtbl.find_opt interned key with
+    | Some s -> s
+    | None ->
+        let s = make () in
+        Hashtbl.add interned key s;
+        (match key with KConst b -> Hashtbl.replace consts s b | _ -> ());
+        s
+  in
+  let mk_const b = intern (KConst b) (fun () -> N.const dst b) in
+  let not_cache : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let mk_not a =
+    match const_of a with
+    | Some b -> mk_const (not b)
+    | None -> (
+        match Hashtbl.find_opt not_cache a with
+        | Some na -> na (* includes double negation: not(not x) = x *)
+        | None ->
+            let na = intern (KNot a) (fun () -> N.not_ dst a) in
+            Hashtbl.replace not_cache a na;
+            Hashtbl.replace not_cache na a;
+            na)
+  in
+  let comm a b = if a <= b then (a, b) else (b, a) in
+  let mk_and a b =
+    let a, b = comm a b in
+    match (const_of a, const_of b) with
+    | Some false, _ | _, Some false -> mk_const false
+    | Some true, _ -> b
+    | _, Some true -> a
+    | None, None ->
+        if a = b then a else intern (KAnd (a, b)) (fun () -> N.and_ dst a b)
+  in
+  let mk_or a b =
+    let a, b = comm a b in
+    match (const_of a, const_of b) with
+    | Some true, _ | _, Some true -> mk_const true
+    | Some false, _ -> b
+    | _, Some false -> a
+    | None, None ->
+        if a = b then a else intern (KOr (a, b)) (fun () -> N.or_ dst a b)
+  in
+  let mk_xor a b =
+    let a, b = comm a b in
+    match (const_of a, const_of b) with
+    | Some x, Some y -> mk_const (x <> y)
+    | Some false, _ -> b
+    | _, Some false -> a
+    | Some true, _ -> mk_not b
+    | _, Some true -> mk_not a
+    | None, None ->
+        if a = b then mk_const false
+        else intern (KXor (a, b)) (fun () -> N.xor_ dst a b)
+  in
+  let mk_mux sel t1 t0 =
+    match const_of sel with
+    | Some true -> t1
+    | Some false -> t0
+    | None ->
+        if t1 = t0 then t1
+        else
+          (* mux(s, 1, 0) = s ; mux(s, 0, 1) = ~s *)
+          (match (const_of t1, const_of t0) with
+          | Some true, Some false -> sel
+          | Some false, Some true -> mk_not sel
+          | _ ->
+              intern (KMux (sel, t1, t0)) (fun () -> N.mux dst ~sel ~t1 ~t0))
+  in
+  let map = Array.make n (-1) in
+  let dff_fixups = ref [] in
+  for s = 0 to n - 1 do
+    if reachable.(s) then
+      map.(s) <-
+        (match N.view src s with
+        | N.VInput name -> N.input dst name
+        | N.VConst b -> mk_const b
+        | N.VNot a -> mk_not map.(a)
+        | N.VAnd (a, b) -> mk_and map.(a) map.(b)
+        | N.VOr (a, b) -> mk_or map.(a) map.(b)
+        | N.VXor (a, b) -> mk_xor map.(a) map.(b)
+        | N.VMux (c, a, b) -> mk_mux map.(c) map.(a) map.(b)
+        | N.VDff { ff_name; init; d } ->
+            let q = N.dff dst ~init ff_name in
+            (match d with
+            | Some d -> dff_fixups := (q, d) :: !dff_fixups
+            | None -> ());
+            q)
+  done;
+  List.iter (fun (q, d) -> N.connect dst ~q ~d:map.(d)) !dff_fixups;
+  List.iter (fun (name, s) -> N.output dst name map.(s)) (N.outputs src);
+  dst
+
+let optimize src =
+  (* folding can orphan gates (e.g. the inner gate of a collapsed
+     double negation), so iterate to a fixpoint *)
+  let rec go cur =
+    let next = one_pass cur in
+    if N.gate_count next < N.gate_count cur then go next else next
+  in
+  let dst = go src in
+  ( dst,
+    { gates_before = N.gate_count src
+    ; gates_after = N.gate_count dst
+    ; ffs = N.ff_count dst
+    } )

@@ -1,0 +1,17 @@
+(** Netlist clean-up: constant folding, operand-identity simplification
+    and dead-gate elimination.
+
+    PLA expansions are full of constants and repeated literals; this
+    pass gives an honest gate-count for the synthesized controller.
+    The optimized netlist is behaviourally identical (the test suite
+    checks random vectors). *)
+
+type stats = {
+  gates_before : int;
+  gates_after : int;
+  ffs : int;
+}
+
+(** Rebuild the netlist with simplifications applied.  Inputs, outputs
+    and flip-flop names/initial values are preserved. *)
+val optimize : Netlist.t -> Netlist.t * stats

@@ -1,0 +1,1 @@
+lib/geometry/orient.ml: Format Point String

@@ -1,0 +1,1 @@
+lib/geometry/transform.ml: Format Orient Point Rect

@@ -1,0 +1,26 @@
+(** Integer lattice points.
+
+    All geometry in BISRAMGEN is on an integer grid whose unit is one
+    nanometer.  Lambda-based design rules are scaled onto this grid by
+    {!Bisram_tech}; keeping coordinates integral makes abutment exact. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Squared Euclidean distance (exact on the grid). *)
+val dist2 : t -> t -> int
+
+(** Manhattan (L1) distance, the metric used by the router. *)
+val manhattan : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,23 @@
+type t = { orient : Orient.t; offset : Point.t }
+
+let identity = { orient = Orient.R0; offset = Point.zero }
+let translation offset = { orient = Orient.R0; offset }
+let rotation orient = { orient; offset = Point.zero }
+let make orient offset = { orient; offset }
+let apply t p = Point.add (Orient.apply t.orient p) t.offset
+
+let compose a b =
+  (* (a o b) p = a (b p) = Oa (Ob p + tb) + ta = (Oa Ob) p + (Oa tb + ta) *)
+  { orient = Orient.compose a.orient b.orient
+  ; offset = Point.add (Orient.apply a.orient b.offset) a.offset
+  }
+
+let inverse t =
+  let oi = Orient.inverse t.orient in
+  { orient = oi; offset = Point.neg (Orient.apply oi t.offset) }
+
+let apply_rect t r = Rect.translate t.offset (Rect.transform t.orient r)
+let equal a b = Orient.equal a.orient b.orient && Point.equal a.offset b.offset
+
+let pp ppf t =
+  Format.fprintf ppf "%a@%a" Orient.pp t.orient Point.pp t.offset

@@ -1,0 +1,22 @@
+(** Rigid placements: an orientation followed by a translation.
+
+    [apply { orient; offset } p = Orient.apply orient p + offset].
+    Placements compose; a macrocell instance carries one placement and a
+    flattened layout is obtained by pushing placements down to leaf
+    rectangles. *)
+
+type t = { orient : Orient.t; offset : Point.t }
+
+val identity : t
+val translation : Point.t -> t
+val rotation : Orient.t -> t
+val make : Orient.t -> Point.t -> t
+
+(** [compose a b] is "first [b], then [a]". *)
+val compose : t -> t -> t
+
+val inverse : t -> t
+val apply : t -> Point.t -> Point.t
+val apply_rect : t -> Rect.t -> Rect.t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

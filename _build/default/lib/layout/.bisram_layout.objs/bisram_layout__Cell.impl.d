@@ -1,0 +1,1 @@
+lib/layout/cell.ml: Bisram_geometry Bisram_tech Format List Port

@@ -1,0 +1,1 @@
+lib/layout/cell.mli: Bisram_geometry Bisram_tech Format Port

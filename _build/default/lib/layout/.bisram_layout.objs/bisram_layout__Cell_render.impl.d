@@ -1,0 +1,1 @@
+lib/layout/cell_render.ml: Array Bisram_geometry Bisram_tech Buffer Cell List

@@ -1,0 +1,1 @@
+lib/layout/cell_render.mli: Bisram_tech Cell

@@ -1,0 +1,1 @@
+lib/layout/cif.ml: Bisram_geometry Bisram_tech Buffer Cell Hashtbl List Macro Printf

@@ -1,0 +1,1 @@
+lib/layout/cif.mli: Bisram_tech Cell Macro

@@ -1,0 +1,1 @@
+lib/layout/cif_reader.ml: Bisram_geometry Bisram_tech Buffer Cell List String

@@ -1,0 +1,1 @@
+lib/layout/cif_reader.mli: Bisram_geometry Bisram_tech Cell

@@ -1,0 +1,1 @@
+lib/layout/critical_area.ml: Array Bisram_geometry Bisram_tech Cell Int List Port

@@ -1,0 +1,1 @@
+lib/layout/critical_area.mli: Bisram_geometry Cell

@@ -1,0 +1,1 @@
+lib/layout/leaf.ml: Bisram_geometry Bisram_tech Cell List Port Printf String

@@ -1,0 +1,1 @@
+lib/layout/macro.ml: Bisram_geometry Cell Format List Option Port Printf

@@ -1,0 +1,1 @@
+lib/layout/macro.mli: Bisram_geometry Cell Format Port

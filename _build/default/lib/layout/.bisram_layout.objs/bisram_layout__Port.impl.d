@@ -1,0 +1,1 @@
+lib/layout/port.ml: Bisram_geometry Bisram_tech Format

@@ -1,0 +1,1 @@
+lib/layout/port.mli: Bisram_geometry Bisram_tech Format

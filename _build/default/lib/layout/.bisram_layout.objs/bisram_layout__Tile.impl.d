@@ -1,0 +1,1 @@
+lib/layout/tile.ml: Bisram_geometry Bisram_tech Cell List Port

@@ -1,0 +1,1 @@
+lib/layout/tile.mli: Cell Port

@@ -1,0 +1,54 @@
+module R = Bisram_geometry.Rect
+module L = Bisram_tech.Layer
+
+let glyph = function
+  | L.Nwell -> 'n'
+  | L.Pwell -> 'p'
+  | L.Active -> 'a'
+  | L.Poly -> '|'
+  | L.Nplus -> '.'
+  | L.Pplus -> ','
+  | L.Contact -> 'x'
+  | L.Metal1 -> '='
+  | L.Via1 -> '#'
+  | L.Metal2 -> 'H'
+  | L.Via2 -> '@'
+  | L.Metal3 -> 'T'
+  | L.Glass -> 'g'
+
+(* draw order: later layers overwrite earlier ones *)
+let draw_order =
+  [ L.Nwell; L.Pwell; L.Nplus; L.Pplus; L.Active; L.Poly; L.Contact
+  ; L.Metal1; L.Via1; L.Metal2; L.Via2; L.Metal3; L.Glass
+  ]
+
+let render ?(scale = 1) (cell : Cell.t) =
+  if scale < 1 then invalid_arg "Cell_render.render: scale";
+  let box = cell.Cell.bbox in
+  let w = max 1 (R.width box / scale) and h = max 1 (R.height box / scale) in
+  let grid = Array.make_matrix h w ' ' in
+  List.iter
+    (fun layer ->
+      let c = glyph layer in
+      List.iter
+        (fun (r : R.t) ->
+          let x0 = max 0 ((r.R.x0 - box.R.x0) / scale) in
+          let x1 = min w ((r.R.x1 - box.R.x0 + scale - 1) / scale) in
+          let y0 = max 0 ((r.R.y0 - box.R.y0) / scale) in
+          let y1 = min h ((r.R.y1 - box.R.y0 + scale - 1) / scale) in
+          for y = y0 to y1 - 1 do
+            for x = x0 to x1 - 1 do
+              grid.(y).(x) <- c
+            done
+          done)
+        (Cell.shapes_on cell layer))
+    draw_order;
+  let buf = Buffer.create ((w + 1) * h) in
+  (* y grows upward in layout, downward on screen *)
+  for y = h - 1 downto 0 do
+    for x = 0 to w - 1 do
+      Buffer.add_char buf grid.(y).(x)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

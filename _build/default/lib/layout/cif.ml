@@ -1,0 +1,98 @@
+module R = Bisram_geometry.Rect
+module P = Bisram_geometry.Point
+module T = Bisram_geometry.Transform
+module O = Bisram_geometry.Orient
+module L = Bisram_tech.Layer
+module Pr = Bisram_tech.Process
+
+(* CIF length unit is 0.01 um.  Definitions carry a 1/2 scale factor
+   (DS id 1 2) and all coordinates are doubled, so box centres are
+   exact integers even for odd-lambda extents. *)
+let scale p v = 2 * v * p.Pr.lambda_nm / 10
+
+let box p buf (layer, rect) =
+  if not (R.is_empty rect) then begin
+    let w = scale p (R.width rect) and h = scale p (R.height rect) in
+    let cx = (scale p rect.R.x0 + scale p rect.R.x1) / 2 in
+    let cy = (scale p rect.R.y0 + scale p rect.R.y1) / 2 in
+    Buffer.add_string buf (Printf.sprintf "L %s;\n" (L.cif_name layer));
+    Buffer.add_string buf (Printf.sprintf "B %d %d %d %d;\n" w h cx cy)
+  end
+
+let def p buf ~id (cell : Cell.t) =
+  Buffer.add_string buf (Printf.sprintf "DS %d 1 2;\n" id);
+  Buffer.add_string buf (Printf.sprintf "9 %s;\n" cell.Cell.name);
+  List.iter (box p buf) cell.Cell.shapes;
+  Buffer.add_string buf "DF;\n"
+
+let of_cell p cell =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "( BISRAMGEN CIF output );\n";
+  def p buf ~id:1 cell;
+  Buffer.add_string buf "C 1;\nE\n";
+  Buffer.contents buf
+
+(* Orientation to CIF call transform suffix: CIF supports mirror (MX,
+   MY) and rotate (R dx dy). *)
+let orient_suffix = function
+  | O.R0 -> ""
+  | O.R90 -> " R 0 1"
+  | O.R180 -> " R -1 0"
+  | O.R270 -> " R 0 -1"
+  | O.Mx -> " MY" (* CIF MY mirrors in y: flips the y axis *)
+  | O.My -> " MX"
+  | O.Mx90 -> " MY R 0 1"
+  | O.My90 -> " MX R 0 1"
+
+let call p buf ~id (t : T.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "C %d%s T %d %d;\n" id (orient_suffix t.T.orient)
+       (scale p t.T.offset.P.x) (scale p t.T.offset.P.y))
+
+let of_macro ?(call_limit = 200_000) p (m : Macro.t) =
+  if Macro.instance_count m > call_limit then
+    invalid_arg
+      (Printf.sprintf "Cif.of_macro: %d calls exceeds limit"
+         (Macro.instance_count m));
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "( BISRAMGEN CIF output );\n";
+  (* number distinct cells by name *)
+  let ids = Hashtbl.create 16 in
+  let next = ref 0 in
+  let id_of (c : Cell.t) =
+    match Hashtbl.find_opt ids c.Cell.name with
+    | Some id -> id
+    | None ->
+        incr next;
+        Hashtbl.add ids c.Cell.name !next;
+        def p buf ~id:!next c;
+        !next
+  in
+  let top = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      match e with
+      | Macro.Inst { cell; at } -> call p top ~id:(id_of cell) at
+      | Macro.Array { cell; origin; nx; ny; pitch_x; pitch_y; mirror_odd_rows }
+        ->
+          let id = id_of cell in
+          let h = Cell.height cell in
+          for j = 0 to ny - 1 do
+            for i = 0 to nx - 1 do
+              let base =
+                P.add origin (P.make (i * pitch_x) (j * pitch_y))
+              in
+              if mirror_odd_rows && j mod 2 = 1 then
+                (* mirrored about x then shifted up by cell height *)
+                call p top ~id
+                  { T.orient = O.Mx; offset = P.add base (P.make 0 h) }
+              else call p top ~id { T.orient = O.R0; offset = base }
+            done
+          done)
+    m.Macro.elements;
+  let topid = !next + 1 in
+  Buffer.add_string buf (Printf.sprintf "DS %d 1 2;\n9 %s;\n" topid m.Macro.name);
+  Buffer.add_buffer buf top;
+  Buffer.add_string buf "DF;\n";
+  Buffer.add_string buf (Printf.sprintf "C %d;\nE\n" topid);
+  Buffer.contents buf

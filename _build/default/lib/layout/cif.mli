@@ -1,0 +1,16 @@
+(** CIF 2.0 writer.
+
+    Emits hierarchical CIF: one definition (DS/DF) per distinct cell,
+    calls (C) for instances and arrays, boxes (B) for geometry.
+    Coordinates are converted from lambda to CIF centimicrons using the
+    process lambda. *)
+
+(** [of_cell process cell] — a single-cell CIF file. *)
+val of_cell : Bisram_tech.Process.t -> Cell.t -> string
+
+(** [of_macro process macro] — hierarchical CIF with one definition per
+    distinct leaf cell.  Arrays are expanded into calls; macros above
+    [call_limit] calls (default 200_000) are rejected with
+    [Invalid_argument]. *)
+val of_macro :
+  ?call_limit:int -> Bisram_tech.Process.t -> Macro.t -> string

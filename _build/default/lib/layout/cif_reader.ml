@@ -1,0 +1,187 @@
+module R = Bisram_geometry.Rect
+module P = Bisram_geometry.Point
+module T = Bisram_geometry.Transform
+module O = Bisram_geometry.Orient
+module L = Bisram_tech.Layer
+module Pr = Bisram_tech.Process
+
+type box = { layer : L.t; rect : R.t }
+type call = { callee : int; transform : T.t }
+
+type definition = {
+  id : int;
+  def_name : string option;
+  boxes : box list;
+  calls : call list;
+}
+
+type t = { definitions : definition list; top_calls : call list }
+
+let layer_of_cif name =
+  match List.find_opt (fun l -> L.cif_name l = name) L.all with
+  | Some l -> l
+  | None -> invalid_arg ("Cif_reader: unknown layer " ^ name)
+
+(* statements are semicolon-terminated; comments are parenthesised *)
+let statements text =
+  let no_comments = Buffer.create (String.length text) in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' -> incr depth
+      | ')' -> decr depth
+      | c -> if !depth = 0 then Buffer.add_char no_comments c)
+    text;
+  Buffer.contents no_comments
+  |> String.split_on_char ';'
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.map String.trim
+  |> List.filter (fun w -> w <> "")
+
+(* parse the transform suffix of a call: sequence of MX / MY /
+   R a b / T x y applied left to right *)
+let parse_call_transform parts =
+  let rec go tr = function
+    | [] -> tr
+    | "MX" :: rest -> go (T.compose (T.rotation O.My) tr) rest
+    | "MY" :: rest -> go (T.compose (T.rotation O.Mx) tr) rest
+    | "R" :: a :: b :: rest ->
+        let orient =
+          match (int_of_string a, int_of_string b) with
+          | 1, 0 -> O.R0
+          | 0, 1 -> O.R90
+          | -1, 0 -> O.R180
+          | 0, -1 -> O.R270
+          | _ -> invalid_arg "Cif_reader: bad rotation vector"
+        in
+        go (T.compose (T.rotation orient) tr) rest
+    | "T" :: x :: y :: rest ->
+        go
+          (T.compose (T.translation (P.make (int_of_string x) (int_of_string y))) tr)
+          rest
+    | w :: _ -> invalid_arg ("Cif_reader: bad call transform " ^ w)
+  in
+  go T.identity parts
+
+let parse text =
+  let defs = ref [] in
+  let top = ref [] in
+  let current = ref None in
+  let cur_layer = ref None in
+  (* the definition's a/b distance scale (DS id a b) *)
+  let cur_scale = ref (1, 1) in
+  let rescale v =
+    let a, b = !cur_scale in
+    let scaled = v * a in
+    if scaled mod b <> 0 then
+      invalid_arg "Cif_reader: coordinate does not divide by the DS scale";
+    scaled / b
+  in
+  let finish () =
+    match !current with
+    | Some d ->
+        defs := { d with boxes = List.rev d.boxes; calls = List.rev d.calls } :: !defs;
+        current := None
+    | None -> ()
+  in
+  let add_box b =
+    match !current with
+    | Some d -> current := Some { d with boxes = b :: d.boxes }
+    | None -> invalid_arg "Cif_reader: box outside definition"
+  in
+  let add_call c =
+    match !current with
+    | Some d -> current := Some { d with calls = c :: d.calls }
+    | None -> top := c :: !top
+  in
+  List.iter
+    (fun stmt ->
+      match words stmt with
+      | [] -> ()
+      | "DS" :: id :: rest ->
+          finish ();
+          (cur_scale :=
+             match rest with
+             | a :: b :: _ -> (int_of_string a, int_of_string b)
+             | _ -> (1, 1));
+          current :=
+            Some { id = int_of_string id; def_name = None; boxes = []; calls = [] }
+      | [ "DF" ] -> finish ()
+      | "9" :: name_parts -> (
+          match !current with
+          | Some d ->
+              current := Some { d with def_name = Some (String.concat " " name_parts) }
+          | None -> ())
+      | [ "L"; layer ] -> cur_layer := Some (layer_of_cif layer)
+      | "B" :: w :: h :: cx :: cy :: _ -> (
+          match !cur_layer with
+          | None -> invalid_arg "Cif_reader: box before layer"
+          | Some layer ->
+              let w = int_of_string w and h = int_of_string h in
+              let cx = int_of_string cx and cy = int_of_string cy in
+              add_box
+                { layer
+                ; rect =
+                    R.make
+                      (rescale (cx - (w / 2)))
+                      (rescale (cy - (h / 2)))
+                      (rescale (cx + ((w + 1) / 2)))
+                      (rescale (cy + ((h + 1) / 2)))
+                })
+      | "C" :: id :: rest ->
+          let tr = parse_call_transform rest in
+          let tr =
+            { tr with
+              T.offset =
+                P.make (rescale tr.T.offset.P.x) (rescale tr.T.offset.P.y)
+            }
+          in
+          add_call { callee = int_of_string id; transform = tr }
+      | [ "E" ] -> finish ()
+      | w :: _ -> invalid_arg ("Cif_reader: unknown statement " ^ w))
+    (statements text);
+  finish ();
+  { definitions = List.rev !defs; top_calls = List.rev !top }
+
+let find t id = List.find_opt (fun d -> d.id = id) t.definitions
+
+let flatten t =
+  let rec expand tr call =
+    match find t call.callee with
+    | None -> invalid_arg "Cif_reader.flatten: dangling call"
+    | Some d ->
+        let tr = T.compose tr call.transform in
+        List.map (fun b -> (b.layer, T.apply_rect tr b.rect)) d.boxes
+        @ List.concat_map (expand tr) d.calls
+  in
+  List.concat_map (expand T.identity) t.top_calls
+
+let to_cell p text =
+  let parsed = parse text in
+  let scale = p.Pr.lambda_nm / 10 in
+  let unscale v =
+    if v mod scale <> 0 then
+      invalid_arg "Cif_reader.to_cell: coordinate not on the lambda grid";
+    v / scale
+  in
+  let shapes =
+    List.map
+      (fun (layer, (r : R.t)) ->
+        (layer, R.make (unscale r.R.x0) (unscale r.R.y0) (unscale r.R.x1) (unscale r.R.y1)))
+      (flatten parsed)
+  in
+  let name =
+    match parsed.definitions with
+    | { def_name = Some n; _ } :: _ -> n
+    | _ -> "cif_import"
+  in
+  let box = R.bbox (List.map snd shapes) in
+  let c = Cell.make ~name ~w:(R.width box) ~h:(R.height box) shapes [] in
+  (* keep original coordinates (bbox may not start at the origin) *)
+  { c with Cell.bbox = box }

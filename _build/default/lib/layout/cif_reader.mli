@@ -1,0 +1,40 @@
+(** Reader for the CIF subset the {!Cif} writer emits: definitions
+    (DS/DF), names (9), layers (L), boxes (B), calls (C) with mirror /
+    rotate / translate, and the end marker (E).  Used to round-trip the
+    writer in the test suite and to re-import generated geometry. *)
+
+type box = {
+  layer : Bisram_tech.Layer.t;
+  rect : Bisram_geometry.Rect.t;  (** centimicrons *)
+}
+
+type call = {
+  callee : int;
+  transform : Bisram_geometry.Transform.t;  (** offset in centimicrons *)
+}
+
+type definition = {
+  id : int;
+  def_name : string option;
+  boxes : box list;
+  calls : call list;
+}
+
+type t = {
+  definitions : definition list;
+  top_calls : call list;
+}
+
+(** @raise Invalid_argument on syntax errors or unknown CIF layers. *)
+val parse : string -> t
+
+val find : t -> int -> definition option
+
+(** Flatten a parsed file into layer/rect pairs in centimicrons,
+    expanding calls recursively from the top-level calls. *)
+val flatten : t -> (Bisram_tech.Layer.t * Bisram_geometry.Rect.t) list
+
+(** Reconstruct a cell in lambda units from a single-definition file
+    written by {!Cif.of_cell}.  @raise Invalid_argument when the
+    coordinates are not multiples of the process lambda. *)
+val to_cell : Bisram_tech.Process.t -> string -> Cell.t

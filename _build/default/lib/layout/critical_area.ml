@@ -1,0 +1,90 @@
+module R = Bisram_geometry.Rect
+module L = Bisram_tech.Layer
+
+let union_area rects =
+  let rects = List.filter (fun r -> not (R.is_empty r)) rects in
+  match rects with
+  | [] -> 0
+  | _ ->
+      (* coordinate compression on x; per strip, union the y spans *)
+      let xs =
+        rects
+        |> List.concat_map (fun (r : R.t) -> [ r.R.x0; r.R.x1 ])
+        |> List.sort_uniq Int.compare
+        |> Array.of_list
+      in
+      let total = ref 0 in
+      for i = 0 to Array.length xs - 2 do
+        let x0 = xs.(i) and x1 = xs.(i + 1) in
+        let spans =
+          rects
+          |> List.filter_map (fun (r : R.t) ->
+                 if r.R.x0 <= x0 && r.R.x1 >= x1 then Some (r.R.y0, r.R.y1)
+                 else None)
+          |> List.sort compare
+        in
+        let covered = ref 0 and cur = ref None in
+        List.iter
+          (fun (y0, y1) ->
+            match !cur with
+            | None -> cur := Some (y0, y1)
+            | Some (c0, c1) ->
+                if y0 <= c1 then cur := Some (c0, max c1 y1)
+                else begin
+                  covered := !covered + (c1 - c0);
+                  cur := Some (y0, y1)
+                end)
+          spans;
+        (match !cur with
+        | Some (c0, c1) -> covered := !covered + (c1 - c0)
+        | None -> ());
+        total := !total + ((x1 - x0) * !covered)
+      done;
+      !total
+
+let critical_area ~radius ~a ~b =
+  if radius <= 0 then 0
+  else begin
+    (* a square defect model: the r-dilations of a pair of rectangles
+       overlap exactly on the intersection of their inflations *)
+    let overlaps =
+      List.concat_map
+        (fun ra ->
+          List.filter_map
+            (fun rb -> R.inter (R.inflate radius ra) (R.inflate radius rb))
+            b)
+        a
+    in
+    union_area overlaps
+  end
+
+(* Metal-1 shapes touching a port of the given name form that net. *)
+let net_shapes cell name =
+  let port_rects =
+    List.filter_map
+      (fun (p : Port.t) ->
+        if p.Port.name = name && L.equal p.Port.layer L.Metal1 then
+          Some p.Port.rect
+        else None)
+      cell.Cell.ports
+  in
+  List.filter
+    (fun shape -> List.exists (fun pr -> R.touches shape pr) port_rects)
+    (Cell.shapes_on cell L.Metal1)
+
+let power_short cell ~radius =
+  let vdd = net_shapes cell "vdd" and gnd = net_shapes cell "gnd" in
+  critical_area ~radius ~a:vdd ~b:gnd
+
+let fatal_radius ?limit cell =
+  let limit =
+    match limit with
+    | Some l -> l
+    | None -> Cell.width cell + Cell.height cell
+  in
+  let rec go r =
+    if r > limit then None
+    else if power_short cell ~radius:r > 0 then Some r
+    else go (r + 1)
+  in
+  go 1

@@ -1,0 +1,31 @@
+(** Critical-area analysis for fatal flaws (Section VII, after Khare et
+    al.).
+
+    A spot defect of radius r shorts two nets when its centre lies
+    where the r-dilations of both nets' geometry overlap; the area of
+    that region is the critical area.  The paper's claim is that the
+    chosen 6T template leaves a near-zero critical area for the fatal
+    vdd/gnd shorts at all realistic defect radii — here that is
+    computed from the generated geometry itself. *)
+
+(** [critical_area ~radius ~a ~b] — area (lambda^2) of the region where
+    a defect of the given radius bridges some rectangle of [a] with
+    some rectangle of [b]. *)
+val critical_area :
+  radius:int ->
+  a:Bisram_geometry.Rect.t list ->
+  b:Bisram_geometry.Rect.t list ->
+  int
+
+(** Area of the union of a rectangle list (coordinate compression). *)
+val union_area : Bisram_geometry.Rect.t list -> int
+
+(** Critical area for a supply short (vdd net vs gnd net) inside a leaf
+    cell: the nets are the metal-1 shapes touching the cell's vdd and
+    gnd ports.  Returns lambda^2. *)
+val power_short : Cell.t -> radius:int -> int
+
+(** Smallest defect radius (lambda) with a nonzero power-short critical
+    area — infinite separation returns [None] (searched up to
+    [limit], default the cell diagonal). *)
+val fatal_radius : ?limit:int -> Cell.t -> int option

@@ -1,0 +1,412 @@
+module R = Bisram_geometry.Rect
+module L = Bisram_tech.Layer
+
+let r = R.make
+
+(* ------------------------------------------------------------------ *)
+(* 6T SRAM cell, 24 x 20 lambda.
+
+   Vertical metal2 bitlines at the cell edges, horizontal poly word
+   line near the bottom, NMOS (access + driver) pairs below, PMOS
+   pull-ups in the top n-well, metal1 power rails top and bottom.  The
+   cross-coupling is drawn as the two internal metal1 node plates. *)
+
+let sram_6t () =
+  let shapes =
+    [ (* wells and selects *)
+      (L.Nwell, r 0 12 24 20)
+    ; (L.Pplus, r 6 12 18 20)
+    ; (L.Nplus, r 1 0 23 10)
+    ; (* power rails, metal1 *)
+      (L.Metal1, r 0 0 24 2) (* gnd *)
+    ; (L.Metal1, r 0 18 24 20) (* vdd *)
+    ; (* bitlines, metal2 *)
+      (L.Metal2, r 1 0 4 20) (* bl *)
+    ; (L.Metal2, r 20 0 23 20) (* blb *)
+    ; (* word line, poly *)
+      (L.Poly, r 0 3 24 5)
+    ; (* access + driver active strips *)
+      (L.Active, r 2 1 5 9)
+    ; (L.Active, r 19 1 22 9)
+    ; (* pull-up actives in the well *)
+      (L.Active, r 7 13 10 19)
+    ; (L.Active, r 14 13 17 19)
+    ; (* storage-node gates (drivers + pull-ups share poly columns) *)
+      (L.Poly, r 8 7 10 17)
+    ; (L.Poly, r 14 7 16 17)
+    ; (* internal storage-node plates, metal1 *)
+      (L.Metal1, r 6 9 12 12)
+    ; (L.Metal1, r 12 6 18 9)
+    ; (* bitline and node contacts *)
+      (L.Contact, r 2 6 4 8)
+    ; (L.Contact, r 20 6 22 8)
+    ; (L.Via1, r 2 6 4 8)
+    ; (L.Via1, r 20 6 22 8)
+    ; (L.Contact, r 8 18 10 20)
+    ; (L.Contact, r 14 0 16 2)
+    ]
+  in
+  let ports =
+    [ Port.make ~name:"bl" ~layer:L.Metal2 ~edge:Port.North (r 1 20 4 20)
+    ; Port.make ~name:"bl" ~layer:L.Metal2 ~edge:Port.South (r 1 0 4 0)
+    ; Port.make ~name:"blb" ~layer:L.Metal2 ~edge:Port.North (r 20 20 23 20)
+    ; Port.make ~name:"blb" ~layer:L.Metal2 ~edge:Port.South (r 20 0 23 0)
+    ; Port.make ~name:"wl" ~layer:L.Poly ~edge:Port.West (r 0 3 0 5)
+    ; Port.make ~name:"wl" ~layer:L.Poly ~edge:Port.East (r 24 3 24 5)
+    ; Port.make ~name:"vdd" ~layer:L.Metal1 ~edge:Port.West (r 0 18 0 20)
+    ; Port.make ~name:"vdd" ~layer:L.Metal1 ~edge:Port.East (r 24 18 24 20)
+    ; Port.make ~name:"gnd" ~layer:L.Metal1 ~edge:Port.West (r 0 0 0 2)
+    ; Port.make ~name:"gnd" ~layer:L.Metal1 ~edge:Port.East (r 24 0 24 2)
+    ]
+  in
+  Cell.make ~name:"sram_6t" ~w:24 ~h:20 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Column precharge head: two precharge PMOS and an equalizer in one
+   n-well strip, bitline stubs aligned with the 6T cell. *)
+
+let precharge () =
+  let shapes =
+    [ (L.Nwell, r 0 0 24 12)
+    ; (L.Pplus, r 1 1 23 11)
+    ; (L.Metal1, r 0 10 24 12) (* vdd rail *)
+    ; (L.Metal2, r 1 0 4 12)
+    ; (L.Metal2, r 20 0 23 12)
+    ; (L.Poly, r 0 4 24 6) (* prechargE clock *)
+    ; (L.Active, r 2 1 5 9)
+    ; (L.Active, r 19 1 22 9)
+    ; (L.Active, r 10 1 14 9) (* equalizer *)
+    ; (L.Contact, r 2 1 4 3)
+    ; (L.Contact, r 20 1 22 3)
+    ]
+  in
+  let ports =
+    [ Port.make ~name:"bl" ~layer:L.Metal2 ~edge:Port.South (r 1 0 4 0)
+    ; Port.make ~name:"blb" ~layer:L.Metal2 ~edge:Port.South (r 20 0 23 0)
+    ; Port.make ~name:"pclk" ~layer:L.Poly ~edge:Port.West (r 0 4 0 6)
+    ; Port.make ~name:"pclk" ~layer:L.Poly ~edge:Port.East (r 24 4 24 6)
+    ; Port.make ~name:"vdd" ~layer:L.Metal1 ~edge:Port.West (r 0 10 0 12)
+    ; Port.make ~name:"vdd" ~layer:L.Metal1 ~edge:Port.East (r 24 10 24 12)
+    ]
+  in
+  Cell.make ~name:"precharge" ~w:24 ~h:12 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Current-mode sense amplifier + write driver column foot. *)
+
+let sense_amp () =
+  let shapes =
+    [ (L.Nwell, r 0 18 24 30)
+    ; (L.Metal2, r 1 18 4 30)
+    ; (L.Metal2, r 20 18 23 30)
+    ; (L.Metal1, r 0 0 24 2) (* gnd *)
+    ; (L.Metal1, r 0 28 24 30) (* vdd *)
+    ; (L.Active, r 2 4 8 14)
+    ; (L.Active, r 16 4 22 14)
+    ; (L.Poly, r 6 3 8 16)
+    ; (L.Poly, r 16 3 18 16)
+    ; (L.Poly, r 0 20 24 22) (* sense enable *)
+    ; (L.Metal1, r 8 6 16 9) (* cross-coupled latch node *)
+    ; (L.Metal1, r 10 12 14 16)
+    ; (L.Contact, r 3 5 5 7)
+    ; (L.Contact, r 19 5 21 7)
+    ]
+  in
+  let ports =
+    [ Port.make ~name:"bl" ~layer:L.Metal2 ~edge:Port.North (r 1 30 4 30)
+    ; Port.make ~name:"blb" ~layer:L.Metal2 ~edge:Port.North (r 20 30 23 30)
+    ; Port.make ~name:"dout" ~layer:L.Metal1 ~edge:Port.South (r 10 0 13 0)
+    ; Port.make ~name:"sen" ~layer:L.Poly ~edge:Port.West (r 0 20 0 22)
+    ; Port.make ~name:"sen" ~layer:L.Poly ~edge:Port.East (r 24 20 24 22)
+    ]
+  in
+  Cell.make ~name:"sense_amp" ~w:24 ~h:30 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Word-line driver: an inverter whose devices scale with [drive]. *)
+
+let wordline_driver ~drive =
+  if drive < 1 then invalid_arg "Leaf.wordline_driver: drive";
+  let w = 12 + (4 * drive) in
+  let nw = 3 * drive in
+  (* device widths grow with drive *)
+  let shapes =
+    [ (L.Nwell, r 0 10 w 20)
+    ; (L.Metal1, r 0 0 w 2)
+    ; (L.Metal1, r 0 18 w 20)
+    ; (L.Poly, r 5 2 7 18) (* common gate *)
+    ; (L.Active, r 3 3 (3 + max 4 nw) 8)
+    ; (L.Active, r 3 12 (3 + max 4 (2 * drive * 3 / 2)) 17)
+    ; (L.Metal1, r (w - 4) 5 w 8) (* drain strap to the word line *)
+    ; (L.Contact, r (w - 4) 5 (w - 2) 7)
+    ; (L.Poly, r (w - 3) 3 w 5) (* word-line poly stub at the east edge *)
+    ]
+  in
+  let ports =
+    [ Port.make ~name:"inp" ~layer:L.Metal1 ~edge:Port.West (r 0 3 0 5)
+    ; Port.make ~name:"out" ~layer:L.Poly ~edge:Port.East (r w 3 w 5)
+    ; Port.make ~name:"vdd" ~layer:L.Metal1 ~edge:Port.East (r w 18 w 20)
+    ; Port.make ~name:"gnd" ~layer:L.Metal1 ~edge:Port.East (r w 0 w 2)
+    ]
+  in
+  Cell.make ~name:(Printf.sprintf "wl_driver_x%d" drive) ~w ~h:20 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Row-decoder slice: a [bits]-input NAND at word-line pitch. *)
+
+let row_decoder_slice ~bits =
+  if bits < 1 then invalid_arg "Leaf.row_decoder_slice: bits";
+  let w = (6 * bits) + 10 in
+  let addr_polys =
+    List.init bits (fun i ->
+        let x = 2 + (6 * i) in
+        (L.Poly, r x 2 (x + 2) 18))
+  in
+  let shapes =
+    [ (L.Metal1, r 0 0 w 2)
+    ; (L.Metal1, r 0 18 w 20)
+    ; (L.Active, r 1 6 (6 * bits) 10) (* series NMOS stack *)
+    ; (L.Nwell, r 0 12 w 20)
+    ; (L.Active, r 1 13 (6 * bits) 17) (* parallel PMOS *)
+    ; (L.Metal1, r ((6 * bits) + 2) 5 w 8)
+    ; (L.Contact, r ((6 * bits) + 2) 5 ((6 * bits) + 4) 7)
+    ]
+    @ addr_polys
+  in
+  let addr_ports =
+    List.concat
+      (List.init bits (fun i ->
+           let x = 2 + (6 * i) in
+           [ Port.make ~name:(Printf.sprintf "a%d" i) ~layer:L.Poly
+               ~edge:Port.North
+               (r x 20 (x + 2) 20)
+           ; Port.make ~name:(Printf.sprintf "a%d" i) ~layer:L.Poly
+               ~edge:Port.South
+               (r x 0 (x + 2) 0)
+           ]))
+  in
+  let ports =
+    Port.make ~name:"out" ~layer:L.Metal1 ~edge:Port.East (r w 5 w 8)
+    :: Port.make ~name:"vdd" ~layer:L.Metal1 ~edge:Port.East (r w 18 w 20)
+    :: Port.make ~name:"gnd" ~layer:L.Metal1 ~edge:Port.East (r w 0 w 2)
+    :: addr_ports
+  in
+  Cell.make ~name:(Printf.sprintf "row_dec_%db" bits) ~w ~h:20 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Column multiplexer slice: bpc pass pairs under the bitlines. *)
+
+let column_mux ~bpc =
+  if bpc < 1 then invalid_arg "Leaf.column_mux: bpc";
+  let w = 24 * bpc in
+  let per_col =
+    List.concat
+      (List.init bpc (fun i ->
+           let x0 = 24 * i in
+           [ (L.Metal2, r (x0 + 2) 6 (x0 + 5) 16)
+           ; (L.Metal2, r (x0 + 18) 6 (x0 + 21) 16)
+           ; (L.Active, r (x0 + 2) 2 (x0 + 6) 6)
+           ; (L.Active, r (x0 + 17) 2 (x0 + 21) 6)
+           ]))
+  in
+  let sel_polys =
+    List.init bpc (fun i -> (L.Poly, r ((24 * i) + 8) 0 ((24 * i) + 10) 16))
+  in
+  let shapes = ((L.Metal1, r 0 0 w 2) :: per_col) @ sel_polys in
+  let bit_ports =
+    List.concat
+      (List.init bpc (fun i ->
+           let x0 = 24 * i in
+           [ Port.make ~name:(Printf.sprintf "bl%d" i) ~layer:L.Metal2
+               ~edge:Port.North
+               (r (x0 + 1) 16 (x0 + 4) 16)
+           ; Port.make ~name:(Printf.sprintf "blb%d" i) ~layer:L.Metal2
+               ~edge:Port.North
+               (r (x0 + 20) 16 (x0 + 23) 16)
+           ; Port.make ~name:(Printf.sprintf "sel%d" i) ~layer:L.Poly
+               ~edge:Port.South
+               (r ((24 * i) + 8) 0 ((24 * i) + 10) 0)
+           ]))
+  in
+  let ports =
+    Port.make ~name:"io" ~layer:L.Metal1 ~edge:Port.South (r 0 0 w 2)
+    :: bit_ports
+  in
+  Cell.make ~name:(Printf.sprintf "col_mux_%d" bpc) ~w ~h:16 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Strap column: well taps + wire-through, cell height tall. *)
+
+let strap ~w =
+  if w < 4 then invalid_arg "Leaf.strap: too narrow";
+  let shapes =
+    [ (L.Metal1, r 0 0 w 2)
+    ; (L.Metal1, r 0 18 w 20)
+    ; (L.Poly, r 0 3 w 5) (* word line runs through *)
+    ; (L.Contact, r 1 13 3 15) (* well tap *)
+    ]
+  in
+  let ports =
+    [ Port.make ~name:"wl" ~layer:L.Poly ~edge:Port.West (r 0 3 0 5)
+    ; Port.make ~name:"wl" ~layer:L.Poly ~edge:Port.East (r w 3 w 5)
+    ]
+  in
+  Cell.make ~name:(Printf.sprintf "strap_%d" w) ~w ~h:20 shapes ports
+
+(* ------------------------------------------------------------------ *)
+(* Phantom cells: abutment box + ports only. *)
+
+let phantom ~name ~w ~h ports = Cell.make ~name ~w ~h [] ports
+
+let cam_bit () =
+  phantom ~name:"cam_bit" ~w:36 ~h:20
+    [ Port.make ~name:"akey" ~layer:L.Metal2 ~edge:Port.North (r 4 20 7 20)
+    ; Port.make ~name:"match" ~layer:L.Metal1 ~edge:Port.West (r 0 8 0 10)
+    ; Port.make ~name:"match" ~layer:L.Metal1 ~edge:Port.East (r 36 8 36 10)
+    ]
+
+let dff () =
+  phantom ~name:"dff" ~w:40 ~h:24
+    [ Port.make ~name:"d" ~layer:L.Metal1 ~edge:Port.West (r 0 10 0 12)
+    ; Port.make ~name:"q" ~layer:L.Metal1 ~edge:Port.East (r 40 10 40 12)
+    ; Port.make ~name:"clk" ~layer:L.Metal2 ~edge:Port.North (r 18 24 21 24)
+    ]
+
+let pla ~n_inputs ~n_outputs ~n_terms =
+  if n_inputs < 1 || n_outputs < 1 || n_terms < 1 then
+    invalid_arg "Leaf.pla: dimensions";
+  (* one contacted pitch (6 lambda) per plane column/term row plus a
+     2-pitch ring of pull-ups and buffers *)
+  let pitch = 6 in
+  let w = ((2 * n_inputs) + n_outputs + 4) * pitch in
+  let h = (n_terms + 4) * pitch in
+  let inp_ports =
+    List.init n_inputs (fun i ->
+        Port.make ~name:(Printf.sprintf "in%d" i) ~layer:L.Metal2
+          ~edge:Port.South
+          (r ((i * 2 * pitch) + 12) 0 ((i * 2 * pitch) + 15) 0))
+  in
+  let out_ports =
+    List.init n_outputs (fun i ->
+        Port.make ~name:(Printf.sprintf "out%d" i) ~layer:L.Metal2
+          ~edge:Port.North
+          (r ((2 * n_inputs * pitch) + 12 + (i * pitch)) h
+             ((2 * n_inputs * pitch) + 15 + (i * pitch))
+             h))
+  in
+  phantom ~name:"trpla" ~w ~h (inp_ports @ out_ports)
+
+(* Drawn PLA: input pitch 6 (poly w2, gap 4), output pitch 8 (metal2
+   w3, gap 5), term pitch 6 (metal1 w3, gap 3), device patches 3x3
+   active + 2x2 contact per programmed literal. *)
+let pla_programmed ~and_plane ~or_plane =
+  (match (and_plane, or_plane) with
+  | [], _ | _, [] -> invalid_arg "Leaf.pla_programmed: empty plane"
+  | a :: _, o :: _ ->
+      if String.length a = 0 || String.length o = 0 then
+        invalid_arg "Leaf.pla_programmed: empty rows");
+  let n_terms = List.length and_plane in
+  if List.length or_plane <> n_terms then
+    invalid_arg "Leaf.pla_programmed: plane row counts differ";
+  let n_in = String.length (List.hd and_plane) in
+  let n_out = String.length (List.hd or_plane) in
+  List.iter
+    (fun l ->
+      if String.length l <> n_in then
+        invalid_arg "Leaf.pla_programmed: ragged AND plane")
+    and_plane;
+  List.iter
+    (fun l ->
+      if String.length l <> n_out then
+        invalid_arg "Leaf.pla_programmed: ragged OR plane")
+    or_plane;
+  let in_pitch = 6 and out_pitch = 8 and term_pitch = 6 in
+  let margin = 6 in
+  (* two columns (true + complement) per input *)
+  let x_true i = margin + (2 * i * in_pitch) in
+  let x_compl i = x_true i + in_pitch in
+  let and_width = 2 * n_in * in_pitch in
+  let x_out o = margin + and_width + (o * out_pitch) in
+  let w = margin + and_width + (n_out * out_pitch) + margin in
+  let y_term t = margin + (t * term_pitch) in
+  let h = margin + (n_terms * term_pitch) + margin in
+  let shapes = ref [] in
+  let add l rect = shapes := (l, rect) :: !shapes in
+  (* input columns: poly, full height *)
+  for i = 0 to n_in - 1 do
+    add L.Poly (r (x_true i) 0 (x_true i + 2) h);
+    add L.Poly (r (x_compl i) 0 (x_compl i + 2) h)
+  done;
+  (* output columns: metal2, full height *)
+  for o = 0 to n_out - 1 do
+    add L.Metal2 (r (x_out o) 0 (x_out o + 3) h)
+  done;
+  (* term rows: metal1 across both planes *)
+  List.iteri
+    (fun t _ ->
+      let y = y_term t in
+      add L.Metal1 (r (margin - 3) y (w - margin + 3) (y + 3)))
+    and_plane;
+  (* AND-plane devices *)
+  List.iteri
+    (fun t line ->
+      let y = y_term t in
+      String.iteri
+        (fun i c ->
+          let x =
+            match c with
+            | '1' -> Some (x_true i)
+            | '0' -> Some (x_compl i)
+            | '-' -> None
+            | _ -> invalid_arg "Leaf.pla_programmed: bad AND char"
+          in
+          match x with
+          | Some x ->
+              add L.Active (r x (y - 3) (x + 3) y);
+              add L.Contact (r x (y - 3) (x + 2) (y - 1))
+          | None -> ())
+        line)
+    and_plane;
+  (* OR-plane devices *)
+  List.iteri
+    (fun t line ->
+      let y = y_term t in
+      String.iteri
+        (fun o c ->
+          match c with
+          | '1' ->
+              let x = x_out o in
+              add L.Active (r x (y - 3) (x + 3) y);
+              add L.Via1 (r x (y - 3) (x + 2) (y - 1))
+          | '.' | '0' -> ()
+          | _ -> invalid_arg "Leaf.pla_programmed: bad OR char")
+        line)
+    or_plane;
+  (* pull-up strip at the top (pseudo-NMOS loads) *)
+  add L.Nwell (r 0 (h - 5) w h);
+  add L.Metal1 (r 0 (h - 3) w h);
+  let ports =
+    List.init n_in (fun i ->
+        Port.make ~name:(Printf.sprintf "in%d" i) ~layer:L.Poly
+          ~edge:Port.South
+          (r (x_true i) 0 (x_true i + 2) 0))
+    @ List.init n_out (fun o ->
+          Port.make ~name:(Printf.sprintf "out%d" o) ~layer:L.Metal2
+            ~edge:Port.North
+            (r (x_out o) h (x_out o + 3) h))
+  in
+  Cell.make ~name:"trpla_core" ~w ~h !shapes ports
+
+let datagen_stage () =
+  phantom ~name:"datagen_stage" ~w:64 ~h:24
+    [ Port.make ~name:"si" ~layer:L.Metal1 ~edge:Port.West (r 0 10 0 12)
+    ; Port.make ~name:"so" ~layer:L.Metal1 ~edge:Port.East (r 64 10 64 12)
+    ; Port.make ~name:"cmp" ~layer:L.Metal2 ~edge:Port.South (r 30 0 33 0)
+    ]
+
+let addgen_stage () =
+  phantom ~name:"addgen_stage" ~w:56 ~h:24
+    [ Port.make ~name:"ci" ~layer:L.Metal1 ~edge:Port.West (r 0 10 0 12)
+    ; Port.make ~name:"co" ~layer:L.Metal1 ~edge:Port.East (r 56 10 56 12)
+    ; Port.make ~name:"q" ~layer:L.Metal2 ~edge:Port.North (r 26 24 29 24)
+    ]

@@ -1,0 +1,64 @@
+(** Parametric leaf-cell generators, all in lambda units so every
+    bundled process shares them (BISRAMGEN's design-rule independence).
+
+    The 6T cell and its column peripherals carry real mask geometry —
+    the 6T layout is the template with near-zero critical area for the
+    fatal global-net flaws (Section VII) — while registers, CAM bits
+    and the PLA are abutment-box "phantom" cells with accurate areas
+    and ports (their internals do not affect the floorplan or the
+    area/overhead results). *)
+
+(** 24 x 20 lambda 6T SRAM cell.  Ports: [bl]/[blb] (metal2, N+S),
+    [wl] (poly, E+W), [vdd]/[gnd] (metal1, E+W). *)
+val sram_6t : unit -> Cell.t
+
+(** Column precharge/equalize head, 24 wide; [bl]/[blb] on the south
+    edge line up with the cell bitlines. *)
+val precharge : unit -> Cell.t
+
+(** Current-mode sense amplifier + write driver column foot, 24 wide. *)
+val sense_amp : unit -> Cell.t
+
+(** Word-line driver, [drive] x minimum; [inp] west (metal1), [out]
+    east (poly) aligned with the cell word line. *)
+val wordline_driver : drive:int -> Cell.t
+
+(** One row-decoder slice (NAND of [bits] address lines), word-line
+    pitch tall; [out] east aligned with the word-line driver input. *)
+val row_decoder_slice : bits:int -> Cell.t
+
+(** Column multiplexer slice: [bpc] pass-transistor pairs, 24*bpc
+    wide. *)
+val column_mux : bpc:int -> Cell.t
+
+(** Strap cell inserted between subarrays every [strap] columns: a
+    vertical well-tap / wire-through column, [w] lambda wide, cell
+    height tall. *)
+val strap : w:int -> Cell.t
+
+(** Phantom cells (accurate abutment box + ports, no internals). *)
+
+(** TLB CAM bit: storage + comparator + match-line segment. *)
+val cam_bit : unit -> Cell.t
+
+(** Static D flip-flop with scan-free reset (ADDGEN/DATAGEN/STREG). *)
+val dff : unit -> Cell.t
+
+(** Pseudo-NMOS NOR-NOR PLA core of the given plane dimensions
+    (abutment-box phantom used for floorplanning). *)
+val pla : n_inputs:int -> n_outputs:int -> n_terms:int -> Cell.t
+
+(** Fully drawn PLA core programmed from plane images (the layout
+    BISRAMGEN builds from the two control-code files): vertical poly
+    true/complement input columns, horizontal metal-1 term rows,
+    metal-2 output columns, and one pull-down device patch per
+    programmed literal.  AND-plane characters: '1' true line, '0'
+    complement line, '-' none; OR plane: '1' connects the term.
+    @raise Invalid_argument on ragged or empty planes. *)
+val pla_programmed : and_plane:string list -> or_plane:string list -> Cell.t
+
+(** Johnson-counter stage: dff + feedback mux + comparator XOR. *)
+val datagen_stage : unit -> Cell.t
+
+(** Up/down counter stage: dff + half-adder + direction mux. *)
+val addgen_stage : unit -> Cell.t

@@ -1,0 +1,84 @@
+module R = Bisram_geometry.Rect
+module P = Bisram_geometry.Point
+module T = Bisram_geometry.Transform
+module O = Bisram_geometry.Orient
+
+type element =
+  | Inst of { cell : Cell.t; at : T.t }
+  | Array of {
+      cell : Cell.t;
+      origin : P.t;
+      nx : int;
+      ny : int;
+      pitch_x : int;
+      pitch_y : int;
+      mirror_odd_rows : bool;
+    }
+
+type t = { name : string; elements : element list; ports : Port.t list }
+
+let make ~name ?(ports = []) elements =
+  if elements = [] then invalid_arg "Macro.make: empty";
+  { name; elements; ports }
+
+let inst ?(at = T.identity) cell = Inst { cell; at }
+
+let array ?pitch_x ?pitch_y ?(mirror_odd_rows = false) ~origin ~nx ~ny cell =
+  if nx < 1 || ny < 1 then invalid_arg "Macro.array: dims";
+  let pitch_x = Option.value pitch_x ~default:(Cell.width cell) in
+  let pitch_y = Option.value pitch_y ~default:(Cell.height cell) in
+  Array { cell; origin; nx; ny; pitch_x; pitch_y; mirror_odd_rows }
+
+let element_bbox = function
+  | Inst { cell; at } -> T.apply_rect at cell.Cell.bbox
+  | Array { cell; origin; nx; ny; pitch_x; pitch_y; _ } ->
+      let w = ((nx - 1) * pitch_x) + Cell.width cell in
+      let h = ((ny - 1) * pitch_y) + Cell.height cell in
+      R.translate origin (R.make 0 0 w h)
+
+let bbox t =
+  match t.elements with
+  | [] -> invalid_arg "Macro.bbox: empty"
+  | e :: es -> List.fold_left (fun acc x -> R.join acc (element_bbox x)) (element_bbox e) es
+
+let width t = R.width (bbox t)
+let height t = R.height (bbox t)
+let area t = R.area (bbox t)
+
+let instance_count t =
+  List.fold_left
+    (fun acc e ->
+      match e with Inst _ -> acc + 1 | Array { nx; ny; _ } -> acc + (nx * ny))
+    0 t.elements
+
+let flatten ?(limit = 100_000) t =
+  if instance_count t > limit then
+    invalid_arg
+      (Printf.sprintf "Macro.flatten: %d instances exceeds limit %d"
+         (instance_count t) limit);
+  let cells =
+    List.concat_map
+      (fun e ->
+        match e with
+        | Inst { cell; at } -> [ Cell.transform at cell ]
+        | Array { cell; origin; nx; ny; pitch_x; pitch_y; mirror_odd_rows } ->
+            let flipped =
+              if mirror_odd_rows then
+                Cell.normalize (Cell.transform (T.rotation O.Mx) cell)
+              else cell
+            in
+            List.concat
+              (List.init ny (fun j ->
+                   let base = if mirror_odd_rows && j mod 2 = 1 then flipped else cell in
+                   List.init nx (fun i ->
+                       Cell.translate
+                         (P.add origin (P.make (i * pitch_x) (j * pitch_y)))
+                         base))))
+      t.elements
+  in
+  let merged = Cell.merge ~name:t.name cells in
+  { merged with Cell.ports = merged.Cell.ports @ t.ports }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d elements, %d instances, bbox %a" t.name
+    (List.length t.elements) (instance_count t) R.pp (bbox t)

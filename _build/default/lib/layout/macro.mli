@@ -1,0 +1,50 @@
+(** Hierarchical macrocells.
+
+    A macrocell instantiates leaf cells directly or as symbolic 2-D
+    arrays (step-and-repeat), so a megabit RAM core stays one record
+    instead of millions of flattened rectangles.  Areas, bounding boxes
+    and the CIF writer all work on the symbolic form. *)
+
+type element =
+  | Inst of { cell : Cell.t; at : Bisram_geometry.Transform.t }
+  | Array of {
+      cell : Cell.t;
+      origin : Bisram_geometry.Point.t;
+      nx : int;
+      ny : int;
+      pitch_x : int;
+      pitch_y : int;
+      mirror_odd_rows : bool;
+    }
+
+type t = {
+  name : string;
+  elements : element list;
+  ports : Port.t list;
+}
+
+val make : name:string -> ?ports:Port.t list -> element list -> t
+
+val inst : ?at:Bisram_geometry.Transform.t -> Cell.t -> element
+
+(** [array cell ~origin ~nx ~ny] with pitch defaulting to the cell's
+    abutment-box size (tight tiling). *)
+val array :
+  ?pitch_x:int -> ?pitch_y:int -> ?mirror_odd_rows:bool ->
+  origin:Bisram_geometry.Point.t -> nx:int -> ny:int -> Cell.t -> element
+
+val bbox : t -> Bisram_geometry.Rect.t
+val width : t -> int
+val height : t -> int
+
+(** Abutment-box area (the floorplanning area). *)
+val area : t -> int
+
+(** Number of leaf-cell instances (arrays counted in full). *)
+val instance_count : t -> int
+
+(** Flatten to a single cell.  Refuses (raises [Invalid_argument]) when
+    the expansion would exceed [limit] instances (default 100_000). *)
+val flatten : ?limit:int -> t -> Cell.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module O = Bisram_geometry.Orient
+module T = Bisram_geometry.Transform
+module P = Bisram_geometry.Point
+
+type edge = North | South | East | West
+
+type t = {
+  name : string;
+  layer : Bisram_tech.Layer.t;
+  rect : Bisram_geometry.Rect.t;
+  edge : edge;
+}
+
+let make ~name ~layer ~edge rect = { name; layer; rect; edge }
+
+let opposite = function
+  | North -> South
+  | South -> North
+  | East -> West
+  | West -> East
+
+(* Track where the outward normal of the edge goes under the
+   orientation. *)
+let normal = function
+  | North -> P.make 0 1
+  | South -> P.make 0 (-1)
+  | East -> P.make 1 0
+  | West -> P.make (-1) 0
+
+let edge_of_normal (p : P.t) =
+  match (p.P.x, p.P.y) with
+  | 0, 1 -> North
+  | 0, -1 -> South
+  | 1, 0 -> East
+  | -1, 0 -> West
+  | _ -> invalid_arg "Port.edge_of_normal"
+
+let transform_edge o e = edge_of_normal (O.apply o (normal e))
+
+let transform tr p =
+  { p with
+    rect = T.apply_rect tr p.rect
+  ; edge = transform_edge tr.T.orient p.edge
+  }
+
+let edge_name = function
+  | North -> "N"
+  | South -> "S"
+  | East -> "E"
+  | West -> "W"
+
+let pp ppf p =
+  Format.fprintf ppf "%s@%s:%a %a" p.name (edge_name p.edge)
+    Bisram_tech.Layer.pp p.layer Bisram_geometry.Rect.pp p.rect

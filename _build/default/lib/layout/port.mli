@@ -1,0 +1,25 @@
+(** Cell ports: named, layered landing rectangles on a cell edge.
+
+    Signals between adjacent macrocells are connected by abutment: two
+    cells abut correctly when their facing ports coincide after
+    placement.  Port rectangles may be degenerate (zero thickness). *)
+
+type edge = North | South | East | West
+
+type t = {
+  name : string;
+  layer : Bisram_tech.Layer.t;
+  rect : Bisram_geometry.Rect.t;
+  edge : edge;
+}
+
+val make :
+  name:string -> layer:Bisram_tech.Layer.t -> edge:edge ->
+  Bisram_geometry.Rect.t -> t
+
+(** Edge after an orientation change. *)
+val transform_edge : Bisram_geometry.Orient.t -> edge -> edge
+
+val transform : Bisram_geometry.Transform.t -> t -> t
+val opposite : edge -> edge
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+module R = Bisram_geometry.Rect
+module P = Bisram_geometry.Point
+module T = Bisram_geometry.Transform
+module O = Bisram_geometry.Orient
+
+let hstack ~name cells =
+  match cells with
+  | [] -> invalid_arg "Tile.hstack: empty"
+  | cells ->
+      let placed, _ =
+        List.fold_left
+          (fun (acc, x) c ->
+            let c = Cell.normalize c in
+            (Cell.translate (P.make x 0) c :: acc, x + Cell.width c))
+          ([], 0) cells
+      in
+      Cell.merge ~name (List.rev placed)
+
+let vstack ~name cells =
+  match cells with
+  | [] -> invalid_arg "Tile.vstack: empty"
+  | cells ->
+      let placed, _ =
+        List.fold_left
+          (fun (acc, y) c ->
+            let c = Cell.normalize c in
+            (Cell.translate (P.make 0 y) c :: acc, y + Cell.height c))
+          ([], 0) cells
+      in
+      Cell.merge ~name (List.rev placed)
+
+let harray ~name ~n cell =
+  if n < 1 then invalid_arg "Tile.harray: n";
+  hstack ~name (List.init n (fun _ -> cell))
+
+let varray ~name ~n cell =
+  if n < 1 then invalid_arg "Tile.varray: n";
+  vstack ~name (List.init n (fun _ -> cell))
+
+let varray_mirrored ~name ~n cell =
+  if n < 1 then invalid_arg "Tile.varray_mirrored: n";
+  let flipped = Cell.normalize (Cell.transform (T.rotation O.Mx) cell) in
+  vstack ~name
+    (List.init n (fun i -> if i mod 2 = 0 then cell else flipped))
+
+let abutting_ports a b =
+  List.concat_map
+    (fun pa ->
+      List.filter_map
+        (fun (pb : Port.t) ->
+          if
+            pa.Port.name = pb.Port.name
+            && Bisram_tech.Layer.equal pa.Port.layer pb.Port.layer
+            && R.equal pa.Port.rect pb.Port.rect
+            && pa.Port.edge = Port.opposite pb.Port.edge
+          then Some (pa, pb)
+          else None)
+        b.Cell.ports)
+    a.Cell.ports

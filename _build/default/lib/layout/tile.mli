@@ -1,0 +1,27 @@
+(** Abutment tiling combinators over flat cells.
+
+    These flatten their operands, so they are meant for leaf-scale
+    assemblies (a column head, a decoder slice stack).  Full arrays use
+    {!Macro}'s symbolic arrays instead. *)
+
+(** Place cells left to right, abutment boxes touching; bottoms
+    aligned. *)
+val hstack : name:string -> Cell.t list -> Cell.t
+
+(** Place cells bottom to top; left edges aligned. *)
+val vstack : name:string -> Cell.t list -> Cell.t
+
+(** [harray ~name ~n cell] — [n] copies left to right. *)
+val harray : name:string -> n:int -> Cell.t -> Cell.t
+
+(** [varray ~name ~n cell] — [n] copies bottom to top. *)
+val varray : name:string -> n:int -> Cell.t -> Cell.t
+
+(** [varray_mirrored ~name ~n cell] — like [varray] but odd rows are
+    mirrored about the x axis so power rails and diffusion are shared
+    between vertical neighbours (the classic SRAM tiling). *)
+val varray_mirrored : name:string -> n:int -> Cell.t -> Cell.t
+
+(** Abutting ports of two placed cells: pairs of same-named ports whose
+    rectangles coincide.  The tiling contract between neighbours. *)
+val abutting_ports : Cell.t -> Cell.t -> (Port.t * Port.t) list

@@ -1,0 +1,1 @@
+lib/place_route/block.ml: Bisram_geometry Bisram_layout Format List Printf

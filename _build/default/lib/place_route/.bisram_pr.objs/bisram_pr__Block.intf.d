@@ -1,0 +1,1 @@
+lib/place_route/block.mli: Bisram_geometry Bisram_layout Format

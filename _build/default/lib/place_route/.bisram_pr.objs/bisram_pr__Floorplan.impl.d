@@ -1,0 +1,1 @@
+lib/place_route/floorplan.ml: Array Bisram_geometry Block Buffer Format List Placer Router String

@@ -1,0 +1,1 @@
+lib/place_route/floorplan.mli: Bisram_tech Block Format Placer Router

@@ -1,0 +1,1 @@
+lib/place_route/placer.ml: Bisram_geometry Bisram_layout Block Format Hashtbl Int List

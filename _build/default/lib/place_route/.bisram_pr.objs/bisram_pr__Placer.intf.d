@@ -1,0 +1,1 @@
+lib/place_route/placer.mli: Bisram_geometry Block Format

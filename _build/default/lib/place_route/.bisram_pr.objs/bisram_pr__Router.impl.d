@@ -1,0 +1,1 @@
+lib/place_route/router.ml: Array Bisram_geometry Bisram_tech Block Format Hashtbl List Placer

@@ -1,0 +1,1 @@
+lib/place_route/router.mli: Bisram_geometry Bisram_tech Format Placer

@@ -1,0 +1,54 @@
+module P = Bisram_geometry.Point
+module R = Bisram_geometry.Rect
+module Port = Bisram_layout.Port
+module Macro = Bisram_layout.Macro
+
+type pin = { net : string; edge : Port.edge; offset : int }
+type t = { name : string; w : int; h : int; pins : pin list }
+
+let make ~name ~w ~h pins =
+  if w <= 0 || h <= 0 then invalid_arg "Block.make: size";
+  List.iter
+    (fun pin ->
+      let along =
+        match pin.edge with
+        | Port.North | Port.South -> w
+        | Port.East | Port.West -> h
+      in
+      if pin.offset < 0 || pin.offset > along then
+        invalid_arg
+          (Printf.sprintf "Block.make: pin %s offset %d out of edge" pin.net
+             pin.offset))
+    pins;
+  { name; w; h; pins }
+
+let area t = t.w * t.h
+
+let of_macro m =
+  let box = Macro.bbox m in
+  let w = R.width box and h = R.height box in
+  let ll = R.lower_left box in
+  let pins =
+    List.map
+      (fun (p : Port.t) ->
+        let c = R.center p.Port.rect in
+        let local = P.sub c ll in
+        let offset =
+          match p.Port.edge with
+          | Port.North | Port.South -> local.P.x
+          | Port.East | Port.West -> local.P.y
+        in
+        { net = p.Port.name; edge = p.Port.edge; offset = max 0 (min offset (max w h)) })
+      m.Macro.ports
+  in
+  make ~name:m.Macro.name ~w ~h pins
+
+let pin_position t pin =
+  match pin.edge with
+  | Port.South -> P.make pin.offset 0
+  | Port.North -> P.make pin.offset t.h
+  | Port.West -> P.make 0 pin.offset
+  | Port.East -> P.make t.w pin.offset
+
+let pp ppf t =
+  Format.fprintf ppf "%s %dx%d (%d pins)" t.name t.w t.h (List.length t.pins)

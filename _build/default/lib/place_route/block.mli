@@ -1,0 +1,27 @@
+(** Placeable blocks: the abstract (outline + pins) view of a macrocell
+    that the macrocell place-and-route works on. *)
+
+type pin = {
+  net : string;  (** net name; pins of equal net must be connected *)
+  edge : Bisram_layout.Port.edge;
+  offset : int;  (** position of the pin centre along the edge, lambda *)
+}
+
+type t = {
+  name : string;
+  w : int;
+  h : int;
+  pins : pin list;
+}
+
+val make : name:string -> w:int -> h:int -> pin list -> t
+val area : t -> int
+
+(** Derive a block from a macrocell: outline from the bounding box,
+    pins from the macro-level ports (net = port name). *)
+val of_macro : Bisram_layout.Macro.t -> t
+
+(** Pin centre in block-local coordinates (block at origin, R0). *)
+val pin_position : t -> pin -> Bisram_geometry.Point.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Floorplan reporting: metrics and the ASCII rendering used to
+    reproduce the layout plots of Figs. 6 and 7. *)
+
+type t = {
+  placement : Placer.result;
+  routing : Router.result;
+}
+
+val make : Bisram_tech.Rules.t -> Block.t list -> t
+
+(** The paper's near-optimality measure: layout area over the sum of
+    block areas, i.e. 1 + epsilon.  [epsilon] is reported. *)
+val epsilon : t -> float
+
+(** ASCII rendering of the placement, roughly [width] characters wide;
+    each block is drawn as a box labelled with its name. *)
+val render : ?width:int -> t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** The macrocell placer (Section II).
+
+    The heuristic follows the paper: macrocells are sorted in
+    decreasing order of area and placed one at a time; each new block
+    tries candidate positions abutting the already-placed blocks.
+    Candidates are scored on dead space (keeping the overall layout
+    "as rectangular as possible") and on estimated interconnect length.
+    Two refinements from the paper are applied:
+
+    - {b port alignment}: when the new block faces a placed block with
+      which it shares nets, the block slides along the shared edge so
+      those ports line up (also avoiding the 64-orientation search);
+    - {b stretching}: a block abutting a slightly longer edge is
+      stretched to match it, so ports connect by abutment. *)
+
+type placement = {
+  block : Block.t;
+  at : Bisram_geometry.Point.t;
+  stretch_w : int;  (** extra width added by stretching *)
+  stretch_h : int;
+}
+
+type result = {
+  placements : placement list;
+  bbox : Bisram_geometry.Rect.t;
+  dead_space : int;  (** bbox area - sum of placed areas *)
+  rectangularity : float;  (** sum of areas / bbox area, in (0,1] *)
+}
+
+val rect_of_placement : placement -> Bisram_geometry.Rect.t
+
+(** Absolute position of a pin of a placed block. *)
+val pin_point : placement -> Block.pin -> Bisram_geometry.Point.t
+
+(** [place blocks] — blocks are connected by pins sharing net names. *)
+val place : Block.t list -> result
+
+(** Total half-perimeter wirelength over nets (pre-routing metric). *)
+val hpwl : result -> int
+
+val find : result -> string -> placement option
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,173 @@
+module P = Bisram_geometry.Point
+module R = Bisram_geometry.Rect
+module L = Bisram_tech.Layer
+
+type segment = { net : string; a : P.t; b : P.t }
+
+type result = {
+  segments : segment list;
+  wirelength : int;
+  abutted_nets : int;
+  routed_nets : int;
+  conflicts : int;
+}
+
+let seg_len s = P.manhattan s.a s.b
+
+(* Prim's MST over pin points (nets are small: a handful of pins). *)
+let mst points =
+  match points with
+  | [] | [ _ ] -> []
+  | first :: rest ->
+      let in_tree = ref [ first ] in
+      let out = ref rest in
+      let edges = ref [] in
+      while !out <> [] do
+        let best = ref None in
+        List.iter
+          (fun p ->
+            List.iter
+              (fun q ->
+                let d = P.manhattan p q in
+                match !best with
+                | Some (bd, _, _) when bd <= d -> ()
+                | _ -> best := Some (d, p, q))
+              !in_tree)
+          !out;
+        match !best with
+        | None -> out := []
+        | Some (_, p, q) ->
+            edges := (q, p) :: !edges;
+            in_tree := p :: !in_tree;
+            out := List.filter (fun x -> not (P.equal x p)) !out
+      done;
+      !edges
+
+let z_route ~jitter net (a : P.t) (b : P.t) =
+  (* general route: vertical escape stubs at both pins onto per-net
+     horizontal tracks, joined by a per-net vertical track, so every
+     long leg sits on a jitterable coordinate *)
+  if P.equal a b then []
+  else begin
+    let ya = a.P.y + jitter and yb = b.P.y + jitter in
+    let xm = ((a.P.x + b.P.x) / 2) + jitter in
+    (* per-net escape columns: pins of distinct nets often share the x
+       of a common block edge, so the vertical stubs leave from a
+       net-specific column reached by a short leg along the pin row *)
+    let xa = a.P.x + jitter and xb = b.P.x + jitter in
+    let waypoints =
+      [ a; P.make xa a.P.y; P.make xa ya; P.make xm ya; P.make xm yb
+      ; P.make xb yb; P.make xb b.P.y; b
+      ]
+    in
+    let rec to_segments = function
+      | p :: (q :: _ as rest) ->
+          if P.equal p q then to_segments rest
+          else { net; a = p; b = q } :: to_segments rest
+      | [ _ ] | [] -> []
+    in
+    to_segments waypoints
+  end
+
+let is_horizontal s = s.a.P.y = s.b.P.y
+
+(* Pin-access stubs: short jogs next to a pin, realized with vias in
+   practice, are not track conflicts. *)
+let stub_limit = 30
+
+let segments_conflict s1 s2 =
+  (* HV discipline: horizontal legs run on metal-3, vertical legs on
+     metal-2, so perpendicular crossings are legal; only parallel
+     same-direction overlaps between distinct nets conflict *)
+  if s1.net = s2.net then false
+  else if is_horizontal s1 <> is_horizontal s2 then false
+  else if seg_len s1 <= stub_limit || seg_len s2 <= stub_limit then false
+  else begin
+    let widen s = R.inflate 1 (R.make s.a.P.x s.a.P.y s.b.P.x s.b.P.y) in
+    R.overlaps (widen s1) (widen s2)
+  end
+
+let conflicting_nets segs_by_net =
+  (* names of nets whose segments overlap another net's segments *)
+  let all = Array.of_list (List.concat_map snd segs_by_net) in
+  let bad = Hashtbl.create 8 in
+  let count = ref 0 in
+  for i = 0 to Array.length all - 1 do
+    for j = i + 1 to Array.length all - 1 do
+      if segments_conflict all.(i) all.(j) then begin
+        incr count;
+        Hashtbl.replace bad all.(i).net ();
+        Hashtbl.replace bad all.(j).net ()
+      end
+    done
+  done;
+  (!count, bad)
+
+let route rules placement =
+  let pitch = Bisram_tech.Rules.pitch rules L.Metal3 in
+  (* collect pins by net *)
+  let nets = Hashtbl.create 32 in
+  List.iter
+    (fun pl ->
+      List.iter
+        (fun pin ->
+          let p = Placer.pin_point pl pin in
+          let cur =
+            match Hashtbl.find_opt nets pin.Block.net with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace nets pin.Block.net (p :: cur))
+        pl.Placer.block.Block.pins)
+    placement.Placer.placements;
+  let abutted = ref 0 in
+  let to_route = ref [] in
+  Hashtbl.iter
+    (fun net points ->
+      let distinct = List.sort_uniq P.compare points in
+      if List.length distinct <= 1 then incr abutted
+      else to_route := (net, distinct) :: !to_route)
+    nets;
+  let route_one ~jitter (net, points) =
+    (net, List.concat_map (fun (a, b) -> z_route ~jitter net a b) (mst points))
+  in
+  (* initial tracks: alternating signed jitter per net index *)
+  let signed k = (if k mod 2 = 0 then k / 2 else -((k / 2) + 1)) * pitch in
+  let jitters = Hashtbl.create 16 in
+  List.iteri
+    (fun k (net, _) -> Hashtbl.replace jitters net (signed k))
+    !to_route;
+  (* rip-up and retry: nets still in conflict move to fresh tracks *)
+  let rec iterate attempt =
+    let segs_by_net =
+      List.map
+        (fun (net, pts) ->
+          route_one ~jitter:(Hashtbl.find jitters net) (net, pts))
+        !to_route
+    in
+    let count, bad = conflicting_nets segs_by_net in
+    if count = 0 || attempt >= 10 then (segs_by_net, count)
+    else begin
+      Hashtbl.iter
+        (fun net () ->
+          let j = Hashtbl.find jitters net in
+          (* per-net bump so synchronized re-collisions cannot persist *)
+          let bump = ((attempt + 1) + (Hashtbl.hash net mod 3)) * pitch in
+          Hashtbl.replace jitters net (j + bump))
+        bad;
+      iterate (attempt + 1)
+    end
+  in
+  let segs_by_net, conflicts = iterate 0 in
+  let segs = List.concat_map snd segs_by_net in
+  { segments = segs
+  ; wirelength = List.fold_left (fun a s -> a + seg_len s) 0 segs
+  ; abutted_nets = !abutted
+  ; routed_nets = List.length !to_route
+  ; conflicts
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d nets by abutment, %d routed, wirelength %d lambda, %d conflicts"
+    r.abutted_nets r.routed_nets r.wirelength r.conflicts

@@ -1,0 +1,27 @@
+(** Over-the-cell router.
+
+    Ports already coincident after placement are connected by abutment
+    and need no wire.  Remaining nets are routed with L-shaped
+    (one-bend) metal-3 segments over the cells in HV discipline (horizontal legs on metal 3,
+    vertical legs on metal 2) — the paper's preferred
+    alternative to channel or global routing — connecting each net's
+    pins along a minimum spanning tree.  Distinct nets sharing a track
+    are jittered apart by one wire pitch; any residual same-layer
+    crossings are reported as conflicts. *)
+
+type segment = {
+  net : string;
+  a : Bisram_geometry.Point.t;
+  b : Bisram_geometry.Point.t;  (** horizontal or vertical *)
+}
+
+type result = {
+  segments : segment list;
+  wirelength : int;
+  abutted_nets : int;  (** nets fully connected by abutment *)
+  routed_nets : int;
+  conflicts : int;  (** same-layer overlaps between distinct nets *)
+}
+
+val route : Bisram_tech.Rules.t -> Placer.result -> result
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/reliability/reliability.ml: Array Bisram_sram Float

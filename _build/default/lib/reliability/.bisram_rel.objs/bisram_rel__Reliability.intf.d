@@ -1,0 +1,1 @@
+lib/reliability/reliability.mli: Bisram_sram

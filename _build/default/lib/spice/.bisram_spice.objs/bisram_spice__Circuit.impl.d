@@ -1,0 +1,1 @@
+lib/spice/circuit.ml: Bisram_tech Format List Printf

@@ -1,0 +1,1 @@
+lib/spice/elmore.ml: Array List

@@ -1,0 +1,1 @@
+lib/spice/sizing.ml: Bisram_tech Float Format List

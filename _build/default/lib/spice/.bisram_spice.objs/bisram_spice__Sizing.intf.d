@@ -1,0 +1,1 @@
+lib/spice/sizing.mli: Bisram_tech Format

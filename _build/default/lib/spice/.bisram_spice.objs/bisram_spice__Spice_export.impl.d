@@ -1,0 +1,1 @@
+lib/spice/spice_export.ml: Bisram_tech Buffer Circuit List Printf

@@ -1,0 +1,1 @@
+lib/spice/spice_export.mli: Circuit

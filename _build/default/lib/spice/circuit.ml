@@ -1,0 +1,93 @@
+type net = int
+type mos_kind = Nmos | Pmos
+
+type device =
+  | Mos of {
+      kind : mos_kind;
+      gate : net;
+      drain : net;
+      source : net;
+      w : float;
+      l : float;
+    }
+  | Resistor of { a : net; b : net; ohms : float }
+  | Capacitor of { a : net; b : net; farads : float }
+
+type t = {
+  electrical : Bisram_tech.Electrical.t;
+  mutable next_net : int;
+  mutable names : (int * string) list;
+  mutable devs : device list;
+  vdd : int;
+}
+
+let gnd = 0
+
+let create electrical =
+  { electrical
+  ; next_net = 2
+  ; names = [ (0, "gnd"); (1, "vdd") ]
+  ; devs = []
+  ; vdd = 1
+  }
+
+let electrical t = t.electrical
+let vdd_net t = t.vdd
+
+let fresh_net ?name t =
+  let n = t.next_net in
+  t.next_net <- n + 1;
+  (match name with
+  | Some s -> t.names <- (n, s) :: t.names
+  | None -> ());
+  n
+
+let net_name t n =
+  match List.assoc_opt n t.names with
+  | Some s -> s
+  | None -> Printf.sprintf "n%d" n
+
+let net_count t = t.next_net
+let add t d = t.devs <- d :: t.devs
+let devices t = List.rev t.devs
+
+let node_capacitance t ~feature_m net =
+  let e = t.electrical in
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | Capacitor { a; b; farads } ->
+          if (a = net && b = gnd) || (b = net && a = gnd) then acc +. farads
+          else acc
+      | Mos { gate; drain; source; w; l; _ } ->
+          let acc =
+            if gate = net then acc +. Bisram_tech.Electrical.cgate e ~w ~l
+            else acc
+          in
+          let acc =
+            if drain = net then
+              acc +. Bisram_tech.Electrical.cdiff e ~feature_m ~w
+            else acc
+          in
+          if source = net then
+            acc +. Bisram_tech.Electrical.cdiff e ~feature_m ~w
+          else acc
+      | Resistor _ -> acc)
+    0.0 (devices t)
+
+let pp_device t ppf = function
+  | Mos { kind; gate; drain; source; w; l } ->
+      Format.fprintf ppf "M%s g=%s d=%s s=%s w=%.2fu l=%.2fu"
+        (match kind with Nmos -> "N" | Pmos -> "P")
+        (net_name t gate) (net_name t drain) (net_name t source) (w *. 1e6)
+        (l *. 1e6)
+  | Resistor { a; b; ohms } ->
+      Format.fprintf ppf "R %s %s %.1f" (net_name t a) (net_name t b) ohms
+  | Capacitor { a; b; farads } ->
+      Format.fprintf ppf "C %s %s %.3ffF" (net_name t a) (net_name t b)
+        (farads *. 1e15)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (pp_device t))
+    (devices t)

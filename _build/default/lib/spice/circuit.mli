@@ -1,0 +1,47 @@
+(** Netlists for the built-in circuit-analysis utilities.
+
+    BISRAMGEN uses "built-in access to SPICE utilities" to size critical
+    gates and to extrapolate timing guarantees from leaf cells.  This
+    module is the netlist datatype shared by the Elmore estimator
+    ({!Elmore}) and the switch-level transient solver ({!Transient}). *)
+
+type net = int
+(** Nets are small integers; net 0 is ground. *)
+
+type mos_kind = Nmos | Pmos
+
+type device =
+  | Mos of {
+      kind : mos_kind;
+      gate : net;
+      drain : net;
+      source : net;
+      w : float;  (** drawn width, meters *)
+      l : float;  (** drawn length, meters *)
+    }
+  | Resistor of { a : net; b : net; ohms : float }
+  | Capacitor of { a : net; b : net; farads : float }
+
+type t
+
+val create : Bisram_tech.Electrical.t -> t
+val electrical : t -> Bisram_tech.Electrical.t
+
+(** Allocate a fresh net, optionally named for reporting. *)
+val fresh_net : ?name:string -> t -> net
+
+val gnd : net
+val vdd_net : t -> net
+
+val net_name : t -> net -> string
+val net_count : t -> int
+
+val add : t -> device -> unit
+val devices : t -> device list
+
+(** Total capacitance attached to a net: explicit capacitors to ground
+    plus gate capacitance of MOS gates on that net plus diffusion
+    capacitance of drains/sources (using the process feature size). *)
+val node_capacitance : t -> feature_m:float -> net -> float
+
+val pp : Format.formatter -> t -> unit

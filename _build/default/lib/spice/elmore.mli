@@ -1,0 +1,34 @@
+(** Elmore delay estimation on RC trees.
+
+    An RC tree is rooted at a driver with on-resistance [rdrive]; each
+    branch is a resistive segment with a lumped capacitance at its far
+    node.  The Elmore delay to a node is the sum over tree edges of
+    (edge resistance) x (total downstream capacitance), which upper
+    bounds — and in practice tracks — the 50% step response delay. *)
+
+type node = int
+
+type t
+
+(** [create ~rdrive] starts a tree at root node 0 driven through
+    [rdrive] ohms. *)
+val create : rdrive:float -> t
+
+(** [add_segment t ~parent ~r ~c] grows the tree: a new node connected
+    to [parent] through [r] ohms with [c] farads at the new node.
+    Returns the new node id. *)
+val add_segment : t -> parent:node -> r:float -> c:float -> node
+
+(** Add extra lumped capacitance at an existing node. *)
+val add_cap : t -> node -> float -> unit
+
+(** Elmore delay (seconds) from the driver input to the given node. *)
+val delay : t -> node -> float
+
+(** Delay to the node with the largest Elmore delay. *)
+val max_delay : t -> float
+
+(** Convenience: delay of a uniform distributed RC line with total
+    resistance [r] and total capacitance [c], driven by [rdrive] into a
+    load [cload]: rdrive*(c + cload) + r*(c/2 + cload). *)
+val rc_line : rdrive:float -> r:float -> c:float -> cload:float -> float

@@ -1,0 +1,51 @@
+module E = Bisram_tech.Electrical
+
+type gate_size = { wn : float; wp : float; l : float }
+
+let min_width_features = 1.5 (* 3 lambda *)
+
+let balanced e ~feature_m ~drive =
+  assert (drive >= 1.0);
+  let wn = min_width_features *. feature_m *. drive in
+  { wn; wp = wn *. E.beta_ratio e; l = feature_m }
+
+let nand_stack g ~n =
+  assert (n >= 1);
+  { g with wn = g.wn *. float_of_int n }
+
+let nor_stack g ~n =
+  assert (n >= 1);
+  { g with wp = g.wp *. float_of_int n }
+
+let input_cap e g = E.cgate e ~w:g.wn ~l:g.l +. E.cgate e ~w:g.wp ~l:g.l
+let rpull_down e g = E.ron_nmos e ~w:g.wn ~l:g.l
+let rpull_up e g = E.ron_pmos e ~w:g.wp ~l:g.l
+
+let buffer_chain e ~feature_m ~cin ~cload =
+  assert (cin > 0.0 && cload >= 0.0);
+  let unit = balanced e ~feature_m ~drive:1.0 in
+  let cunit = input_cap e unit in
+  (* First stage must fit the input budget. *)
+  let first_drive = max 1.0 (cin /. cunit) in
+  let cfirst = cunit *. first_drive in
+  if cload <= cfirst *. 4.0 then [ balanced e ~feature_m ~drive:first_drive ]
+  else begin
+    let fanout = 4.0 in
+    let ratio = cload /. cfirst in
+    let stages = max 1 (int_of_float (Float.round (log ratio /. log fanout))) in
+    let per_stage = ratio ** (1.0 /. float_of_int stages) in
+    List.init (stages + 1) (fun i ->
+        let drive = first_drive *. (per_stage ** float_of_int i) in
+        balanced e ~feature_m ~drive)
+  end
+
+let inverter_delay e ~feature_m g ~cload =
+  let r = (rpull_down e g +. rpull_up e g) /. 2.0 in
+  let cself =
+    E.cdiff e ~feature_m ~w:g.wn +. E.cdiff e ~feature_m ~w:g.wp
+  in
+  0.69 *. r *. (cself +. cload)
+
+let pp ppf g =
+  Format.fprintf ppf "wn=%.2fu wp=%.2fu l=%.2fu" (g.wn *. 1e6) (g.wp *. 1e6)
+    (g.l *. 1e6)

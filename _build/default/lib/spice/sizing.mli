@@ -1,0 +1,53 @@
+(** Automatic transistor sizing.
+
+    Reproduces the two sizing services the paper describes: (1) for a
+    given gate size, the N and P devices are sized to balance rise and
+    fall times; (2) critical components (precharge devices, word-line
+    drivers) are made larger than minimum to increase drive strength,
+    via logical-effort buffer chains. *)
+
+type gate_size = {
+  wn : float;  (** NMOS drawn width, meters *)
+  wp : float;  (** PMOS drawn width, meters *)
+  l : float;  (** drawn channel length, meters *)
+}
+
+(** [balanced e ~feature_m ~drive] sizes an inverter whose NMOS is
+    [drive] x minimum width (minimum width = 3 lambda = 1.5 features)
+    and whose PMOS is widened by the mobility ratio so rise and fall
+    times match. *)
+val balanced : Bisram_tech.Electrical.t -> feature_m:float -> drive:float -> gate_size
+
+(** Equal-resistance sizing for an [n]-input static NAND pulldown stack:
+    series NMOS devices are made [n] x wider. *)
+val nand_stack : gate_size -> n:int -> gate_size
+
+(** Equal-resistance sizing for an [n]-input static NOR pullup stack. *)
+val nor_stack : gate_size -> n:int -> gate_size
+
+(** [buffer_chain e ~feature_m ~cin ~cload] returns the sizes of a
+    minimum-delay inverter chain driving [cload] from an input
+    capacitance budget [cin], using the standard fanout-of-4 rule.
+    The list is ordered from first (smallest) to last (largest) stage;
+    it is never empty. *)
+val buffer_chain :
+  Bisram_tech.Electrical.t ->
+  feature_m:float ->
+  cin:float ->
+  cload:float ->
+  gate_size list
+
+(** Averaged pull-down / pull-up resistances of a sized gate. *)
+val rpull_down : Bisram_tech.Electrical.t -> gate_size -> float
+
+val rpull_up : Bisram_tech.Electrical.t -> gate_size -> float
+
+(** Input capacitance of a sized gate (both gate electrodes). *)
+val input_cap : Bisram_tech.Electrical.t -> gate_size -> float
+
+(** Intrinsic RC delay estimate of a balanced inverter driving [cload]:
+    0.69 * R * (Cself + Cload). *)
+val inverter_delay :
+  Bisram_tech.Electrical.t -> feature_m:float -> gate_size -> cload:float -> float
+
+val pp : Format.formatter -> gate_size -> unit

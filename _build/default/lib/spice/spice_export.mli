@@ -1,0 +1,10 @@
+(** SPICE netlist writer.
+
+    Emits a level-1 SPICE deck for a circuit: .MODEL cards derived from
+    the electrical deck, one card per device, the supply source, and
+    user-supplied control lines.  This is the "simulation model"
+    artifact BISRAMGEN generates alongside layouts. *)
+
+(** [deck ?title ?controls circuit] — a complete SPICE file.
+    [controls] lines (e.g. ".TRAN 10p 6n") are emitted before .END. *)
+val deck : ?title:string -> ?controls:string list -> Circuit.t -> string

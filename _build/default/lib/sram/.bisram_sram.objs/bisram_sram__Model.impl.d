@@ -1,0 +1,1 @@
+lib/sram/model.ml: Array Bisram_faults Bytes List Org Word

@@ -1,0 +1,1 @@
+lib/sram/model.mli: Bisram_faults Org Word

@@ -1,0 +1,1 @@
+lib/sram/org.ml: Format List

@@ -1,0 +1,1 @@
+lib/sram/power.ml: Bisram_tech Format Org Timing

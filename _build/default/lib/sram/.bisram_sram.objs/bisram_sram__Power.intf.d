@@ -1,0 +1,1 @@
+lib/sram/power.mli: Bisram_tech Format Org

@@ -1,0 +1,1 @@
+lib/sram/timing.ml: Bisram_spice Bisram_tech Format List Org

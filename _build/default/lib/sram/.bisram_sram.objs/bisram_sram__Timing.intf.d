@@ -1,0 +1,1 @@
+lib/sram/timing.mli: Bisram_tech Format Org

@@ -1,0 +1,1 @@
+lib/sram/word.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/sram/word.mli: Format

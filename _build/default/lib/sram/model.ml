@@ -1,0 +1,195 @@
+module F = Bisram_faults.Fault
+
+type agg_effect =
+  | Invert of int (* victim idx *)
+  | Force of { rising : bool; victim : int; forces : bool }
+
+type t = {
+  org : Org.t;
+  ncells : int;
+  cells : Bytes.t;
+  (* fault indices, one slot per physical cell *)
+  mutable fault_list : F.t list;
+  pin : bool option array;
+  no_rise : bool array;
+  no_fall : bool array;
+  opens : bool array;
+  retention : bool option array;
+  state_cpl : (int * bool * bool) list array; (* victim -> (agg, state, reads_as) *)
+  agg_effects : agg_effect list array; (* aggressor -> effects *)
+  sense_residue : bool array; (* one per I/O (bpw) *)
+  mutable remap : (int -> int) option;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+let org t = t.org
+
+let create org =
+  let ncells = Org.total_rows org * Org.cols org in
+  { org
+  ; ncells
+  ; cells = Bytes.make ncells '\000'
+  ; fault_list = []
+  ; pin = Array.make ncells None
+  ; no_rise = Array.make ncells false
+  ; no_fall = Array.make ncells false
+  ; opens = Array.make ncells false
+  ; retention = Array.make ncells None
+  ; state_cpl = Array.make ncells []
+  ; agg_effects = Array.make ncells []
+  ; sense_residue = Array.make org.Org.bpw false
+  ; remap = None
+  ; n_reads = 0
+  ; n_writes = 0
+  }
+
+let idx t (c : F.cell) =
+  let cols = Org.cols t.org in
+  if c.F.row < 0 || c.F.row >= Org.total_rows t.org then
+    invalid_arg "Model: fault row out of range";
+  if c.F.col < 0 || c.F.col >= cols then
+    invalid_arg "Model: fault col out of range";
+  (c.F.row * cols) + c.F.col
+
+let stored t i = Bytes.get t.cells i <> '\000'
+let store t i v = Bytes.set t.cells i (if v then '\001' else '\000')
+
+let clear t =
+  Bytes.fill t.cells 0 t.ncells '\000';
+  Array.iteri (fun i p -> match p with Some v -> store t i v | None -> ()) t.pin;
+  Array.fill t.sense_residue 0 (Array.length t.sense_residue) false
+
+let set_faults t faults =
+  t.fault_list <- faults;
+  Array.fill t.pin 0 t.ncells None;
+  Array.fill t.no_rise 0 t.ncells false;
+  Array.fill t.no_fall 0 t.ncells false;
+  Array.fill t.opens 0 t.ncells false;
+  Array.fill t.retention 0 t.ncells None;
+  Array.fill t.state_cpl 0 t.ncells [];
+  Array.fill t.agg_effects 0 t.ncells [];
+  List.iter
+    (fun f ->
+      match f with
+      | F.Stuck_at (c, v) -> t.pin.(idx t c) <- Some v
+      | F.Transition (c, up) ->
+          if up then t.no_rise.(idx t c) <- true
+          else t.no_fall.(idx t c) <- true
+      | F.Stuck_open c -> t.opens.(idx t c) <- true
+      | F.Data_retention (c, v) -> t.retention.(idx t c) <- Some v
+      | F.Coupling_inversion { aggressor; victim } ->
+          let a = idx t aggressor in
+          t.agg_effects.(a) <- Invert (idx t victim) :: t.agg_effects.(a)
+      | F.Coupling_idempotent { aggressor; rising; victim; forces } ->
+          let a = idx t aggressor in
+          t.agg_effects.(a) <-
+            Force { rising; victim = idx t victim; forces }
+            :: t.agg_effects.(a)
+      | F.State_coupling { aggressor; when_state; victim; reads_as } ->
+          let v = idx t victim in
+          t.state_cpl.(v) <-
+            (idx t aggressor, when_state, reads_as) :: t.state_cpl.(v))
+    faults;
+  clear t
+
+let faults t = t.fault_list
+let set_remap t f = t.remap <- f
+
+(* Coupling-driven store: respects pins (a stuck node cannot be flipped
+   by crosstalk) but bypasses transition faults. *)
+let force_store t i v =
+  match t.pin.(i) with Some _ -> () | None -> store t i v
+
+(* A successful state change on cell [i] fires its aggressor effects. *)
+let fire_coupling t i ~old_v ~new_v =
+  if old_v <> new_v then
+    List.iter
+      (fun eff ->
+        match eff with
+        | Invert victim -> force_store t victim (not (stored t victim))
+        | Force { rising; victim; forces } ->
+            if rising = new_v then force_store t victim forces)
+      t.agg_effects.(i)
+
+let write_bit t i v =
+  if t.opens.(i) then () (* inaccessible cell *)
+  else
+    match t.pin.(i) with
+    | Some _ -> () (* stuck node: write has no effect *)
+    | None ->
+        let old_v = stored t i in
+        let blocked = (v && not old_v && t.no_rise.(i))
+                      || ((not v) && old_v && t.no_fall.(i)) in
+        if not blocked then begin
+          store t i v;
+          fire_coupling t i ~old_v ~new_v:v
+        end
+
+let read_bit t ~io i =
+  if t.opens.(i) then t.sense_residue.(io) (* SOF: sense amp keeps residue *)
+  else begin
+    let v0 = stored t i in
+    let v =
+      List.fold_left
+        (fun acc (agg, st, reads_as) ->
+          if stored t agg = st then reads_as else acc)
+        v0 t.state_cpl.(i)
+    in
+    t.sense_residue.(io) <- v;
+    v
+  end
+
+let physical_row t row =
+  match t.remap with None -> row | Some f -> f row
+
+let check_word t w =
+  if Word.width w <> t.org.Org.bpw then
+    invalid_arg "Model: word width mismatch"
+
+let write_phys t ~row ~col w =
+  check_word t w;
+  if row < 0 || row >= Org.total_rows t.org then
+    invalid_arg "Model: row out of range";
+  if col < 0 || col >= t.org.Org.bpc then invalid_arg "Model: col out of range";
+  let cols = Org.cols t.org in
+  for bit = 0 to t.org.Org.bpw - 1 do
+    let c = Org.cell_col t.org ~col ~bit in
+    write_bit t ((row * cols) + c) (Word.get w bit)
+  done;
+  t.n_writes <- t.n_writes + 1
+
+let read_phys t ~row ~col =
+  if row < 0 || row >= Org.total_rows t.org then
+    invalid_arg "Model: row out of range";
+  if col < 0 || col >= t.org.Org.bpc then invalid_arg "Model: col out of range";
+  let cols = Org.cols t.org in
+  let bits =
+    Array.init t.org.Org.bpw (fun bit ->
+        let c = Org.cell_col t.org ~col ~bit in
+        read_bit t ~io:bit ((row * cols) + c))
+  in
+  t.n_reads <- t.n_reads + 1;
+  Word.of_bits bits
+
+let read_word t a =
+  let row = physical_row t (Org.row_of_addr t.org a) in
+  read_phys t ~row ~col:(Org.col_of_addr t.org a)
+
+let write_word t a w =
+  let row = physical_row t (Org.row_of_addr t.org a) in
+  write_phys t ~row ~col:(Org.col_of_addr t.org a) w
+
+let read_row_word t ~row ~col = read_phys t ~row ~col
+let write_row_word t ~row ~col w = write_phys t ~row ~col w
+
+let retention_wait t =
+  Array.iteri
+    (fun i decay ->
+      match decay with
+      | Some v -> if t.pin.(i) = None then store t i v
+      | None -> ())
+    t.retention
+
+let reads t = t.n_reads
+let writes t = t.n_writes

@@ -1,0 +1,46 @@
+(** Fault-aware behavioural model of the BISRAMGEN RAM array.
+
+    The model covers the regular rows plus the spare rows, a per-I/O
+    sense-amplifier residue (needed for the stuck-open read model), an
+    optional row remap installed by the BISR logic, and a retention
+    "wait" operation for IFA-9 data-retention testing. *)
+
+type t
+
+val create : Org.t -> t
+val org : t -> Org.t
+
+(** Install functional faults (replaces any previous set).  Fault cells
+    may lie in spare rows ([row < total_rows]). *)
+val set_faults : t -> Bisram_faults.Fault.t list -> unit
+
+val faults : t -> Bisram_faults.Fault.t list
+
+(** [set_remap t f] installs a logical-row to physical-row translation
+    (the TLB's output); [None] restores identity. *)
+val set_remap : t -> (int -> int) option -> unit
+
+(** Word access through the addressing logic (column mux + remap).
+    @raise Invalid_argument if the address is out of range or the word
+    width mismatches. *)
+val read_word : t -> int -> Word.t
+
+val write_word : t -> int -> Word.t -> unit
+
+(** Direct physical-row access, bypassing the remap (used to test spare
+    rows and by white-box tests). *)
+val read_row_word : t -> row:int -> col:int -> Word.t
+
+val write_row_word : t -> row:int -> col:int -> Word.t -> unit
+
+(** Retention wait: every data-retention-faulty cell decays. *)
+val retention_wait : t -> unit
+
+(** Number of word reads/writes performed so far (test-length metric). *)
+val reads : t -> int
+
+val writes : t -> int
+
+(** Forget all stored data (power-up state: zeros, pinned cells at their
+    stuck value); counters and faults are preserved. *)
+val clear : t -> unit

@@ -1,0 +1,43 @@
+type t = { words : int; bpw : int; bpc : int; spares : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ?(spares = 4) ~words ~bpw ~bpc () =
+  if not (is_pow2 bpc) then invalid_arg "Org.make: bpc must be a power of 2";
+  if not (is_pow2 bpw) then invalid_arg "Org.make: bpw must be a power of 2";
+  if words <= 0 || words mod bpc <> 0 then
+    invalid_arg "Org.make: words must be a positive multiple of bpc";
+  if not (List.mem spares [ 0; 4; 8; 16 ]) then
+    invalid_arg "Org.make: spares must be 0, 4, 8 or 16";
+  { words; bpw; bpc; spares }
+
+let rows t = t.words / t.bpc
+let total_rows t = rows t + t.spares
+let cols t = t.bpw * t.bpc
+let bits t = t.words * t.bpw
+let kilobits t = float_of_int (bits t) /. 1024.0
+let spare_words t = t.spares * t.bpc
+
+let row_of_addr t a =
+  if a < 0 || a >= t.words then invalid_arg "Org.row_of_addr: out of range";
+  a / t.bpc
+
+let col_of_addr t a =
+  if a < 0 || a >= t.words then invalid_arg "Org.col_of_addr: out of range";
+  a mod t.bpc
+
+let addr_of t ~row ~col =
+  if row < 0 || row >= rows t then invalid_arg "Org.addr_of: bad row";
+  if col < 0 || col >= t.bpc then invalid_arg "Org.addr_of: bad col";
+  (row * t.bpc) + col
+
+let cell_col t ~col ~bit =
+  if col < 0 || col >= t.bpc then invalid_arg "Org.cell_col: bad col";
+  if bit < 0 || bit >= t.bpw then invalid_arg "Org.cell_col: bad bit";
+  (bit * t.bpc) + col
+
+let equal (a : t) b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%dw x %db (bpc=%d, %d+%d rows)" t.words t.bpw t.bpc
+    (rows t) t.spares

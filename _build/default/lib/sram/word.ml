@@ -1,0 +1,34 @@
+type t = { bits : bool array }
+
+let width t = Array.length t.bits
+let zero n = { bits = Array.make n false }
+let ones n = { bits = Array.make n true }
+let of_bits b = { bits = Array.copy b }
+let of_int ~width v = { bits = Array.init width (fun i -> (v lsr i) land 1 = 1) }
+
+let get t i =
+  if i < 0 || i >= width t then invalid_arg "Word.get";
+  t.bits.(i)
+
+let set t i v =
+  if i < 0 || i >= width t then invalid_arg "Word.set";
+  let b = Array.copy t.bits in
+  b.(i) <- v;
+  { bits = b }
+
+let lnot_ t = { bits = Array.map not t.bits }
+let equal a b = a.bits = b.bits
+let to_bits t = Array.copy t.bits
+
+let diff a b =
+  if width a <> width b then invalid_arg "Word.diff: width mismatch";
+  let out = ref [] in
+  for i = width a - 1 downto 0 do
+    if a.bits.(i) <> b.bits.(i) then out := i :: !out
+  done;
+  !out
+
+let to_string t =
+  String.init (width t) (fun i -> if t.bits.(i) then '1' else '0')
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** Fixed-width bit vectors used as RAM words and test backgrounds.
+    Bit 0 is the least significant / leftmost I/O subarray. *)
+
+type t
+
+val width : t -> int
+val zero : int -> t
+val ones : int -> t
+val of_bits : bool array -> t
+
+(** Low [width] bits of an integer, bit 0 = LSB. *)
+val of_int : width:int -> int -> t
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+(** functional update *)
+
+val lnot_ : t -> t
+val equal : t -> t -> bool
+val to_bits : t -> bool array
+
+(** Positions where the two words differ. *)
+val diff : t -> t -> int list
+
+(** "0101..." with bit 0 printed first. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tech/process.ml: Electrical Format List Rules String

@@ -1,0 +1,1 @@
+lib/tech/process.mli: Electrical Format Rules

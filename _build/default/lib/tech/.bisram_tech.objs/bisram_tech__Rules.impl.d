@@ -1,0 +1,1 @@
+lib/tech/rules.ml: Array Bisram_geometry Format Layer List

@@ -1,0 +1,81 @@
+type t = {
+  vdd : float;
+  vtn : float;
+  vtp : float;
+  kn : float;
+  kp : float;
+  cox_per_m2 : float;
+  sheet_r : Layer.t -> float;
+  cap_area : Layer.t -> float;
+  cap_fringe : Layer.t -> float;
+  junction_cap : float;
+  contact_r : float;
+}
+
+let generic_sheet_r = function
+  | Layer.Poly -> 25.0
+  | Layer.Active -> 70.0
+  | Layer.Metal1 -> 0.07
+  | Layer.Metal2 -> 0.07
+  | Layer.Metal3 -> 0.04
+  | Layer.Nwell | Layer.Pwell -> 2000.0
+  | Layer.Nplus | Layer.Pplus -> 70.0
+  | Layer.Contact | Layer.Via1 | Layer.Via2 | Layer.Glass -> infinity
+
+(* Capacitances per square meter to substrate; 1 fF/um^2 = 1e-3 F/m^2. *)
+let generic_cap_area = function
+  | Layer.Poly -> 0.058e-3
+  | Layer.Active -> 0.3e-3
+  | Layer.Metal1 -> 0.031e-3
+  | Layer.Metal2 -> 0.015e-3
+  | Layer.Metal3 -> 0.010e-3
+  | Layer.Nwell | Layer.Pwell | Layer.Nplus | Layer.Pplus | Layer.Contact
+  | Layer.Via1 | Layer.Via2 | Layer.Glass ->
+      0.0
+
+(* Fringe per meter of perimeter; 1 fF/um = 1e-9 F/m. *)
+let generic_cap_fringe = function
+  | Layer.Poly -> 0.04e-9
+  | Layer.Active -> 0.25e-9
+  | Layer.Metal1 -> 0.044e-9
+  | Layer.Metal2 -> 0.035e-9
+  | Layer.Metal3 -> 0.033e-9
+  | Layer.Nwell | Layer.Pwell | Layer.Nplus | Layer.Pplus | Layer.Contact
+  | Layer.Via1 | Layer.Via2 | Layer.Glass ->
+      0.0
+
+let generic_5v ~feature_m =
+  (* Scale transconductance with 1/tox ~ 1/feature: a 0.5 um process is
+     faster than a 0.8 um one.  Anchored at 0.7 um: kn' = 100 uA/V^2. *)
+  let scale = 0.7e-6 /. feature_m in
+  { vdd = 5.0
+  ; vtn = 0.7
+  ; vtp = -0.9
+  ; kn = 100e-6 *. scale
+  ; kp = 37e-6 *. scale
+  ; cox_per_m2 = 2.4e-3 *. scale
+  ; sheet_r = generic_sheet_r
+  ; cap_area = generic_cap_area
+  ; cap_fringe = generic_cap_fringe
+  ; junction_cap = 0.35e-3
+  ; contact_r = 10.0
+  }
+
+(* Averaged large-signal on-resistance: Req ~ 3/4 * Vdd / Idsat with
+   Idsat = k/2 * (W/L) (Vdd - Vt)^2.  The exact constant is irrelevant;
+   what matters is the W/L scaling used for sizing and Elmore delays. *)
+let ron k vdd vt ~w ~l =
+  assert (w > 0.0 && l > 0.0);
+  let idsat = k /. 2.0 *. (w /. l) *. ((vdd -. vt) ** 2.0) in
+  0.75 *. vdd /. idsat
+
+let ron_nmos e ~w ~l = ron e.kn e.vdd e.vtn ~w ~l
+let ron_pmos e ~w ~l = ron e.kp e.vdd (-.e.vtp) ~w ~l
+let cgate e ~w ~l = e.cox_per_m2 *. w *. l
+
+let cdiff e ~feature_m ~w =
+  let ldiff = 3.0 *. feature_m in
+  (e.junction_cap *. w *. ldiff)
+  +. (generic_cap_fringe Layer.Active *. 2.0 *. (w +. ldiff))
+
+let beta_ratio e = e.kn /. e.kp

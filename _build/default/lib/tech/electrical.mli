@@ -1,0 +1,41 @@
+(** Electrical characterization of a process, used by the SPICE-like
+    engine for leaf-cell timing extraction and transistor sizing.
+
+    Units: resistance in ohms, capacitance in farads, lengths in meters,
+    voltages in volts, transconductance in A/V^2. *)
+
+type t = {
+  vdd : float;  (** supply voltage *)
+  vtn : float;  (** NMOS threshold *)
+  vtp : float;  (** PMOS threshold (negative) *)
+  kn : float;  (** NMOS process transconductance kn' = un*Cox *)
+  kp : float;  (** PMOS process transconductance kp' = up*Cox *)
+  cox_per_m2 : float;  (** gate oxide capacitance per m^2 *)
+  sheet_r : Layer.t -> float;  (** sheet resistance, ohm/square *)
+  cap_area : Layer.t -> float;  (** capacitance to substrate, F/m^2 *)
+  cap_fringe : Layer.t -> float;  (** fringe capacitance, F/m *)
+  junction_cap : float;  (** source/drain junction cap, F/m^2 *)
+  contact_r : float;  (** single contact/via resistance, ohms *)
+}
+
+(** Electrical deck representative of a 0.5-0.8 um 5 V CMOS generation,
+    scaled by drawn feature size [feature_m]. *)
+val generic_5v : feature_m:float -> t
+
+(** Equivalent switched-on channel resistance of a MOS device of drawn
+    [w] and [l] (meters): the standard averaged large-signal estimate
+    used for Elmore delay. *)
+val ron_nmos : t -> w:float -> l:float -> float
+
+val ron_pmos : t -> w:float -> l:float -> float
+
+(** Gate capacitance of a device of drawn [w] x [l] (meters). *)
+val cgate : t -> w:float -> l:float -> float
+
+(** Drain/source diffusion capacitance estimate for a device of width
+    [w]; diffusion length is taken as 3 feature sizes. *)
+val cdiff : t -> feature_m:float -> w:float -> float
+
+(** Ratio wp/wn that balances rise and fall times for equal lengths,
+    i.e. kn/kp. *)
+val beta_ratio : t -> float

@@ -1,0 +1,79 @@
+type t =
+  | Nwell
+  | Pwell
+  | Active
+  | Poly
+  | Nplus
+  | Pplus
+  | Contact
+  | Metal1
+  | Via1
+  | Metal2
+  | Via2
+  | Metal3
+  | Glass
+
+let all =
+  [ Nwell; Pwell; Active; Poly; Nplus; Pplus; Contact; Metal1; Via1; Metal2
+  ; Via2; Metal3; Glass
+  ]
+
+let routing = [ Active; Poly; Metal1; Metal2; Metal3 ]
+let equal (a : t) b = a = b
+
+let index = function
+  | Nwell -> 0
+  | Pwell -> 1
+  | Active -> 2
+  | Poly -> 3
+  | Nplus -> 4
+  | Pplus -> 5
+  | Contact -> 6
+  | Metal1 -> 7
+  | Via1 -> 8
+  | Metal2 -> 9
+  | Via2 -> 10
+  | Metal3 -> 11
+  | Glass -> 12
+
+let compare a b = Int.compare (index a) (index b)
+
+let to_string = function
+  | Nwell -> "nwell"
+  | Pwell -> "pwell"
+  | Active -> "active"
+  | Poly -> "poly"
+  | Nplus -> "nplus"
+  | Pplus -> "pplus"
+  | Contact -> "contact"
+  | Metal1 -> "metal1"
+  | Via1 -> "via1"
+  | Metal2 -> "metal2"
+  | Via2 -> "via2"
+  | Metal3 -> "metal3"
+  | Glass -> "glass"
+
+let cif_name = function
+  | Nwell -> "CWN"
+  | Pwell -> "CWP"
+  | Active -> "CAA"
+  | Poly -> "CPG"
+  | Nplus -> "CSN"
+  | Pplus -> "CSP"
+  | Contact -> "CCC"
+  | Metal1 -> "CMF"
+  | Via1 -> "CVA"
+  | Metal2 -> "CMS"
+  | Via2 -> "CVS"
+  | Metal3 -> "CMT"
+  | Glass -> "COG"
+
+let metal_index = function
+  | Metal1 -> Some 1
+  | Metal2 -> Some 2
+  | Metal3 -> Some 3
+  | Nwell | Pwell | Active | Poly | Nplus | Pplus | Contact | Via1 | Via2
+  | Glass ->
+      None
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

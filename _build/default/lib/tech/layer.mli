@@ -1,0 +1,37 @@
+(** Mask layers of a single-poly, triple-metal CMOS process.
+
+    BISRAMGEN requires three metal layers (over-the-cell routing uses
+    metal 3); processes with fewer metals are rejected at configuration
+    time, mirroring the blank entries of Table II in the paper. *)
+
+type t =
+  | Nwell
+  | Pwell
+  | Active
+  | Poly
+  | Nplus (* n+ select *)
+  | Pplus (* p+ select *)
+  | Contact (* active/poly to metal1 *)
+  | Metal1
+  | Via1
+  | Metal2
+  | Via2
+  | Metal3
+  | Glass
+
+val all : t list
+
+(** Conducting layers that carry signals (used by extraction/routing). *)
+val routing : t list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+
+(** CIF layer name (MOSIS SCMOS convention). *)
+val cif_name : t -> string
+
+(** Index of a metal layer (1, 2, 3); [None] for non-metals. *)
+val metal_index : t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  feature_nm : int;
+  lambda_nm : int;
+  metal_layers : int;
+  poly_layers : int;
+  rules : Rules.t;
+  electrical : Electrical.t;
+}
+
+let custom ~name ~feature_nm ~metal_layers () =
+  { name
+  ; feature_nm
+  ; lambda_nm = feature_nm / 2
+  ; metal_layers
+  ; poly_layers = 1
+  ; rules = Rules.scmos
+  ; electrical = Electrical.generic_5v ~feature_m:(float_of_int feature_nm *. 1e-9)
+  }
+
+let cda_05u3m1p = custom ~name:"CDA.5u3m1p" ~feature_nm:500 ~metal_layers:3 ()
+let cda_07u3m1p = custom ~name:"CDA.7u3m1p" ~feature_nm:700 ~metal_layers:3 ()
+
+let mosis_06u3m1p_hp =
+  custom ~name:"mos.6u3m1pHP" ~feature_nm:600 ~metal_layers:3 ()
+
+let all = [ cda_05u3m1p; mosis_06u3m1p_hp; cda_07u3m1p ]
+
+let find name =
+  List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii name) all
+
+let supports_bisr p = p.metal_layers >= 3
+let nm_of_lambda p l = l * p.lambda_nm
+let um_of_lambda p l = float_of_int (l * p.lambda_nm) /. 1000.0
+
+let mm2_of_lambda_area p w h =
+  let um = um_of_lambda p in
+  um w *. um h /. 1e6
+
+let pp ppf p =
+  Format.fprintf ppf "%s (%.1f um, %dM%dP)" p.name
+    (float_of_int p.feature_nm /. 1000.0)
+    p.metal_layers p.poly_layers

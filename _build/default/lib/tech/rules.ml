@@ -1,0 +1,84 @@
+module Rect = Bisram_geometry.Rect
+
+type t = {
+  min_width : Layer.t -> int;
+  min_space : Layer.t -> int;
+  contact_size : int;
+  contact_surround : int;
+  gate_extension : int;
+  active_extension : int;
+  well_surround : int;
+  select_surround : int;
+  poly_active_space : int;
+}
+
+(* SCMOS baseline (MOSIS rev. 7 flavor, simplified to the subset the
+   generators use). *)
+let scmos_width = function
+  | Layer.Nwell | Layer.Pwell -> 10
+  | Layer.Active -> 3
+  | Layer.Poly -> 2
+  | Layer.Nplus | Layer.Pplus -> 2
+  | Layer.Contact | Layer.Via1 | Layer.Via2 -> 2
+  | Layer.Metal1 -> 3
+  | Layer.Metal2 -> 3
+  | Layer.Metal3 -> 5
+  | Layer.Glass -> 20
+
+let scmos_space = function
+  | Layer.Nwell | Layer.Pwell -> 9
+  | Layer.Active -> 3
+  | Layer.Poly -> 2
+  | Layer.Nplus | Layer.Pplus -> 2
+  | Layer.Contact | Layer.Via1 | Layer.Via2 -> 2
+  | Layer.Metal1 -> 3
+  | Layer.Metal2 -> 4
+  | Layer.Metal3 -> 4
+  | Layer.Glass -> 20
+
+let scmos =
+  { min_width = scmos_width
+  ; min_space = scmos_space
+  ; contact_size = 2
+  ; contact_surround = 1
+  ; gate_extension = 2
+  ; active_extension = 3
+  ; well_surround = 5
+  ; select_surround = 2
+  ; poly_active_space = 1
+  }
+
+let pitch rules layer = rules.min_width layer + rules.min_space layer
+
+let contact_pitch rules =
+  rules.contact_size + (2 * rules.contact_surround)
+  + rules.min_space Layer.Metal1
+
+let check_width rules layer r =
+  let w = rules.min_width layer in
+  let rw = Rect.width r and rh = Rect.height r in
+  (* A wire may be long and thin; only the short dimension must meet the
+     minimum width.  Zero-extent port stubs are exempt. *)
+  if rw = 0 || rh = 0 then None
+  else if min rw rh >= w then None
+  else
+    Some (Format.asprintf "%a: %a narrower than %dl" Layer.pp layer Rect.pp r w)
+
+let check_spacing rules layer rects =
+  let s = rules.min_space layer in
+  let violations = ref [] in
+  let arr = Array.of_list rects in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      (* Rectangles that touch or overlap are merged shapes: legal. *)
+      if not (Rect.touches a b) then
+        if Rect.overlaps (Rect.inflate s a) b then
+          violations :=
+            Format.asprintf "%a: %a to %a closer than %dl" Layer.pp layer
+              Rect.pp a Rect.pp b s
+            :: !violations
+    done
+  done;
+  List.rev !violations

@@ -1,0 +1,36 @@
+(** Lambda-based design rules (MOSIS SCMOS style).
+
+    All values are in lambda.  A process binds lambda to nanometers;
+    leaf-cell generators work purely in lambda so the same generator
+    serves every process — this is the "design-rule independence" of
+    BISRAMGEN. *)
+
+type t = {
+  min_width : Layer.t -> int;  (** minimum drawn width *)
+  min_space : Layer.t -> int;  (** minimum same-layer spacing *)
+  contact_size : int;  (** contact/via cut edge *)
+  contact_surround : int;  (** metal/active/poly overlap of a cut *)
+  gate_extension : int;  (** poly extension past active (endcap) *)
+  active_extension : int;  (** source/drain active past the gate *)
+  well_surround : int;  (** well overlap of active *)
+  select_surround : int;  (** n+/p+ select overlap of active *)
+  poly_active_space : int;  (** field poly to unrelated active *)
+}
+
+(** The SCMOS baseline rule deck used by every bundled process. *)
+val scmos : t
+
+(** [pitch rules layer] is the minimum wire pitch (width + space). *)
+val pitch : t -> Layer.t -> int
+
+(** [contact_pitch rules] is the minimum pitch of contacted wires. *)
+val contact_pitch : t -> int
+
+(** Check one rectangle of a given layer against min-width; returns a
+    violation description if any. *)
+val check_width : t -> Layer.t -> Bisram_geometry.Rect.t -> string option
+
+(** Pairwise same-layer spacing check over a list of rectangles; returns
+    violation descriptions.  Quadratic — meant for leaf cells. *)
+val check_spacing :
+  t -> Layer.t -> Bisram_geometry.Rect.t list -> string list

@@ -1,0 +1,1 @@
+lib/yield/repairable.ml: Array Bisram_faults Hashtbl Random

@@ -1,0 +1,1 @@
+lib/yield/stapper.ml:

@@ -1,0 +1,106 @@
+module D = Bisram_faults.Defect
+
+type geometry = {
+  regular_rows : int;
+  spares : int;
+  logic_fraction : float;
+  growth_factor : float;
+}
+
+let make ~regular_rows ~spares ~logic_fraction ~growth_factor =
+  if regular_rows <= 0 then invalid_arg "Repairable.make: rows";
+  if spares < 0 then invalid_arg "Repairable.make: spares";
+  if logic_fraction < 0.0 || logic_fraction >= 1.0 then
+    invalid_arg "Repairable.make: logic_fraction";
+  if growth_factor < 1.0 then invalid_arg "Repairable.make: growth_factor";
+  { regular_rows; spares; logic_fraction; growth_factor }
+
+let bare ~regular_rows =
+  make ~regular_rows ~spares:0 ~logic_fraction:0.0 ~growth_factor:1.0
+
+let p_distinct_rows_at_most ~rows ~spares n =
+  assert (rows > 0 && spares >= 0 && n >= 0);
+  if spares >= rows then 1.0
+  else begin
+    (* p.(j) = P(j distinct bins so far); p.(spares+1) absorbs "too many" *)
+    let p = Array.make (spares + 2) 0.0 in
+    p.(0) <- 1.0;
+    let rf = float_of_int rows in
+    for _ = 1 to n do
+      for j = spares + 1 downto 1 do
+        let stay = p.(j) *. (float_of_int (min j (spares + 1)) /. rf) in
+        let come = p.(j - 1) *. ((rf -. float_of_int (j - 1)) /. rf) in
+        p.(j) <- (if j <= spares then stay else p.(j)) +. come
+      done;
+      p.(0) <- 0.0 (* after >=1 ball, zero distinct bins impossible *)
+    done;
+    let total = ref 0.0 in
+    for j = 0 to spares do
+      total := !total +. p.(j)
+    done;
+    !total
+  end
+
+let p_repairable g n =
+  assert (n >= 0);
+  if n = 0 then 1.0
+  else begin
+    let total_rows = g.regular_rows + g.spares in
+    let f_reg =
+      (1.0 -. g.logic_fraction)
+      *. (float_of_int g.regular_rows /. float_of_int total_rows)
+    in
+    (* all n faults must land in the regular array... *)
+    let all_regular = f_reg ** float_of_int n in
+    (* ...and occupy at most [spares] distinct regular rows *)
+    all_regular *. p_distinct_rows_at_most ~rows:g.regular_rows ~spares:g.spares n
+  end
+
+let mixture g ~mean ~pmf =
+  if mean <= 0.0 then 1.0
+  else begin
+    let acc = ref 0.0 and mass = ref 0.0 in
+    let n = ref 0 in
+    (* sum until the count distribution's tail is negligible *)
+    while !mass < 1.0 -. 1e-12 && !n < 100_000 do
+      let p = pmf !n in
+      mass := !mass +. p;
+      acc := !acc +. (p *. p_repairable g !n);
+      incr n
+    done;
+    !acc
+  end
+
+let yield g ~mean_defects ~alpha =
+  assert (mean_defects >= 0.0 && alpha > 0.0);
+  let mean = mean_defects *. g.growth_factor in
+  mixture g ~mean ~pmf:(fun n -> D.negative_binomial_pmf ~mean ~alpha n)
+
+let yield_poisson g ~mean_defects =
+  assert (mean_defects >= 0.0);
+  let mean = mean_defects *. g.growth_factor in
+  mixture g ~mean ~pmf:(fun n -> D.poisson_pmf ~mean n)
+
+let yield_monte_carlo rng g ~mean_defects ~alpha ~trials =
+  assert (trials > 0);
+  let mean = mean_defects *. g.growth_factor in
+  let total_rows = g.regular_rows + g.spares in
+  let good = ref 0 in
+  for _ = 1 to trials do
+    let n = D.negative_binomial rng ~mean ~alpha in
+    let rows_hit = Hashtbl.create 8 in
+    let ok = ref true in
+    for _ = 1 to n do
+      if !ok then begin
+        let u = Random.State.float rng 1.0 in
+        if u < g.logic_fraction then ok := false
+        else begin
+          let row = Random.State.int rng total_rows in
+          if row >= g.regular_rows then ok := false (* hit a spare *)
+          else Hashtbl.replace rows_hit row ()
+        end
+      end
+    done;
+    if !ok && Hashtbl.length rows_hit <= g.spares then incr good
+  done;
+  float_of_int !good /. float_of_int trials

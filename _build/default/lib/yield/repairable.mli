@@ -1,0 +1,49 @@
+(** Yield of a built-in self-repairable RAM module (Fig. 4 machinery).
+
+    A module is "good" under the paper's strict manufacturing notion iff
+    no fault falls in the (non-redundant) BIST/BISR logic, no fault
+    falls in any spare row, and the faulty cells in the regular array
+    occupy at most [spares] distinct rows.
+
+    Faults are cell faults: the x-axis mean defect count n-bar is the
+    product D*A for the non-redundant array; for a BISR'ed module the
+    mean is multiplied by the area growth factor. *)
+
+type geometry = {
+  regular_rows : int;
+  spares : int;
+  logic_fraction : float;
+      (** fraction of the module area occupied by BIST/BISR logic *)
+  growth_factor : float;
+      (** module area / non-redundant array area; >= 1 *)
+}
+
+(** Geometry of a bare array (no spares, no logic, growth 1). *)
+val bare : regular_rows:int -> geometry
+
+val make :
+  regular_rows:int -> spares:int -> logic_fraction:float ->
+  growth_factor:float -> geometry
+
+(** [p_repairable g n] — probability that a pattern of exactly [n]
+    uniformly placed cell faults is repairable (strict notion). *)
+val p_repairable : geometry -> int -> float
+
+(** [p_distinct_rows_at_most ~rows ~spares n] — probability that [n]
+    balls thrown into [rows] bins occupy at most [spares] distinct bins
+    (stable one-ball-at-a-time DP). *)
+val p_distinct_rows_at_most : rows:int -> spares:int -> int -> float
+
+(** [yield g ~mean_defects ~alpha] — module yield: the negative-binomial
+    mixture of [p_repairable] over the fault count, with the mean
+    already scaled by the growth factor internally. *)
+val yield : geometry -> mean_defects:float -> alpha:float -> float
+
+(** Same under the pure Poisson count model. *)
+val yield_poisson : geometry -> mean_defects:float -> float
+
+(** Monte-Carlo estimate of [yield] by direct simulation (used to
+    validate the analytic path). *)
+val yield_monte_carlo :
+  Random.State.t -> geometry -> mean_defects:float -> alpha:float ->
+  trials:int -> float

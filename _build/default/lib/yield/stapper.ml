@@ -1,0 +1,18 @@
+let poisson_cell_yield ~lambda =
+  assert (lambda >= 0.0);
+  exp (-.lambda)
+
+let stapper_yield ~mean_defects ~alpha =
+  assert (mean_defects >= 0.0 && alpha > 0.0);
+  (1.0 +. (mean_defects /. alpha)) ** -.alpha
+
+let stapper_yield_da ~defect_density ~area ~alpha =
+  stapper_yield ~mean_defects:(defect_density *. area) ~alpha
+
+let mean_defects_of_yield ~yield ~alpha =
+  assert (yield > 0.0 && yield <= 1.0 && alpha > 0.0);
+  alpha *. ((yield ** (-1.0 /. alpha)) -. 1.0)
+
+let poisson_yield ~mean_defects =
+  assert (mean_defects >= 0.0);
+  exp (-.mean_defects)

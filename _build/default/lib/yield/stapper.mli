@@ -1,0 +1,22 @@
+(** Classical yield formulas (Section VII).
+
+    The per-cell Poisson yield is Yc = exp(-lambda); Stapper's clustered
+    yield for a die of area A and defect density D with clustering
+    factor alpha is Y = (1 + D A / alpha)^(-alpha).  The mean defect
+    count n = D A is the x-axis of the paper's Fig. 4. *)
+
+(** Poisson single-cell yield: exp(-lambda). *)
+val poisson_cell_yield : lambda:float -> float
+
+(** Stapper clustered yield from the mean defect count n = D*A. *)
+val stapper_yield : mean_defects:float -> alpha:float -> float
+
+(** Stapper yield from density and area (same formula). *)
+val stapper_yield_da :
+  defect_density:float -> area:float -> alpha:float -> float
+
+(** Invert Stapper: mean defect count that produces a given yield. *)
+val mean_defects_of_yield : yield:float -> alpha:float -> float
+
+(** Yield of the same die in the Poisson (alpha -> infinity) limit. *)
+val poisson_yield : mean_defects:float -> float

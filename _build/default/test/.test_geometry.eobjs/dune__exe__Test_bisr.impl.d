@@ -1,0 +1,1 @@
+test/test_bisr.ml: Alcotest Bisram_bisr Bisram_bist Bisram_faults Bisram_sram Bisram_tech Format Gen Int List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_bist.ml: Alcotest Array Bisram_bist Bisram_faults Bisram_sram Bisram_tech Hashtbl List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bisram_bisr Bisram_bist Bisram_core Bisram_faults Bisram_layout Bisram_pr Bisram_sram Bisram_tech List Printf String

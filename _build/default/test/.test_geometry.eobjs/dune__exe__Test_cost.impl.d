@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Bisram_cost List Printf

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Bisram_faults Hashtbl List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_gate_bist.ml: Alcotest Array Bisram_bisr Bisram_bist Bisram_faults Bisram_gates Bisram_sram List Printf QCheck QCheck_alcotest Random String

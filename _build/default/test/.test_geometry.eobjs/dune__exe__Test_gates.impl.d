@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Array Bisram_bisr Bisram_bist Bisram_gates Bisram_sram Fun Gen List Printf QCheck QCheck_alcotest Random String

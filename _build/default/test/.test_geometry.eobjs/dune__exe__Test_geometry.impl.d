@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Bisram_geometry List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Bisram_bist Bisram_geometry Bisram_layout Bisram_tech List String

@@ -1,0 +1,1 @@
+test/test_pr.ml: Alcotest Array Bisram_geometry Bisram_layout Bisram_pr Bisram_tech Gen List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Bisram_rel Bisram_sram List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Bisram_spice Bisram_tech List Printf QCheck QCheck_alcotest

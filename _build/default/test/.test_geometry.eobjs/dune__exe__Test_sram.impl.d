@@ -1,0 +1,1 @@
+test/test_sram.ml: Alcotest Bisram_faults Bisram_sram Bisram_tech Printf QCheck QCheck_alcotest

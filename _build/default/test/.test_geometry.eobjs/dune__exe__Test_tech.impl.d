@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Bisram_geometry Bisram_tech Hashtbl List Printf QCheck QCheck_alcotest

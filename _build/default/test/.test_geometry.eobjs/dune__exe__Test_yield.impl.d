@@ -1,0 +1,1 @@
+test/test_yield.ml: Alcotest Bisram_yield List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,284 @@
+(* Tests for the Section III baseline schemes (Sawada, Chen-Sunada),
+   the transparent-BIST extension and the critical-area analysis. *)
+
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module Word = Bisram_sram.Word
+module F = Bisram_faults.Fault
+module I = Bisram_faults.Injection
+module Alg = Bisram_bist.Algorithms
+module Datagen = Bisram_bist.Datagen
+module Engine = Bisram_bist.Engine
+module Transparent = Bisram_bist.Transparent
+module March = Bisram_bist.March
+module Sawada = Bisram_baselines.Sawada
+module CS = Bisram_baselines.Chen_sunada
+module Repair = Bisram_bisr.Repair
+module CA = Bisram_layout.Critical_area
+module Leaf = Bisram_layout.Leaf
+module R = Bisram_geometry.Rect
+
+let cell r c = { F.row = r; F.col = c }
+let org () = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ()
+let bgs8 = Datagen.required_backgrounds ~bpw:8
+
+let with_faults faults =
+  let m = Model.create (org ()) in
+  Model.set_faults m faults;
+  m
+
+(* ------------------------------------------------------------------ *)
+(* Sawada *)
+
+let test_sawada_register () =
+  let t = Sawada.create (org ()) in
+  Alcotest.(check bool) "empty" true (Sawada.registered t = None);
+  Alcotest.(check bool) "record" true (Sawada.record t ~addr:13 = `Ok);
+  Alcotest.(check bool) "same addr ok" true (Sawada.record t ~addr:13 = `Ok);
+  Alcotest.(check bool) "second addr overflows" true
+    (Sawada.record t ~addr:14 = `Full)
+
+let test_sawada_repairs_single_word () =
+  (* one faulty cell = one faulty word address *)
+  let m = with_faults [ F.Stuck_at (cell 3 9, true) ] in
+  match Sawada.repair m Alg.ifa_9 ~backgrounds:bgs8 with
+  | `Repaired addr ->
+      Alcotest.(check int) "addr of row 3 col 1" 13 addr
+  | `Passed_clean -> Alcotest.fail "fault missed"
+  | `Unsuccessful -> Alcotest.fail "single word must be repairable"
+
+let test_sawada_fails_two_words () =
+  let m =
+    with_faults [ F.Stuck_at (cell 3 9, true); F.Stuck_at (cell 7 0, true) ]
+  in
+  Alcotest.(check bool) "two words unrepairable" true
+    (Sawada.repair m Alg.ifa_9 ~backgrounds:bgs8 = `Unsuccessful)
+
+let test_sawada_static_analysis () =
+  let o = org () in
+  Alcotest.(check bool) "one word ok" true
+    (Sawada.repairable o [ F.Stuck_at (cell 3 9, true) ]);
+  (* two faults in the same word are fine *)
+  Alcotest.(check bool) "same word ok" true
+    (Sawada.repairable o
+       [ F.Stuck_at (cell 3 9, true); F.Stuck_at (cell 3 13, true) ]);
+  Alcotest.(check bool) "two words not" false
+    (Sawada.repairable o
+       [ F.Stuck_at (cell 3 9, true); F.Stuck_at (cell 7 0, true) ])
+
+(* ------------------------------------------------------------------ *)
+(* Chen-Sunada *)
+
+let cs () = CS.create (org ()) ~subblocks:4 ~spare_blocks:1
+
+let test_cs_creation () =
+  let t = cs () in
+  Alcotest.(check int) "blocks" 4 (CS.subblocks t);
+  Alcotest.(check int) "words per block" 16 (CS.words_per_block t);
+  Alcotest.(check int) "two backgrounds only" 2
+    (List.length (CS.backgrounds ~bpw:8))
+
+let cs_bgs = CS.backgrounds ~bpw:8
+
+let test_cs_repairs_two_per_block () =
+  (* two faulty words inside one subblock: captured by the registers *)
+  let m =
+    with_faults [ F.Stuck_at (cell 1 9, true); F.Stuck_at (cell 2 0, true) ]
+  in
+  match CS.repair (cs ()) m Alg.ifa_13 ~backgrounds:cs_bgs with
+  | CS.Repaired { word_repairs; block_repairs } ->
+      Alcotest.(check int) "word repairs" 2 word_repairs;
+      Alcotest.(check int) "no block repairs" 0 block_repairs
+  | CS.Passed_clean | CS.Unsuccessful -> Alcotest.fail "expected word repair"
+
+let test_cs_excludes_dead_block () =
+  (* three faulty words in one subblock exceed the two registers: the
+     fault assembler diverts the whole block to the spare *)
+  let m =
+    with_faults
+      [ F.Stuck_at (cell 0 9, true)
+      ; F.Stuck_at (cell 1 0, true)
+      ; F.Stuck_at (cell 2 5, true)
+      ]
+  in
+  match CS.repair (cs ()) m Alg.ifa_13 ~backgrounds:cs_bgs with
+  | CS.Repaired { block_repairs; _ } ->
+      Alcotest.(check int) "block diverted" 1 block_repairs
+  | CS.Passed_clean | CS.Unsuccessful -> Alcotest.fail "expected block repair"
+
+let test_cs_fails_two_dead_blocks () =
+  (* dead blocks in two subblocks but only one spare *)
+  let m =
+    with_faults
+      (List.map (fun r -> F.Stuck_at (cell r 0, true)) [ 0; 1; 2 ]
+      @ List.map (fun r -> F.Stuck_at (cell r 9, true)) [ 4; 5; 6 ])
+  in
+  Alcotest.(check bool) "unsuccessful" true
+    (CS.repair (cs ()) m Alg.ifa_13 ~backgrounds:cs_bgs = CS.Unsuccessful)
+
+let test_cs_static_analysis () =
+  let t = cs () in
+  Alcotest.(check bool) "2 per block ok" true
+    (CS.repairable t [ F.Stuck_at (cell 1 9, true); F.Stuck_at (cell 2 0, true) ]);
+  Alcotest.(check bool) "3 in one block -> needs spare block" true
+    (CS.repairable t
+       (List.map (fun r -> F.Stuck_at (cell r 0, true)) [ 0; 1; 2 ]));
+  Alcotest.(check bool) "two dead blocks too many" false
+    (CS.repairable t
+       (List.map (fun r -> F.Stuck_at (cell r 0, true)) [ 0; 1; 2 ]
+       @ List.map (fun r -> F.Stuck_at (cell r 9, true)) [ 4; 5; 6 ]))
+
+let test_cs_delay_penalty_exceeds_tlb () =
+  (* the sequential 2-register compare must cost more than BISRAMGEN's
+     parallel TLB match for the same organization *)
+  let o = Org.make ~words:4096 ~bpw:4 ~bpc:4 ~spares:4 () in
+  let p = Bisram_tech.Process.cda_07u3m1p in
+  let cs_delay = CS.delay_penalty p ~org:o in
+  let tlb = Bisram_bisr.Tlb_timing.delay p ~org:o in
+  Alcotest.(check bool)
+    (Printf.sprintf "cs %.2f ns vs tlb match %.2f ns" (cs_delay *. 1e9)
+       (tlb.Bisram_bisr.Tlb_timing.match_line *. 1e9))
+    true
+    (cs_delay > tlb.Bisram_bisr.Tlb_timing.match_line)
+
+let test_bisramgen_repairs_what_cs_cannot () =
+  (* five faulty words spread over one subblock's rows: Chen-Sunada
+     needs a whole spare block; BISRAMGEN repairs them with row spares
+     as long as they occupy <= 4 rows *)
+  let faults =
+    [ F.Stuck_at (cell 0 0, true)
+    ; F.Stuck_at (cell 0 9, true)
+    ; F.Stuck_at (cell 1 0, true)
+    ; F.Stuck_at (cell 1 9, true)
+    ; F.Stuck_at (cell 2 0, true)
+    ]
+  in
+  let m = with_faults faults in
+  (match Repair.run_reference m Alg.ifa_9 ~backgrounds:bgs8 with
+  | Repair.Repaired rows, _ -> Alcotest.(check int) "3 rows" 3 (List.length rows)
+  | _ -> Alcotest.fail "BISRAMGEN should repair");
+  let t = CS.create (org ()) ~subblocks:4 ~spare_blocks:0 in
+  Alcotest.(check bool) "CS without spare blocks cannot" false
+    (CS.repairable t faults)
+
+(* ------------------------------------------------------------------ *)
+(* Transparent BIST *)
+
+let random_contents m o rng =
+  for a = 0 to o.Org.words - 1 do
+    Model.write_word m a (Word.of_int ~width:o.Org.bpw (Random.State.int rng 256))
+  done
+
+let test_transparent_clean_preserves () =
+  let o = org () in
+  let m = Model.create o in
+  let rng = Random.State.make [| 5 |] in
+  random_contents m o rng;
+  let r = Transparent.run_model m Alg.ifa_9 in
+  Alcotest.(check bool) "no detection" false r.Transparent.detected;
+  Alcotest.(check bool) "contents preserved" true r.Transparent.contents_preserved
+
+let test_transparent_detects_saf () =
+  let m = with_faults [ F.Stuck_at (cell 3 9, true) ] in
+  let r = Transparent.run_model m Alg.ifa_9 in
+  Alcotest.(check bool) "detected" true r.Transparent.detected
+
+let test_transparent_detects_transition () =
+  let m = with_faults [ F.Transition (cell 7 0, true) ] in
+  let r = Transparent.run_model m Alg.ifa_9 in
+  Alcotest.(check bool) "detected" true r.Transparent.detected
+
+let test_transparent_ops_count () =
+  (* IFA-9 drops its 1-op init element (12 -> 11); its last write is w1
+     (complemented), so a restore write is appended: 12 total *)
+  Alcotest.(check int) "IFA-9 transparent ops" 12
+    (Transparent.transformed_ops_per_address Alg.ifa_9);
+  (* a test ending complemented gains a restore write *)
+  let t = March.of_string ~name:"t" "u(w0); u(r0,w1); u(r1)" in
+  Alcotest.(check int) "restore appended" 4
+    (Transparent.transformed_ops_per_address t)
+
+let prop_transparent_preserves_random_contents =
+  QCheck.Test.make ~name:"transparent BIST preserves arbitrary contents"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let o = org () in
+      let m = Model.create o in
+      let rng = Random.State.make [| seed |] in
+      random_contents m o rng;
+      let r = Transparent.run_model m Alg.march_c_minus in
+      (not r.Transparent.detected) && r.Transparent.contents_preserved)
+
+(* ------------------------------------------------------------------ *)
+(* Critical area *)
+
+let test_union_area () =
+  Alcotest.(check int) "disjoint" 8
+    (CA.union_area [ R.make 0 0 2 2; R.make 3 0 5 2 ]);
+  Alcotest.(check int) "overlapping" 7
+    (CA.union_area [ R.make 0 0 2 2; R.make 1 0 3 2; R.make 0 0 1 3 ]);
+  Alcotest.(check int) "empty" 0 (CA.union_area [])
+
+let test_critical_area_gap () =
+  (* two 10x2 wires separated by a 6-gap: a square defect of half-width
+     r bridges them iff 2r > 6 *)
+  let a = [ R.make 0 0 10 2 ] and b = [ R.make 0 8 10 10 ] in
+  Alcotest.(check int) "r=2 none" 0 (CA.critical_area ~radius:2 ~a ~b);
+  Alcotest.(check int) "r=3 touch only" 0 (CA.critical_area ~radius:3 ~a ~b);
+  Alcotest.(check bool) "r=4 bridges" true (CA.critical_area ~radius:4 ~a ~b > 0)
+
+let test_6t_power_short_near_zero () =
+  (* the paper's claim: the 6T template has (near-)zero critical area
+     for the fatal vdd/gnd short at realistic defect radii *)
+  let c = Leaf.sram_6t () in
+  List.iter
+    (fun r ->
+      Alcotest.(check int)
+        (Printf.sprintf "radius %d" r)
+        0
+        (CA.power_short c ~radius:r))
+    [ 1; 2; 4; 6; 8 ];
+  match CA.fatal_radius c with
+  | Some r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fatal radius %d lambda large" r)
+        true (r > 8)
+  | None -> Alcotest.fail "rails must eventually short"
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "sawada",
+        [ Alcotest.test_case "register" `Quick test_sawada_register
+        ; Alcotest.test_case "repairs single word" `Quick
+            test_sawada_repairs_single_word
+        ; Alcotest.test_case "fails two words" `Quick test_sawada_fails_two_words
+        ; Alcotest.test_case "static analysis" `Quick test_sawada_static_analysis
+        ] )
+    ; ( "chen-sunada",
+        [ Alcotest.test_case "creation" `Quick test_cs_creation
+        ; Alcotest.test_case "two per block" `Quick test_cs_repairs_two_per_block
+        ; Alcotest.test_case "dead block" `Quick test_cs_excludes_dead_block
+        ; Alcotest.test_case "two dead blocks" `Quick test_cs_fails_two_dead_blocks
+        ; Alcotest.test_case "static analysis" `Quick test_cs_static_analysis
+        ; Alcotest.test_case "delay penalty" `Quick
+            test_cs_delay_penalty_exceeds_tlb
+        ; Alcotest.test_case "capability gap" `Quick
+            test_bisramgen_repairs_what_cs_cannot
+        ] )
+    ; ( "transparent",
+        [ Alcotest.test_case "clean preserves" `Quick
+            test_transparent_clean_preserves
+        ; Alcotest.test_case "detects SAF" `Quick test_transparent_detects_saf
+        ; Alcotest.test_case "detects TF" `Quick
+            test_transparent_detects_transition
+        ; Alcotest.test_case "ops count" `Quick test_transparent_ops_count
+        ; QCheck_alcotest.to_alcotest prop_transparent_preserves_random_contents
+        ] )
+    ; ( "critical-area",
+        [ Alcotest.test_case "union area" `Quick test_union_area
+        ; Alcotest.test_case "gap bridging" `Quick test_critical_area_gap
+        ; Alcotest.test_case "6T power short" `Quick
+            test_6t_power_short_near_zero
+        ] )
+    ]

@@ -1,0 +1,142 @@
+(* Tests for the MPR cost model (Section X / Tables II-III). *)
+
+module W = Bisram_cost.Wafer
+module C = Bisram_cost.Chips
+module M = Bisram_cost.Mpr
+
+let test_dies_per_wafer () =
+  (* 100 mm^2 die on a 200 mm wafer: pi*100^2/100 - pi*200/sqrt(200)
+     = 314 - 44 = ~269 *)
+  let n = W.dies_per_wafer ~wafer_mm:200.0 ~die_mm2:100.0 in
+  Alcotest.(check bool) (Printf.sprintf "got %d" n) true (n > 260 && n < 280);
+  Alcotest.(check int) "degenerate huge die" 0
+    (W.dies_per_wafer ~wafer_mm:100.0 ~die_mm2:10000.0)
+
+let test_wafer_upgrade_gain () =
+  (* 150 -> 200 mm raises die count by ~80-100% (paper's observation) *)
+  let g = W.die_count_gain ~die_mm2:150.0 ~from_mm:150.0 ~to_mm:200.0 in
+  Alcotest.(check bool) (Printf.sprintf "gain %.2f" g) true (g > 1.7 && g < 2.3)
+
+let test_database_sanity () =
+  Alcotest.(check bool) "at least 10 chips" true (List.length C.all >= 10);
+  Alcotest.(check bool) "has 2-metal examples" true
+    (List.exists (fun c -> c.C.metal_layers < 3) C.all);
+  Alcotest.(check bool) "bisr_capable excludes them" true
+    (List.for_all (fun c -> c.C.metal_layers >= 3) C.bisr_capable);
+  (match C.find "ti supersparc" with
+  | Some c -> Alcotest.(check int) "case-insensitive find" 293 c.C.pins
+  | None -> Alcotest.fail "SuperSPARC missing")
+
+let test_package_cost () =
+  (match C.find "Intel 486DX2" with
+  | Some c ->
+      (* 168 pins at a cent each / 0.97 final-test yield *)
+      Alcotest.(check (float 0.01)) "package" (1.68 /. 0.97) (C.package_cost c)
+  | None -> Alcotest.fail "486DX2 missing");
+  Alcotest.(check bool) "PQFP yield below PGA" true
+    (C.final_test_yield C.PQFP < C.final_test_yield C.PGA)
+
+let test_bisr_improves_yield_and_cost () =
+  List.iter
+    (fun chip ->
+      match M.die_bisr chip M.default_bisr with
+      | None -> Alcotest.failf "%s should be BISR-capable" chip.C.name
+      | Some w ->
+          let plain = M.die_plain chip in
+          Alcotest.(check bool)
+            (chip.C.name ^ " yield improves")
+            true
+            (w.M.die_yield > plain.M.die_yield);
+          Alcotest.(check bool)
+            (chip.C.name ^ " cost drops")
+            true
+            (w.M.cost_per_good_die < plain.M.cost_per_good_die);
+          Alcotest.(check bool)
+            (chip.C.name ^ " area grows")
+            true
+            (w.M.die_area_mm2 > plain.M.die_area_mm2))
+    C.bisr_capable
+
+let test_two_metal_rejected () =
+  match C.find "Intel 386DX" with
+  | Some c -> Alcotest.(check bool) "no BISR" true (M.die_bisr c M.default_bisr = None)
+  | None -> Alcotest.fail "386DX missing"
+
+let test_table3_bracket () =
+  (* paper: total-cost reduction spans 2.35% (486DX2) .. 47.2%
+     (SuperSPARC) *)
+  let rows = M.table3 () in
+  let get name =
+    match List.find_opt (fun r -> r.M.chip3.C.name = name) rows with
+    | Some { M.reduction_pct = Some pct; _ } -> pct
+    | Some { M.reduction_pct = None; _ } | None ->
+        Alcotest.failf "missing %s" name
+  in
+  let dx2 = get "Intel 486DX2" in
+  Alcotest.(check bool) (Printf.sprintf "486DX2 %.1f%%" dx2) true
+    (dx2 > 1.0 && dx2 < 5.0);
+  let ss = get "TI SuperSPARC" in
+  Alcotest.(check bool) (Printf.sprintf "SuperSPARC %.1f%%" ss) true
+    (ss > 35.0 && ss < 55.0);
+  (* SuperSPARC is the extreme of the table *)
+  List.iter
+    (fun r ->
+      match r.M.reduction_pct with
+      | Some pct -> Alcotest.(check bool) "superSPARC max" true (pct <= ss)
+      | None -> ())
+    rows
+
+let test_superSPARC_die_cost_halves () =
+  (* paper: cost per good die often drops by about a factor of 2 *)
+  match C.find "TI SuperSPARC" with
+  | None -> Alcotest.fail "missing"
+  | Some c -> (
+      match M.die_bisr c M.default_bisr with
+      | None -> Alcotest.fail "not capable"
+      | Some w ->
+          let plain = M.die_plain c in
+          let factor = plain.M.cost_per_good_die /. w.M.cost_per_good_die in
+          Alcotest.(check bool)
+            (Printf.sprintf "factor %.2f" factor)
+            true
+            (factor > 1.6 && factor < 2.6))
+
+let test_ram_yield_model () =
+  match C.find "MIPS R4600" with
+  | None -> Alcotest.fail "missing"
+  | Some c ->
+      let y = M.ram_yield c in
+      Alcotest.(check (float 1e-9)) "power law"
+        (c.C.die_yield ** c.C.cache_fraction) y;
+      let y' = M.ram_yield_bisr c M.default_bisr in
+      Alcotest.(check bool) "repair helps" true (y' > y);
+      Alcotest.(check bool) "still a probability" true (y' <= 1.0)
+
+let test_totals_components () =
+  let t = M.totals_plain (List.hd C.bisr_capable) in
+  Alcotest.(check (float 1e-9)) "total = sum" t.M.total
+    (t.M.die +. t.M.test_assembly +. t.M.package);
+  Alcotest.(check bool) "all positive" true
+    (t.M.die > 0.0 && t.M.test_assembly > 0.0 && t.M.package > 0.0)
+
+let () =
+  Alcotest.run "cost"
+    [ ( "wafer",
+        [ Alcotest.test_case "dies per wafer" `Quick test_dies_per_wafer
+        ; Alcotest.test_case "upgrade gain" `Quick test_wafer_upgrade_gain
+        ] )
+    ; ( "chips",
+        [ Alcotest.test_case "database" `Quick test_database_sanity
+        ; Alcotest.test_case "package cost" `Quick test_package_cost
+        ] )
+    ; ( "mpr",
+        [ Alcotest.test_case "bisr improves" `Quick
+            test_bisr_improves_yield_and_cost
+        ; Alcotest.test_case "2-metal rejected" `Quick test_two_metal_rejected
+        ; Alcotest.test_case "table3 bracket" `Quick test_table3_bracket
+        ; Alcotest.test_case "die cost halves" `Quick
+            test_superSPARC_die_cost_halves
+        ; Alcotest.test_case "ram yield" `Quick test_ram_yield_model
+        ; Alcotest.test_case "totals" `Quick test_totals_components
+        ] )
+    ]

@@ -1,0 +1,257 @@
+(* Tests for fault models, defect statistics and injection. *)
+
+module F = Bisram_faults.Fault
+module D = Bisram_faults.Defect
+module I = Bisram_faults.Injection
+
+let rng () = Random.State.make [| 42; 1999 |]
+
+let cell r c = { F.row = r; F.col = c }
+
+let test_fault_victims () =
+  let v = cell 2 3 and a = cell 2 4 in
+  Alcotest.(check bool) "saf victim" true
+    (F.equal_cell v (F.victim (F.Stuck_at (v, true))));
+  Alcotest.(check bool) "coupling victim" true
+    (F.equal_cell v (F.victim (F.Coupling_inversion { aggressor = a; victim = v })));
+  Alcotest.(check int) "coupling mentions both" 2
+    (List.length (F.cells (F.Coupling_inversion { aggressor = a; victim = v })));
+  Alcotest.(check int) "saf mentions one" 1
+    (List.length (F.cells (F.Stuck_open v)))
+
+let test_fault_class_names () =
+  let fs =
+    [ F.Stuck_at (cell 0 0, true)
+    ; F.Transition (cell 0 0, true)
+    ; F.Stuck_open (cell 0 0)
+    ; F.Coupling_inversion { aggressor = cell 0 0; victim = cell 0 1 }
+    ; F.Coupling_idempotent
+        { aggressor = cell 0 0; rising = true; victim = cell 0 1; forces = true }
+    ; F.State_coupling
+        { aggressor = cell 0 0; when_state = true; victim = cell 0 1; reads_as = true }
+    ; F.Data_retention (cell 0 0, false)
+    ]
+  in
+  Alcotest.(check (list string))
+    "classes cover all names" F.all_class_names
+    (List.map F.class_name fs)
+
+let test_poisson_mean () =
+  let r = rng () in
+  let n = 20000 in
+  let mean = 7.5 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + D.poisson r mean
+  done;
+  let m = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "poisson mean %.3f ~ %.1f" m mean)
+    true
+    (abs_float (m -. mean) < 0.15)
+
+let test_poisson_large_lambda () =
+  let r = rng () in
+  let n = 5000 in
+  let mean = 120.0 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + D.poisson r mean
+  done;
+  let m = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "large-lambda mean" true (abs_float (m -. mean) < 2.0)
+
+let test_negative_binomial_mean_and_var () =
+  let r = rng () in
+  let n = 30000 in
+  let mean = 5.0 and alpha = 2.0 in
+  let xs = Array.init n (fun _ -> float_of_int (D.negative_binomial r ~mean ~alpha)) in
+  let m = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs /. float_of_int n
+  in
+  (* NB variance = mean + mean^2/alpha = 5 + 12.5 = 17.5 *)
+  Alcotest.(check bool) (Printf.sprintf "nb mean %.2f" m) true (abs_float (m -. mean) < 0.2);
+  Alcotest.(check bool)
+    (Printf.sprintf "nb var %.2f (clustered > poisson)" var)
+    true
+    (var > 12.0 && var < 24.0)
+
+let test_pmf_normalization () =
+  let total_poisson = ref 0.0 and total_nb = ref 0.0 in
+  for k = 0 to 200 do
+    total_poisson := !total_poisson +. D.poisson_pmf ~mean:6.0 k;
+    total_nb := !total_nb +. D.negative_binomial_pmf ~mean:6.0 ~alpha:2.0 k
+  done;
+  Alcotest.(check (float 1e-6)) "poisson pmf sums to 1" 1.0 !total_poisson;
+  Alcotest.(check (float 1e-6)) "nb pmf sums to 1" 1.0 !total_nb
+
+let test_nb_pmf_matches_sampler () =
+  (* P(0) under clustering = Stapper yield formula (1+mean/alpha)^-alpha *)
+  let p0 = D.negative_binomial_pmf ~mean:4.0 ~alpha:2.0 0 in
+  Alcotest.(check (float 1e-9)) "nb p0 = stapper" ((1.0 +. 2.0) ** -2.0) p0
+
+let test_injection_bounds () =
+  let r = rng () in
+  let faults = I.inject r ~rows:16 ~cols:8 ~mix:I.default_mix ~n:500 in
+  Alcotest.(check int) "count" 500 (List.length faults);
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (c : F.cell) ->
+          Alcotest.(check bool) "row in range" true (c.F.row >= 0 && c.F.row < 16);
+          Alcotest.(check bool) "col in range" true (c.F.col >= 0 && c.F.col < 8))
+        (F.cells f))
+    faults
+
+let test_injection_stuck_at_only () =
+  let r = rng () in
+  let faults = I.inject r ~rows:8 ~cols:8 ~mix:I.stuck_at_only ~n:200 in
+  List.iter
+    (fun f ->
+      match f with
+      | F.Stuck_at _ -> ()
+      | other ->
+          Alcotest.failf "expected only SAF, got %s" (F.class_name other))
+    faults
+
+let test_injection_mix_hits_all_classes () =
+  let r = rng () in
+  let faults = I.inject r ~rows:32 ~cols:32 ~mix:I.default_mix ~n:2000 in
+  let seen = Hashtbl.create 8 in
+  List.iter (fun f -> Hashtbl.replace seen (F.class_name f) ()) faults;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " appears") true (Hashtbl.mem seen name))
+    F.all_class_names
+
+let test_faulty_rows () =
+  let fs =
+    [ F.Stuck_at (cell 5 0, true)
+    ; F.Stuck_at (cell 2 3, false)
+    ; F.Stuck_open (cell 5 7)
+    ]
+  in
+  Alcotest.(check (list int)) "dedup + sort" [ 2; 5 ] (I.faulty_rows fs)
+
+let prop_coupling_aggressor_adjacent =
+  QCheck.Test.make ~name:"coupling aggressors physically adjacent" ~count:500
+    QCheck.(pair (int_range 2 40) (int_range 2 40))
+    (fun (rows, cols) ->
+      let r = rng () in
+      let fs = I.inject r ~rows ~cols ~mix:I.default_mix ~n:50 in
+      List.for_all
+        (fun f ->
+          match f with
+          | F.Coupling_inversion { aggressor = a; victim = v }
+          | F.Coupling_idempotent { aggressor = a; victim = v; _ }
+          | F.State_coupling { aggressor = a; victim = v; _ } ->
+              abs (a.F.row - v.F.row) + abs (a.F.col - v.F.col) = 1
+          | F.Stuck_at _ | F.Transition _ | F.Stuck_open _
+          | F.Data_retention _ ->
+              true)
+        fs)
+
+let prop_gamma_positive =
+  QCheck.Test.make ~name:"gamma sampler positive" ~count:300
+    QCheck.(pair (float_range 0.2 10.0) (float_range 0.1 10.0))
+    (fun (shape, scale) ->
+      let r = rng () in
+      D.gamma r ~shape ~scale > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Spatial defects *)
+
+module Sp = Bisram_faults.Spatial
+
+let test_radius_bounds_and_skew () =
+  let r = rng () in
+  let n = 5000 in
+  let small = ref 0 in
+  for _ = 1 to n do
+    let rad = Sp.sample_radius r ~r_min:1 ~r_max:100 in
+    Alcotest.(check bool) "in range" true (rad >= 1 && rad <= 100);
+    if rad <= 2 then incr small
+  done;
+  (* 1/r^3: most defects are near the minimum size *)
+  Alcotest.(check bool)
+    (Printf.sprintf "small-defect fraction %.2f" (float_of_int !small /. float_of_int n))
+    true
+    (float_of_int !small /. float_of_int n > 0.6)
+
+let test_cells_hit_geometry () =
+  (* 24x20 cells; defect well inside cell (1,2) *)
+  let d = { Sp.x = (2 * 24) + 12; y = 20 + 10; radius = 3 } in
+  Alcotest.(check (list (pair int int))) "single cell" [ (1, 2) ]
+    (Sp.cells_hit ~cell_w:24 ~cell_h:20 ~rows:8 ~cols:8 d);
+  (* defect on a vertical cell boundary hits both neighbours *)
+  let d2 = { Sp.x = 24; y = 10; radius = 2 } in
+  Alcotest.(check (list (pair int int))) "two cells" [ (0, 0); (0, 1) ]
+    (List.sort compare (Sp.cells_hit ~cell_w:24 ~cell_h:20 ~rows:8 ~cols:8 d2));
+  (* big defect clipped at the array corner *)
+  let d3 = { Sp.x = 0; y = 0; radius = 25 } in
+  let hits = Sp.cells_hit ~cell_w:24 ~cell_h:20 ~rows:8 ~cols:8 d3 in
+  Alcotest.(check bool) "several cells" true (List.length hits >= 3);
+  List.iter
+    (fun (r, c) ->
+      Alcotest.(check bool) "clipped" true (r >= 0 && r < 8 && c >= 0 && c < 8))
+    hits
+
+let test_faults_of_defect_bridges () =
+  let r = rng () in
+  let d = { Sp.x = 24; y = 10; radius = 4 } in
+  let faults =
+    Sp.faults_of_defect r ~cell_w:24 ~cell_h:20 ~rows:8 ~cols:8 d
+  in
+  let stuck, bridges =
+    List.partition (function F.Stuck_at _ -> true | _ -> false) faults
+  in
+  Alcotest.(check int) "one bridge between two hits" (List.length stuck - 1)
+    (List.length bridges)
+
+let test_spatial_inject_clusters_rows () =
+  (* large defects hit multiple adjacent rows; single-cell injection
+     never does within one "defect" *)
+  let r = rng () in
+  let faults =
+    Sp.inject r ~cell_w:24 ~cell_h:20 ~rows:64 ~cols:16 ~r_min:30 ~r_max:60
+      ~mean:3.0 ~alpha:2.0
+  in
+  if faults <> [] then begin
+    let rows = Sp.rows_hit faults in
+    Alcotest.(check bool) "multi-row damage" true (List.length rows >= 2)
+  end
+
+let () =
+  Alcotest.run "faults"
+    [ ( "fault",
+        [ Alcotest.test_case "victims" `Quick test_fault_victims
+        ; Alcotest.test_case "class names" `Quick test_fault_class_names
+        ] )
+    ; ( "defect",
+        [ Alcotest.test_case "poisson mean" `Quick test_poisson_mean
+        ; Alcotest.test_case "poisson large lambda" `Quick
+            test_poisson_large_lambda
+        ; Alcotest.test_case "negative binomial" `Quick
+            test_negative_binomial_mean_and_var
+        ; Alcotest.test_case "pmf normalization" `Quick test_pmf_normalization
+        ; Alcotest.test_case "nb p0 = stapper" `Quick test_nb_pmf_matches_sampler
+        ] )
+    ; ( "injection",
+        [ Alcotest.test_case "bounds" `Quick test_injection_bounds
+        ; Alcotest.test_case "stuck-at only" `Quick test_injection_stuck_at_only
+        ; Alcotest.test_case "all classes" `Quick
+            test_injection_mix_hits_all_classes
+        ; Alcotest.test_case "faulty rows" `Quick test_faulty_rows
+        ; QCheck_alcotest.to_alcotest prop_coupling_aggressor_adjacent
+        ; QCheck_alcotest.to_alcotest prop_gamma_positive
+        ] )
+    ; ( "spatial",
+        [ Alcotest.test_case "radius distribution" `Quick
+            test_radius_bounds_and_skew
+        ; Alcotest.test_case "cells hit" `Quick test_cells_hit_geometry
+        ; Alcotest.test_case "bridges" `Quick test_faults_of_defect_bridges
+        ; Alcotest.test_case "row clustering" `Quick
+            test_spatial_inject_clusters_rows
+        ] )
+    ]

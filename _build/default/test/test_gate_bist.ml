@@ -1,0 +1,265 @@
+(* Full gate-level BIST/BISR integration: the compiled FSM, the ADDGEN
+   counter, the DATAGEN Johnson counter, the read comparator and the TLB
+   CAM all run as gate netlists, wired together exactly as the module's
+   datapath wires them, against the fault-injected behavioural array.
+   The complete two-pass flow must agree with the behavioural reference
+   on outcome and on the repaired rows. *)
+
+module N = Bisram_gates.Netlist
+module B = Bisram_gates.Builders
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module Word = Bisram_sram.Word
+module March = Bisram_bist.March
+module Alg = Bisram_bist.Algorithms
+module Datagen = Bisram_bist.Datagen
+module Controller = Bisram_bist.Controller
+module Pla_gates = Bisram_bist.Pla_gates
+module Repair = Bisram_bisr.Repair
+module F = Bisram_faults.Fault
+module I = Bisram_faults.Injection
+
+type outcome = Clean | Repaired of int list | Fail
+
+let bits_for = B.bits_for
+
+let bools_of_int ~bits v =
+  List.init bits (fun i -> (v lsr i) land 1 = 1)
+
+let int_of_outputs outs ~bits ~prefix =
+  let v = ref 0 in
+  for i = 0 to bits - 1 do
+    if List.assoc (Printf.sprintf "%s%d" prefix i) outs then
+      v := !v lor (1 lsl i)
+  done;
+  !v
+
+(* drive the whole BIST engine in gates *)
+let run_gate_bist org faults =
+  let words = org.Org.words in
+  let bpw = org.Org.bpw in
+  let regular = Org.rows org in
+  let abits = max 1 (bits_for words) in
+  let rbits = max 1 (bits_for regular) in
+  let backgrounds = Datagen.required_backgrounds ~bpw in
+  let nbgs = List.length backgrounds in
+  let ctl = Controller.compile Alg.ifa_9 ~words ~backgrounds in
+  (* --- the five netlists --- *)
+  let fsm = N.simulate (Pla_gates.controller_netlist ctl) in
+  let addgen = N.simulate (B.up_down_counter ~bits:abits) in
+  let johnson = N.simulate (B.johnson_counter ~bits:bpw) in
+  let cmp = N.simulate (B.comparator ~bits:bpw) in
+  let cam = N.simulate (B.cam ~entries:org.Org.spares ~bits:rbits) in
+  (* --- behavioural array --- *)
+  let model = Model.create org in
+  Model.set_faults model faults;
+  (* --- datapath registers held by the harness --- *)
+  let dir_up = ref true in
+  let cmp_fail = ref false in
+  let remap_enabled = ref false in
+  let bg_index = ref 0 in
+  let waited = ref false in
+  let recorded = ref [] in
+  (* --- gate-block helpers --- *)
+  let addgen_idle =
+    [ ("reset_up", false); ("reset_down", false); ("en", false); ("up", true) ]
+  in
+  let addgen_value () = int_of_outputs (N.eval addgen addgen_idle) ~bits:abits ~prefix:"q" in
+  let johnson_idle = [ ("reset", false); ("en", false) ] in
+  let background () =
+    let outs = N.eval johnson johnson_idle in
+    Word.of_bits (Array.init bpw (fun i -> List.assoc (Printf.sprintf "q%d" i) outs))
+  in
+  let cam_inputs ~row ~write =
+    ("write", write)
+    :: List.mapi (fun i b -> (Printf.sprintf "key%d" i, b)) (bools_of_int ~bits:rbits row)
+  in
+  let cam_lookup row =
+    let outs = N.eval cam (cam_inputs ~row ~write:false) in
+    ( List.assoc "hit" outs,
+      int_of_outputs outs ~bits:(bits_for org.Org.spares) ~prefix:"idx",
+      List.assoc "full" outs )
+  in
+  let current_row () = addgen_value () / org.Org.bpc in
+  let phys_row row =
+    if !remap_enabled then begin
+      let hit, idx, _ = cam_lookup row in
+      if hit then regular + idx else row
+    end
+    else row
+  in
+  let compare_words expected got =
+    let inputs =
+      List.concat
+        (List.init bpw (fun i ->
+             [ (Printf.sprintf "a%d" i, Word.get expected i)
+             ; (Printf.sprintf "b%d" i, Word.get got i)
+             ]))
+    in
+    List.assoc "neq" (N.eval cmp inputs)
+  in
+  (* --- condition sampling for the FSM --- *)
+  let conds () =
+    [ ("test_enable", true)
+    ; ("cmp_fail", !cmp_fail)
+    ; ( "elem_done",
+        let v = addgen_value () in
+        if !dir_up then v = words - 1 else v = 0 )
+    ; ("bg_done", !bg_index = nbgs - 1)
+    ; ( "tlb_full",
+        let hit, _, full = cam_lookup (current_row ()) in
+        (not hit) && full )
+    ; ("ret_ack", !waited)
+    ]
+  in
+  let exec_work outs =
+    let on name = List.assoc name outs in
+    let compl = on "data_complement" in
+    if on "addr_reset_up" then begin
+      dir_up := true;
+      ignore (N.step addgen [ ("reset_up", true); ("reset_down", false); ("en", false); ("up", true) ])
+    end;
+    if on "addr_reset_down" then begin
+      dir_up := false;
+      ignore (N.step addgen [ ("reset_up", false); ("reset_down", true); ("en", false); ("up", false) ])
+    end;
+    if on "request_wait" then begin
+      Model.retention_wait model;
+      waited := true
+    end;
+    let data () =
+      let bg = background () in
+      if compl then Word.lnot_ bg else bg
+    in
+    if on "apply_read" then begin
+      let addr = addgen_value () in
+      let row = phys_row (addr / org.Org.bpc) and col = addr mod org.Org.bpc in
+      let got = Model.read_row_word model ~row ~col in
+      cmp_fail := compare_words (data ()) got
+    end;
+    if on "apply_write" then begin
+      let addr = addgen_value () in
+      let row = phys_row (addr / org.Org.bpc) and col = addr mod org.Org.bpc in
+      Model.write_row_word model ~row ~col (data ())
+    end
+  in
+  let exec_exits outs =
+    let on name = List.assoc name outs in
+    if on "record_row" then begin
+      let row = current_row () in
+      let hit, _, _ = cam_lookup row in
+      if not hit then begin
+        recorded := row :: !recorded;
+        ignore (N.step cam (cam_inputs ~row ~write:true))
+      end
+    end;
+    if on "next_background" then begin
+      (* the Johnson counter double-steps between required backgrounds *)
+      ignore (N.step johnson [ ("reset", false); ("en", true) ]);
+      ignore (N.step johnson [ ("reset", false); ("en", true) ]);
+      incr bg_index
+    end;
+    if on "reset_background" then begin
+      ignore (N.step johnson [ ("reset", true); ("en", false) ]);
+      bg_index := 0
+    end;
+    if on "enable_remap" then remap_enabled := true;
+    if on "addr_step" then
+      ignore
+        (N.step addgen
+           [ ("reset_up", false); ("reset_down", false); ("en", true)
+           ; ("up", !dir_up)
+           ])
+  in
+  let budget = 16 * (March.ops_per_address Alg.ifa_9 * words * nbgs) in
+  let rec go cycles =
+    if cycles > budget then failwith "gate BIST livelock";
+    waited := false;
+    (* phase A: the FSM's work lines under pre-work conditions *)
+    let outs_a = N.eval fsm (conds ()) in
+    if List.assoc "sig_done" outs_a then
+      if !recorded = [] then Clean else Repaired (List.rev !recorded)
+    else if List.assoc "sig_fail" outs_a then Fail
+    else begin
+      exec_work outs_a;
+      (* phase B: the transition under post-work conditions *)
+      let cs = conds () in
+      let outs_b = N.eval fsm cs in
+      exec_exits outs_b;
+      ignore (N.step fsm cs);
+      go (cycles + 1)
+    end
+  in
+  go 0
+
+(* behavioural reference on an identical model *)
+let run_reference org faults =
+  let m = Model.create org in
+  Model.set_faults m faults;
+  let backgrounds = Datagen.required_backgrounds ~bpw:org.Org.bpw in
+  match Repair.run_reference m Alg.ifa_9 ~backgrounds with
+  | Repair.Passed_clean, _ -> Clean
+  | Repair.Repaired rows, _ -> Repaired rows
+  | Repair.Repair_unsuccessful _, _ -> Fail
+
+let org () = Org.make ~words:16 ~bpw:4 ~bpc:4 ~spares:4 ()
+let cell r c = { F.row = r; F.col = c }
+
+let check_agrees name faults =
+  let o = org () in
+  let gate = run_gate_bist o faults in
+  let reference = run_reference o faults in
+  let show = function
+    | Clean -> "clean"
+    | Repaired rows ->
+        "repaired [" ^ String.concat "," (List.map string_of_int rows) ^ "]"
+    | Fail -> "fail"
+  in
+  Alcotest.(check string) name (show reference) (show gate)
+
+let test_clean () = check_agrees "clean RAM" []
+
+let test_single_fault () =
+  check_agrees "one stuck-at" [ F.Stuck_at (cell 2 5, true) ]
+
+let test_multi_row () =
+  check_agrees "three rows"
+    [ F.Stuck_at (cell 0 1, true)
+    ; F.Transition (cell 1 9, true)
+    ; F.Stuck_at (cell 3 14, false)
+    ]
+
+let test_overflow () =
+  check_agrees "five rows overflow"
+    (List.init 4 (fun r -> F.Stuck_at (cell r 0, true))
+    @ [ F.Stuck_at (cell 3 1, true) ])
+
+let test_faulty_spare () =
+  check_agrees "faulty spare"
+    [ F.Stuck_at (cell 1 0, true); F.Stuck_at (cell 4 0, true) ]
+
+let prop_random_fault_sets =
+  QCheck.Test.make ~name:"gate BIST = behavioural reference (random faults)"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let o = org () in
+      let faults =
+        I.inject rng ~rows:(Org.total_rows o) ~cols:(Org.cols o)
+          ~mix:I.stuck_at_only
+          ~n:(Random.State.int rng 5)
+      in
+      run_gate_bist o faults = run_reference o faults)
+
+let () =
+  Alcotest.run "gate_bist"
+    [ ( "integration",
+        [ Alcotest.test_case "clean" `Quick test_clean
+        ; Alcotest.test_case "single fault" `Quick test_single_fault
+        ; Alcotest.test_case "multi row" `Quick test_multi_row
+        ; Alcotest.test_case "overflow" `Quick test_overflow
+        ; Alcotest.test_case "faulty spare" `Quick test_faulty_spare
+        ; QCheck_alcotest.to_alcotest prop_random_fault_sets
+        ] )
+    ]

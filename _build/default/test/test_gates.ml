@@ -1,0 +1,415 @@
+(* Gate-level netlists: simulator semantics and cycle-equivalence of the
+   generated datapath blocks against their behavioural models. *)
+
+module N = Bisram_gates.Netlist
+module B = Bisram_gates.Builders
+module Addgen = Bisram_bist.Addgen
+module Datagen = Bisram_bist.Datagen
+module March = Bisram_bist.March
+module Word = Bisram_sram.Word
+module Tlb = Bisram_bisr.Tlb
+
+(* ------------------------------------------------------------------ *)
+(* Netlist primitives *)
+
+let test_combinational_gates () =
+  let t = N.create () in
+  let a = N.input t "a" and b = N.input t "b" in
+  N.output t "and" (N.and_ t a b);
+  N.output t "or" (N.or_ t a b);
+  N.output t "xor" (N.xor_ t a b);
+  N.output t "nota" (N.not_ t a);
+  N.output t "mux" (N.mux t ~sel:a ~t1:b ~t0:(N.const t true));
+  let st = N.simulate t in
+  let check ai bi exp_and exp_or exp_xor exp_not exp_mux =
+    let outs = N.step st [ ("a", ai); ("b", bi) ] in
+    let get n = List.assoc n outs in
+    Alcotest.(check bool) "and" exp_and (get "and");
+    Alcotest.(check bool) "or" exp_or (get "or");
+    Alcotest.(check bool) "xor" exp_xor (get "xor");
+    Alcotest.(check bool) "not" exp_not (get "nota");
+    Alcotest.(check bool) "mux" exp_mux (get "mux")
+  in
+  check false false false false false true true;
+  check true false false true true false false;
+  check true true true true false false true;
+  check false true false true true true true
+
+let test_dff_delays_one_cycle () =
+  let t = N.create () in
+  let d = N.input t "d" in
+  let q = N.dff t "q" in
+  N.connect t ~q ~d;
+  N.output t "q" q;
+  let st = N.simulate t in
+  Alcotest.(check bool) "init 0" false (List.assoc "q" (N.step st [ ("d", true) ]));
+  Alcotest.(check bool) "captured" true (List.assoc "q" (N.step st [ ("d", false) ]));
+  Alcotest.(check bool) "dropped" false (List.assoc "q" (N.step st [ ("d", false) ]))
+
+let test_unconnected_dff_rejected () =
+  let t = N.create () in
+  let _q = N.dff t "q" in
+  match N.simulate t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unconnected flip-flop accepted"
+
+let test_counts () =
+  let t = B.comparator ~bits:8 in
+  Alcotest.(check int) "no ffs in comparator" 0 (N.ff_count t);
+  Alcotest.(check bool) "gates present" true (N.gate_count t > 8);
+  let c = B.up_down_counter ~bits:6 in
+  Alcotest.(check int) "6 ffs" 6 (N.ff_count c)
+
+(* ------------------------------------------------------------------ *)
+(* ADDGEN equivalence *)
+
+let counter_inputs ~reset_up ~reset_down ~en ~up =
+  [ ("reset_up", reset_up); ("reset_down", reset_down); ("en", en); ("up", up) ]
+
+let read_count st bits outs =
+  ignore st;
+  let v = ref 0 in
+  for i = 0 to bits - 1 do
+    if List.assoc (Printf.sprintf "q%d" i) outs then v := !v lor (1 lsl i)
+  done;
+  !v
+
+let test_counter_matches_addgen () =
+  let bits = 5 in
+  let limit = 1 lsl bits in
+  let net = B.up_down_counter ~bits in
+  let st = N.simulate net in
+  let check_dir dir up =
+    let gen = Addgen.create ~limit in
+    Addgen.reset gen ~dir;
+    (* load the gate counter *)
+    ignore
+      (N.step st
+         (counter_inputs
+            ~reset_up:(dir = March.Up)
+            ~reset_down:(dir = March.Down)
+            ~en:false ~up));
+    for k = 0 to (2 * limit) + 3 do
+      let outs =
+        N.step st (counter_inputs ~reset_up:false ~reset_down:false ~en:true ~up)
+      in
+      let gate_value = read_count st bits outs in
+      let gate_wrap = List.assoc "wrap" outs in
+      Alcotest.(check int)
+        (Printf.sprintf "value at step %d" k)
+        (Addgen.value gen) gate_value;
+      let wrapped = Addgen.step gen ~dir in
+      Alcotest.(check bool) (Printf.sprintf "wrap at %d" k) wrapped gate_wrap
+    done
+  in
+  check_dir March.Up true;
+  check_dir March.Down false
+
+(* ------------------------------------------------------------------ *)
+(* DATAGEN equivalence *)
+
+let test_johnson_matches_datagen () =
+  let bits = 6 in
+  let net = B.johnson_counter ~bits in
+  let st = N.simulate net in
+  let gen = Datagen.create ~bpw:bits in
+  ignore (N.step st [ ("reset", true); ("en", false) ]);
+  for k = 0 to (2 * bits) + 3 do
+    let outs = N.step st [ ("reset", false); ("en", true) ] in
+    let gate_word =
+      Word.of_bits
+        (Array.init bits (fun i -> List.assoc (Printf.sprintf "q%d" i) outs))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "state at %d" k)
+      true
+      (Word.equal (Datagen.state gen) gate_word);
+    Datagen.step gen
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Comparator equivalence *)
+
+let prop_comparator_equals_word_equal =
+  QCheck.Test.make ~name:"gate comparator = Word.equal" ~count:200
+    QCheck.(pair (int_range 0 255) (int_range 0 255))
+    (fun (a, b) ->
+      let bits = 8 in
+      let net = B.comparator ~bits in
+      let st = N.simulate net in
+      let inputs =
+        List.concat
+          (List.init bits (fun i ->
+               [ (Printf.sprintf "a%d" i, (a lsr i) land 1 = 1)
+               ; (Printf.sprintf "b%d" i, (b lsr i) land 1 = 1)
+               ]))
+      in
+      let outs = N.step st inputs in
+      List.assoc "neq" outs = (a <> b))
+
+(* ------------------------------------------------------------------ *)
+(* CAM vs TLB *)
+
+let cam_inputs ~bits ~key ~write =
+  ("write", write)
+  :: List.init bits (fun i -> (Printf.sprintf "key%d" i, (key lsr i) land 1 = 1))
+
+let test_cam_matches_tlb () =
+  let entries = 4 and bits = 5 in
+  let net = B.cam ~entries ~bits in
+  let st = N.simulate net in
+  let tlb = Tlb.create ~spares:entries ~regular_rows:(1 lsl bits) in
+  let lookup key =
+    let outs = N.step st (cam_inputs ~bits ~key ~write:false) in
+    let hit = List.assoc "hit" outs in
+    let idx = ref 0 in
+    for i = 0 to B.bits_for entries - 1 do
+      if List.assoc (Printf.sprintf "idx%d" i) outs then idx := !idx lor (1 lsl i)
+    done;
+    (hit, !idx, List.assoc "full" outs)
+  in
+  let record key =
+    ignore (N.step st (cam_inputs ~bits ~key ~write:true));
+    Tlb.record tlb ~row:key
+  in
+  (* empty CAM: no hits *)
+  let hit, _, full = lookup 7 in
+  Alcotest.(check bool) "no hit when empty" false hit;
+  Alcotest.(check bool) "not full" false full;
+  (* record rows 7, 13, 2 and check lookups track the TLB *)
+  List.iter (fun k -> ignore (record k)) [ 7; 13; 2 ];
+  List.iter
+    (fun key ->
+      let hit, idx, _ = lookup key in
+      match Tlb.spare_of tlb ~row:key with
+      | Some spare ->
+          Alcotest.(check bool) (Printf.sprintf "hit %d" key) true hit;
+          Alcotest.(check int) (Printf.sprintf "index %d" key) spare idx
+      | None -> Alcotest.(check bool) (Printf.sprintf "miss %d" key) false hit)
+    [ 0; 2; 7; 9; 13; 31 ];
+  (* fill up: fourth record fills the CAM *)
+  ignore (record 21);
+  let _, _, full = lookup 21 in
+  Alcotest.(check bool) "full after 4" true full;
+  Alcotest.(check bool) "tlb full too" true (Tlb.is_full tlb)
+
+let prop_cam_random_sequences =
+  QCheck.Test.make ~name:"CAM tracks TLB on random row sequences" ~count:60
+    QCheck.(list_of_size (Gen.int_range 0 10) (int_range 0 31))
+    (fun rows ->
+      let entries = 4 and bits = 5 in
+      let net = B.cam ~entries ~bits in
+      let st = N.simulate net in
+      let tlb = Tlb.create ~spares:entries ~regular_rows:32 in
+      List.for_all
+        (fun key ->
+          (* query first (gate CAM write also matches same-cycle state) *)
+          let outs = N.step st (cam_inputs ~bits ~key ~write:false) in
+          let gate_hit = List.assoc "hit" outs in
+          let model_hit = Tlb.spare_of tlb ~row:key <> None in
+          (* record through both when the model would accept a new row *)
+          if (not model_hit) && not (Tlb.is_full tlb) then begin
+            ignore (N.step st (cam_inputs ~bits ~key ~write:true));
+            ignore (Tlb.record tlb ~row:key)
+          end;
+          gate_hit = model_hit)
+        rows)
+
+(* ------------------------------------------------------------------ *)
+(* PLA expansion and the controller FSM as gates *)
+
+module Trpla = Bisram_bist.Trpla
+module Pla_gates = Bisram_bist.Pla_gates
+module Controller = Bisram_bist.Controller
+module Alg = Bisram_bist.Algorithms
+
+let prop_pla_netlist_equals_eval =
+  QCheck.Test.make ~name:"PLA netlist = Trpla.eval on random vectors"
+    ~count:100
+    QCheck.(int_range 0 4095)
+    (fun v ->
+      let ctl =
+        Controller.compile Alg.mats_plus ~words:16
+          ~backgrounds:(Datagen.required_backgrounds ~bpw:4)
+      in
+      let pla = Controller.to_pla ctl in
+      let net = Pla_gates.of_trpla pla in
+      let st = N.simulate net in
+      let n_in = Trpla.n_inputs pla in
+      let bits = Array.init n_in (fun i -> (v lsr (i mod 12)) land 1 = 1) in
+      let outs =
+        N.step st
+          (List.init n_in (fun i -> (Printf.sprintf "in%d" i, bits.(i))))
+      in
+      let expected = Trpla.eval pla bits in
+      List.for_all
+        (fun i -> List.assoc (Printf.sprintf "out%d" i) outs = expected.(i))
+        (List.init (Trpla.n_outputs pla) Fun.id))
+
+let test_controller_fsm_first_transitions () =
+  (* drive the FSM netlist: IDLE -(test_enable)-> SETUP -> first op *)
+  let ctl =
+    Controller.compile Alg.mats_plus ~words:16
+      ~backgrounds:(Datagen.required_backgrounds ~bpw:4)
+  in
+  let net = Pla_gates.controller_netlist ctl in
+  let st = N.simulate net in
+  let conds ~te =
+    List.map
+      (fun n -> (n, n = "test_enable" && te))
+      Pla_gates.cond_names
+  in
+  let state outs =
+    let v = ref 0 in
+    List.iteri
+      (fun i _ ->
+        if List.assoc_opt (Printf.sprintf "state%d" i) outs = Some true then
+          v := !v lor (1 lsl i))
+      (List.init (Controller.flipflop_count ctl) Fun.id);
+    !v
+  in
+  (* cycle 1: in IDLE; with test_enable the exit asserts reset_background *)
+  let o1 = N.step st (conds ~te:true) in
+  Alcotest.(check int) "starts in IDLE (0)" 0 (state o1);
+  Alcotest.(check bool) "reset_background on exit" true
+    (List.assoc "reset_background" o1);
+  (* cycle 2: SETUP state (id 1) resets the address counter *)
+  let o2 = N.step st (conds ~te:true) in
+  Alcotest.(check int) "in SETUP (1)" 1 (state o2);
+  Alcotest.(check bool) "addr_reset_up" true (List.assoc "addr_reset_up" o2);
+  (* cycle 3: first op state applies the write *)
+  let o3 = N.step st (conds ~te:true) in
+  Alcotest.(check bool) "apply_write in first op" true
+    (List.assoc "apply_write" o3)
+
+let test_verilog_export () =
+  let ctl =
+    Controller.compile Alg.mats_plus ~words:16
+      ~backgrounds:(Datagen.required_backgrounds ~bpw:4)
+  in
+  let v = Pla_gates.controller_verilog ctl in
+  let has sub =
+    let n = String.length v and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub v i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key -> Alcotest.(check bool) ("verilog has " ^ key) true (has key))
+    [ "module trpla_fsm"; "endmodule"; "always @(posedge clk)"; "cmp_fail"
+    ; "record_row"; "input clk, rst"
+    ];
+  (* balanced: one module, one endmodule *)
+  Alcotest.(check bool) "nonempty" true (String.length v > 500)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer *)
+
+module Opt = Bisram_gates.Optimize
+
+let test_optimize_folds_constants () =
+  let t = N.create () in
+  let a = N.input t "a" in
+  let zero = N.const t false in
+  let one = N.const t true in
+  (* and(a, 1) = a ; or(a, 0) = a ; xor(a, a) = 0 ; mux(1, a, b) = a *)
+  N.output t "y1" (N.and_ t a one);
+  N.output t "y2" (N.or_ t a zero);
+  N.output t "y3" (N.xor_ t a a);
+  N.output t "y4" (N.mux t ~sel:one ~t1:a ~t0:zero);
+  N.output t "y5" (N.not_ t (N.not_ t a));
+  let t', stats = Opt.optimize t in
+  Alcotest.(check int) "all gates folded" 0 stats.Opt.gates_after;
+  let st = N.simulate t' in
+  List.iter
+    (fun v ->
+      let outs = N.step st [ ("a", v) ] in
+      Alcotest.(check bool) "y1=a" v (List.assoc "y1" outs);
+      Alcotest.(check bool) "y2=a" v (List.assoc "y2" outs);
+      Alcotest.(check bool) "y3=0" false (List.assoc "y3" outs);
+      Alcotest.(check bool) "y4=a" v (List.assoc "y4" outs);
+      Alcotest.(check bool) "y5=a" v (List.assoc "y5" outs))
+    [ true; false ]
+
+let test_optimize_removes_dead_gates () =
+  let t = N.create () in
+  let a = N.input t "a" and b = N.input t "b" in
+  let _dead = N.and_ t a b in
+  let _dead2 = N.xor_ t a (N.or_ t a b) in
+  N.output t "y" (N.and_ t a b);
+  let _, stats = Opt.optimize t in
+  Alcotest.(check bool)
+    (Printf.sprintf "gates %d -> %d" stats.Opt.gates_before stats.Opt.gates_after)
+    true
+    (stats.Opt.gates_after < stats.Opt.gates_before);
+  Alcotest.(check int) "only the live AND" 1 stats.Opt.gates_after
+
+let prop_optimize_preserves_controller_fsm =
+  QCheck.Test.make
+    ~name:"optimized FSM netlist = original on random cond sequences"
+    ~count:30
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let ctl =
+        Controller.compile Alg.mats_plus ~words:16
+          ~backgrounds:(Datagen.required_backgrounds ~bpw:4)
+      in
+      let net = Pla_gates.controller_netlist ctl in
+      let opt, _ = Opt.optimize net in
+      let s1 = N.simulate net and s2 = N.simulate opt in
+      let rng = Random.State.make [| seed |] in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let ins =
+          List.map (fun n -> (n, Random.State.bool rng)) Pla_gates.cond_names
+        in
+        let o1 = List.sort compare (N.step s1 ins) in
+        let o2 = List.sort compare (N.step s2 ins) in
+        if o1 <> o2 then ok := false
+      done;
+      !ok)
+
+let test_optimize_shrinks_pla () =
+  let ctl =
+    Controller.compile Alg.ifa_9 ~words:64
+      ~backgrounds:(Datagen.required_backgrounds ~bpw:8)
+  in
+  let net = Pla_gates.controller_netlist ctl in
+  let _, stats = Opt.optimize net in
+  Alcotest.(check bool)
+    (Printf.sprintf "FSM gates %d -> %d (6 FFs kept)" stats.Opt.gates_before
+       stats.Opt.gates_after)
+    true
+    (stats.Opt.gates_after < stats.Opt.gates_before);
+  Alcotest.(check int) "state register preserved" 6 stats.Opt.ffs
+
+let () =
+  Alcotest.run "gates"
+    [ ( "netlist",
+        [ Alcotest.test_case "combinational" `Quick test_combinational_gates
+        ; Alcotest.test_case "dff" `Quick test_dff_delays_one_cycle
+        ; Alcotest.test_case "unconnected dff" `Quick
+            test_unconnected_dff_rejected
+        ; Alcotest.test_case "counts" `Quick test_counts
+        ] )
+    ; ( "equivalence",
+        [ Alcotest.test_case "ADDGEN counter" `Quick test_counter_matches_addgen
+        ; Alcotest.test_case "DATAGEN johnson" `Quick
+            test_johnson_matches_datagen
+        ; QCheck_alcotest.to_alcotest prop_comparator_equals_word_equal
+        ; Alcotest.test_case "TLB cam" `Quick test_cam_matches_tlb
+        ; QCheck_alcotest.to_alcotest prop_cam_random_sequences
+        ] )
+    ; ( "pla-gates",
+        [ QCheck_alcotest.to_alcotest prop_pla_netlist_equals_eval
+        ; Alcotest.test_case "FSM transitions" `Quick
+            test_controller_fsm_first_transitions
+        ; Alcotest.test_case "verilog export" `Quick test_verilog_export
+        ] )
+    ; ( "optimize",
+        [ Alcotest.test_case "constant folding" `Quick
+            test_optimize_folds_constants
+        ; Alcotest.test_case "dead gates" `Quick test_optimize_removes_dead_gates
+        ; QCheck_alcotest.to_alcotest prop_optimize_preserves_controller_fsm
+        ; Alcotest.test_case "shrinks the FSM" `Quick test_optimize_shrinks_pla
+        ] )
+    ]

@@ -1,0 +1,220 @@
+(* Unit and property tests for the geometry substrate. *)
+
+module P = Bisram_geometry.Point
+module O = Bisram_geometry.Orient
+module R = Bisram_geometry.Rect
+module T = Bisram_geometry.Transform
+
+let point = Alcotest.testable P.pp P.equal
+let rect = Alcotest.testable R.pp R.equal
+let orient = Alcotest.testable O.pp O.equal
+
+(* ------------------------------------------------------------------ *)
+(* Point *)
+
+let test_point_algebra () =
+  let a = P.make 3 4 and b = P.make (-1) 2 in
+  Alcotest.check point "add" (P.make 2 6) (P.add a b);
+  Alcotest.check point "sub" (P.make 4 2) (P.sub a b);
+  Alcotest.check point "neg" (P.make (-3) (-4)) (P.neg a);
+  Alcotest.check point "scale" (P.make 9 12) (P.scale 3 a);
+  Alcotest.check Alcotest.int "dist2" 20 (P.dist2 a b);
+  Alcotest.check Alcotest.int "manhattan" 6 (P.manhattan a b)
+
+(* ------------------------------------------------------------------ *)
+(* Orient: group structure *)
+
+let test_orient_identity () =
+  List.iter
+    (fun o ->
+      Alcotest.check orient "left id" o (O.compose O.R0 o);
+      Alcotest.check orient "right id" o (O.compose o O.R0))
+    O.all
+
+let test_orient_inverse () =
+  List.iter
+    (fun o ->
+      Alcotest.check orient "o^-1 o = id" O.R0 (O.compose (O.inverse o) o);
+      Alcotest.check orient "o o^-1 = id" O.R0 (O.compose o (O.inverse o)))
+    O.all
+
+let test_orient_rotation_order () =
+  let r2 = O.compose O.R90 O.R90 in
+  Alcotest.check orient "R90^2 = R180" O.R180 r2;
+  Alcotest.check orient "R90^4 = R0" O.R0 (O.compose r2 r2)
+
+let test_orient_apply () =
+  let p = P.make 2 1 in
+  Alcotest.check point "R90" (P.make (-1) 2) (O.apply O.R90 p);
+  Alcotest.check point "R180" (P.make (-2) (-1)) (O.apply O.R180 p);
+  Alcotest.check point "MX flips y" (P.make 2 (-1)) (O.apply O.Mx p);
+  Alcotest.check point "MY flips x" (P.make (-2) 1) (O.apply O.My p)
+
+let test_orient_string_roundtrip () =
+  List.iter
+    (fun o ->
+      match O.of_string (O.to_string o) with
+      | Some o' -> Alcotest.check orient "roundtrip" o o'
+      | None -> Alcotest.fail "of_string failed")
+    O.all;
+  Alcotest.(check (option orient)) "garbage" None (O.of_string "R45")
+
+(* ------------------------------------------------------------------ *)
+(* Rect *)
+
+let test_rect_normalization () =
+  let r = R.make 5 7 1 2 in
+  Alcotest.check rect "normalized" (R.make 1 2 5 7) r;
+  Alcotest.check Alcotest.int "width" 4 (R.width r);
+  Alcotest.check Alcotest.int "height" 5 (R.height r);
+  Alcotest.check Alcotest.int "area" 20 (R.area r)
+
+let test_rect_contains () =
+  let outer = R.make 0 0 10 10 and inner = R.make 2 2 8 8 in
+  Alcotest.check Alcotest.bool "contains" true (R.contains ~outer ~inner);
+  Alcotest.check Alcotest.bool "not contains" false
+    (R.contains ~outer:inner ~inner:outer);
+  Alcotest.check Alcotest.bool "edge point" true
+    (R.contains_point outer (P.make 10 10));
+  Alcotest.check Alcotest.bool "outside point" false
+    (R.contains_point outer (P.make 11 10))
+
+let test_rect_overlap_vs_touch () =
+  let a = R.make 0 0 4 4 and b = R.make 4 0 8 4 and c = R.make 5 0 9 4 in
+  Alcotest.check Alcotest.bool "shared edge touches" true (R.touches a b);
+  Alcotest.check Alcotest.bool "shared edge no overlap" false (R.overlaps a b);
+  Alcotest.check Alcotest.bool "disjoint no touch" false (R.touches a c);
+  Alcotest.check Alcotest.bool "abuts" true (R.abuts a b);
+  Alcotest.check Alcotest.bool "corner contact is not abutment" false
+    (R.abuts a (R.make 4 4 8 8))
+
+let test_rect_inter_join () =
+  let a = R.make 0 0 6 6 and b = R.make 4 4 10 10 in
+  (match R.inter a b with
+  | Some i -> Alcotest.check rect "inter" (R.make 4 4 6 6) i
+  | None -> Alcotest.fail "expected intersection");
+  Alcotest.check rect "join" (R.make 0 0 10 10) (R.join a b);
+  Alcotest.check rect "bbox"
+    (R.make (-2) 0 10 10)
+    (R.bbox [ a; b; R.make (-2) 1 0 2 ])
+
+let test_rect_inflate () =
+  let r = R.make 2 2 8 8 in
+  Alcotest.check rect "grow" (R.make 0 0 10 10) (R.inflate 2 r);
+  Alcotest.check rect "shrink" (R.make 4 4 6 6) (R.inflate (-2) r);
+  (* Over-shrinking collapses to the center rather than denormalizing. *)
+  let collapsed = R.inflate (-10) r in
+  Alcotest.check Alcotest.bool "collapsed empty" true (R.is_empty collapsed)
+
+(* ------------------------------------------------------------------ *)
+(* Transform *)
+
+let test_transform_compose_apply () =
+  let t1 = T.make O.R90 (P.make 10 0) and t2 = T.translation (P.make 1 2) in
+  let p = P.make 3 4 in
+  Alcotest.check point "compose = sequential"
+    (T.apply t1 (T.apply t2 p))
+    (T.apply (T.compose t1 t2) p)
+
+let test_transform_inverse () =
+  let t = T.make O.Mx90 (P.make 7 (-3)) in
+  let p = P.make 5 11 in
+  Alcotest.check point "t^-1 t = id" p (T.apply (T.inverse t) (T.apply t p))
+
+let test_transform_rect () =
+  let t = T.make O.R90 (P.make 10 0) in
+  let r = R.make 0 0 4 2 in
+  let r' = T.apply_rect t r in
+  Alcotest.check rect "rotated+translated" (R.make 8 0 10 4) r';
+  Alcotest.check Alcotest.int "area preserved" (R.area r) (R.area r')
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_point =
+  QCheck.map
+    (fun (x, y) -> P.make x y)
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-1000) 1000))
+
+let arb_orient = QCheck.oneofl O.all
+
+let arb_rect =
+  QCheck.map
+    (fun (p, w, h) -> R.of_size ~w ~h p)
+    QCheck.(triple arb_point (int_range 0 500) (int_range 0 500))
+
+let prop_orient_preserves_dist2 =
+  QCheck.Test.make ~name:"orientations preserve squared distance" ~count:300
+    QCheck.(triple arb_orient arb_point arb_point)
+    (fun (o, a, b) -> P.dist2 a b = P.dist2 (O.apply o a) (O.apply o b))
+
+let prop_orient_group_closed =
+  QCheck.Test.make ~name:"orientation composition closed and associative"
+    ~count:300
+    QCheck.(triple arb_orient arb_orient arb_orient)
+    (fun (a, b, c) ->
+      O.equal (O.compose (O.compose a b) c) (O.compose a (O.compose b c)))
+
+let prop_rect_transform_area =
+  QCheck.Test.make ~name:"rect transform preserves area" ~count:300
+    QCheck.(pair arb_orient arb_rect)
+    (fun (o, r) -> R.area (R.transform o r) = R.area r)
+
+let prop_join_contains_both =
+  QCheck.Test.make ~name:"join contains both operands" ~count:300
+    QCheck.(pair arb_rect arb_rect)
+    (fun (a, b) ->
+      let j = R.join a b in
+      R.contains ~outer:j ~inner:a && R.contains ~outer:j ~inner:b)
+
+let prop_inter_contained =
+  QCheck.Test.make ~name:"intersection contained in both operands" ~count:300
+    QCheck.(pair arb_rect arb_rect)
+    (fun (a, b) ->
+      match R.inter a b with
+      | None -> not (R.touches a b)
+      | Some i -> R.contains ~outer:a ~inner:i && R.contains ~outer:b ~inner:i)
+
+let prop_transform_roundtrip =
+  QCheck.Test.make ~name:"transform inverse round-trips rects" ~count:300
+    QCheck.(triple arb_orient arb_point arb_rect)
+    (fun (o, d, r) ->
+      let t = T.make o d in
+      R.equal r (T.apply_rect (T.inverse t) (T.apply_rect t r)))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_orient_preserves_dist2
+    ; prop_orient_group_closed
+    ; prop_rect_transform_area
+    ; prop_join_contains_both
+    ; prop_inter_contained
+    ; prop_transform_roundtrip
+    ]
+
+let () =
+  Alcotest.run "geometry"
+    [ ( "point",
+        [ Alcotest.test_case "algebra" `Quick test_point_algebra ] )
+    ; ( "orient",
+        [ Alcotest.test_case "identity" `Quick test_orient_identity
+        ; Alcotest.test_case "inverse" `Quick test_orient_inverse
+        ; Alcotest.test_case "rotation order" `Quick test_orient_rotation_order
+        ; Alcotest.test_case "apply" `Quick test_orient_apply
+        ; Alcotest.test_case "string roundtrip" `Quick
+            test_orient_string_roundtrip
+        ] )
+    ; ( "rect",
+        [ Alcotest.test_case "normalization" `Quick test_rect_normalization
+        ; Alcotest.test_case "contains" `Quick test_rect_contains
+        ; Alcotest.test_case "overlap vs touch" `Quick test_rect_overlap_vs_touch
+        ; Alcotest.test_case "inter/join" `Quick test_rect_inter_join
+        ; Alcotest.test_case "inflate" `Quick test_rect_inflate
+        ] )
+    ; ( "transform",
+        [ Alcotest.test_case "compose/apply" `Quick test_transform_compose_apply
+        ; Alcotest.test_case "inverse" `Quick test_transform_inverse
+        ; Alcotest.test_case "rect" `Quick test_transform_rect
+        ] )
+    ; ("properties", properties)
+    ]

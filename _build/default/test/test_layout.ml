@@ -1,0 +1,351 @@
+(* Tests for the layout substrate: cells, leaf generators, tiling,
+   macros and the CIF writer. *)
+
+module R = Bisram_geometry.Rect
+module P = Bisram_geometry.Point
+module T = Bisram_geometry.Transform
+module O = Bisram_geometry.Orient
+module L = Bisram_tech.Layer
+module Cell = Bisram_layout.Cell
+module Port = Bisram_layout.Port
+module Leaf = Bisram_layout.Leaf
+module Tile = Bisram_layout.Tile
+module Macro = Bisram_layout.Macro
+module Cif = Bisram_layout.Cif
+
+let rules = Bisram_tech.Rules.scmos
+
+(* naive substring search helpers for CIF-output checks *)
+let find_sub ~start ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then Some start else go (max 0 start)
+
+let contains_sub ~sub s = find_sub ~start:0 ~sub s <> None
+
+let count_sub ~sub s =
+  let rec go acc i =
+    match find_sub ~start:i ~sub s with
+    | Some j -> go (acc + 1) (j + 1)
+    | None -> acc
+  in
+  go 0 0
+
+let test_port_edge_transform () =
+  Alcotest.(check bool) "R90 north->west" true
+    (Port.transform_edge O.R90 Port.North = Port.West);
+  Alcotest.(check bool) "Mx north->south" true
+    (Port.transform_edge O.Mx Port.North = Port.South);
+  Alcotest.(check bool) "My east->west" true
+    (Port.transform_edge O.My Port.East = Port.West);
+  Alcotest.(check bool) "R0 identity" true
+    (List.for_all
+       (fun e -> Port.transform_edge O.R0 e = e)
+       [ Port.North; Port.South; Port.East; Port.West ])
+
+let test_cell_basics () =
+  let c = Leaf.sram_6t () in
+  Alcotest.(check int) "width 24" 24 (Cell.width c);
+  Alcotest.(check int) "height 20" 20 (Cell.height c);
+  Alcotest.(check int) "area" 480 (Cell.area c);
+  Alcotest.(check bool) "has bl port" true (Cell.find_port c "bl" <> None);
+  Alcotest.(check bool) "wl on both sides" true
+    (List.length
+       (List.filter (fun p -> p.Port.name = "wl") c.Cell.ports)
+    = 2)
+
+let test_leaf_cells_drc_clean () =
+  let cells =
+    [ Leaf.sram_6t (); Leaf.precharge (); Leaf.sense_amp ()
+    ; Leaf.wordline_driver ~drive:2; Leaf.row_decoder_slice ~bits:9
+    ; Leaf.column_mux ~bpc:4; Leaf.strap ~w:8
+    ]
+  in
+  List.iter
+    (fun c ->
+      let violations = Cell.drc rules c in
+      Alcotest.(check (list string)) (c.Cell.name ^ " drc clean") [] violations)
+    cells
+
+let test_cell_transform_roundtrip () =
+  let c = Leaf.sram_6t () in
+  let tr = T.make O.R90 (P.make 100 50) in
+  let c' = Cell.transform (T.inverse tr) (Cell.transform tr c) in
+  Alcotest.(check bool) "bbox restored" true (R.equal c.Cell.bbox c'.Cell.bbox);
+  Alcotest.(check int) "shape count" (List.length c.Cell.shapes)
+    (List.length c'.Cell.shapes)
+
+let test_hstack_abutment () =
+  let c = Leaf.sram_6t () in
+  let row = Tile.harray ~name:"row4" ~n:4 c in
+  Alcotest.(check int) "width x4" (4 * 24) (Cell.width row);
+  Alcotest.(check int) "height kept" 20 (Cell.height row);
+  Alcotest.(check int) "shapes x4" (4 * List.length c.Cell.shapes)
+    (List.length row.Cell.shapes)
+
+let test_vstack_mirrored_rails_shared () =
+  let c = Leaf.sram_6t () in
+  let col = Tile.varray_mirrored ~name:"col2" ~n:2 c in
+  Alcotest.(check int) "height x2" 40 (Cell.height col);
+  (* mirrored row puts its vdd rail at the shared boundary: rails of
+     row0 top (y18-20) and row1 bottom (y20-22 after mirror) meet *)
+  let m1 = Cell.shapes_on col L.Metal1 in
+  let at_boundary =
+    List.filter (fun r -> r.R.y0 <= 20 && r.R.y1 >= 20) m1
+  in
+  Alcotest.(check bool) "metal1 across boundary" true (at_boundary <> [])
+
+let test_abutting_ports () =
+  let c = Leaf.sram_6t () in
+  let left = Cell.normalize c in
+  let right = Cell.translate (P.make 24 0) c in
+  let pairs = Tile.abutting_ports left right in
+  (* wl, vdd, gnd meet on the shared vertical edge *)
+  let names = List.sort_uniq compare (List.map (fun (p, _) -> p.Port.name) pairs) in
+  Alcotest.(check (list string)) "abutting signals" [ "gnd"; "vdd"; "wl" ] names
+
+let test_macro_area_and_count () =
+  let c = Leaf.sram_6t () in
+  let m =
+    Macro.make ~name:"arr"
+      [ Macro.array ~origin:P.zero ~nx:16 ~ny:8 ~mirror_odd_rows:true c ]
+  in
+  Alcotest.(check int) "instances" 128 (Macro.instance_count m);
+  Alcotest.(check int) "width" (16 * 24) (Macro.width m);
+  Alcotest.(check int) "height" (8 * 20) (Macro.height m);
+  Alcotest.(check int) "area" (16 * 24 * 8 * 20) (Macro.area m)
+
+let test_macro_flatten_matches_symbolic () =
+  let c = Leaf.sram_6t () in
+  let m =
+    Macro.make ~name:"arr"
+      [ Macro.array ~origin:(P.make 5 7) ~nx:3 ~ny:2 c ]
+  in
+  let flat = Macro.flatten m in
+  Alcotest.(check bool) "bbox equal" true (R.equal (Macro.bbox m) flat.Cell.bbox);
+  Alcotest.(check int) "shapes" (6 * List.length c.Cell.shapes)
+    (List.length flat.Cell.shapes)
+
+let test_macro_flatten_limit () =
+  let c = Leaf.sram_6t () in
+  let m =
+    Macro.make ~name:"huge"
+      [ Macro.array ~origin:P.zero ~nx:1000 ~ny:1000 c ]
+  in
+  match Macro.flatten m with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flatten should refuse 1M instances"
+
+let test_cif_of_cell () =
+  let p = Bisram_tech.Process.cda_07u3m1p in
+  let s = Cif.of_cell p (Leaf.sram_6t ()) in
+  Alcotest.(check bool) "has DS/DF" true
+    (String.length s > 0
+    && contains_sub ~sub:"DS 1 1 2;" s
+    && contains_sub ~sub:"DF;" s
+    && contains_sub ~sub:"L CMF;" s)
+
+let test_cif_of_macro_hierarchy () =
+  let p = Bisram_tech.Process.cda_07u3m1p in
+  let c = Leaf.sram_6t () in
+  let m =
+    Macro.make ~name:"arr"
+      [ Macro.array ~origin:P.zero ~nx:4 ~ny:2 ~mirror_odd_rows:true c ]
+  in
+  let s = Cif.of_macro p m in
+  (* one cell definition, 8 calls of it, one top definition *)
+  Alcotest.(check int) "2 definitions" 2 (count_sub ~sub:"DS " s);
+  Alcotest.(check int) "8 leaf calls + 1 top call" 9 (count_sub ~sub:"\nC " s);
+  Alcotest.(check int) "4 mirrored calls" 4 (count_sub ~sub:"MY" s)
+
+let test_pla_programmed_geometry () =
+  let and_plane = [ "1-0"; "01-"; "--1" ] in
+  let or_plane = [ "11"; ".1"; "1." ] in
+  let c = Leaf.pla_programmed ~and_plane ~or_plane in
+  (* device patches: AND literals (2+2+1) + OR connections (2+1+1) *)
+  let actives = Cell.shapes_on c L.Active in
+  Alcotest.(check int) "device patches" 9 (List.length actives);
+  (* one poly column pair per input, one m2 column per output *)
+  let polys = Cell.shapes_on c L.Poly in
+  Alcotest.(check int) "poly columns" 6 (List.length polys);
+  Alcotest.(check int) "ports" 5 (List.length c.Cell.ports);
+  (* DRC clean *)
+  Alcotest.(check (list string)) "drc" [] (Cell.drc rules c)
+
+let test_pla_programmed_from_controller () =
+  (* the real control program: generate layout straight from the
+     compiled TRPLA's plane images *)
+  let ctl =
+    Bisram_bist.Controller.compile Bisram_bist.Algorithms.ifa_9 ~words:64
+      ~backgrounds:(Bisram_bist.Datagen.required_backgrounds ~bpw:8)
+  in
+  let pla = Bisram_bist.Controller.to_pla ctl in
+  let c =
+    Leaf.pla_programmed
+      ~and_plane:(Bisram_bist.Trpla.and_plane_image pla)
+      ~or_plane:(Bisram_bist.Trpla.or_plane_image pla)
+  in
+  Alcotest.(check (list string)) "drc clean" [] (Cell.drc rules c);
+  (* device count tracks the programmed literal count *)
+  let literals =
+    List.fold_left
+      (fun acc line ->
+        acc
+        + String.fold_left
+            (fun a ch -> if ch = '1' || ch = '0' then a + 1 else a)
+            0 line)
+      0
+      (Bisram_bist.Trpla.and_plane_image pla)
+    + List.fold_left
+        (fun acc line ->
+          acc + String.fold_left (fun a ch -> if ch = '1' then a + 1 else a) 0 line)
+        0
+        (Bisram_bist.Trpla.or_plane_image pla)
+  in
+  Alcotest.(check int) "one patch per literal" literals
+    (List.length (Cell.shapes_on c L.Active));
+  (* exports as CIF *)
+  let cif = Bisram_layout.Cif.of_cell Bisram_tech.Process.cda_07u3m1p c in
+  Alcotest.(check bool) "cif nonempty" true (String.length cif > 1000)
+
+(* ------------------------------------------------------------------ *)
+(* CIF reader: round-trips of the writer *)
+
+module Cif_reader = Bisram_layout.Cif_reader
+
+let sorted_shapes (c : Cell.t) =
+  List.sort compare
+    (List.map (fun (l, r) -> (L.to_string l, r)) c.Cell.shapes)
+
+let test_cif_roundtrip_cell () =
+  let p = Bisram_tech.Process.cda_07u3m1p in
+  let original = Leaf.sram_6t () in
+  let reimported = Cif_reader.to_cell p (Cif.of_cell p original) in
+  (* same multiset of shapes (ports are not part of CIF) *)
+  Alcotest.(check int) "shape count"
+    (List.length original.Cell.shapes)
+    (List.length reimported.Cell.shapes);
+  Alcotest.(check bool) "same geometry" true
+    (sorted_shapes original = sorted_shapes reimported)
+
+let test_cif_roundtrip_macro () =
+  let p = Bisram_tech.Process.cda_07u3m1p in
+  let m =
+    Macro.make ~name:"arr"
+      [ Macro.array ~origin:P.zero ~nx:3 ~ny:2 ~mirror_odd_rows:true
+          (Leaf.sram_6t ())
+      ]
+  in
+  let parsed = Cif_reader.parse (Cif.of_macro p m) in
+  Alcotest.(check int) "two definitions" 2
+    (List.length parsed.Cif_reader.definitions);
+  let flat_via_cif = Cif_reader.flatten parsed in
+  let flat_direct = Macro.flatten m in
+  Alcotest.(check int) "same flattened shape count"
+    (List.length flat_direct.Cell.shapes)
+    (List.length flat_via_cif);
+  (* spot geometry equality after scaling back to lambda *)
+  let scale = p.Bisram_tech.Process.lambda_nm / 10 in
+  let via_cif =
+    List.sort compare
+      (List.map
+         (fun (l, (r : R.t)) ->
+           ( L.to_string l,
+             R.make (r.R.x0 / scale) (r.R.y0 / scale) (r.R.x1 / scale)
+               (r.R.y1 / scale) ))
+         flat_via_cif)
+  in
+  Alcotest.(check bool) "same geometry" true
+    (via_cif = sorted_shapes flat_direct)
+
+let test_cif_reader_rejects_garbage () =
+  (match Cif_reader.parse "B 1 2 3 4;" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "box before layer/definition accepted");
+  match Cif_reader.parse "Q nonsense;" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown statement accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Cell renderer *)
+
+module Render = Bisram_layout.Cell_render
+
+let test_render_6t () =
+  let art = Render.render (Leaf.sram_6t ()) in
+  let lines = String.split_on_char '\n' art in
+  let nonempty = List.filter (fun l -> l <> "") lines in
+  (* 20 rows of 24 characters *)
+  Alcotest.(check int) "20 rows" 20 (List.length nonempty);
+  List.iter
+    (fun l -> Alcotest.(check int) "24 cols" 24 (String.length l))
+    nonempty;
+  let has c = String.contains art c in
+  (* metal2 bitlines, poly word line, metal1 rails all visible *)
+  Alcotest.(check bool) "metal2" true (has 'H');
+  Alcotest.(check bool) "poly" true (has '|');
+  Alcotest.(check bool) "metal1" true (has '=');
+  (match nonempty with
+  | top :: _ ->
+      Alcotest.(check bool) "vdd rail on top" true
+        (String.for_all (fun c -> c = '=' || c = 'H') top)
+  | [] -> Alcotest.fail "no render")
+
+let test_render_scale () =
+  let art = Render.render ~scale:2 (Leaf.sram_6t ()) in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' art) in
+  Alcotest.(check int) "10 rows at scale 2" 10 (List.length lines)
+
+let test_pla_phantom_scales () =
+  let small = Leaf.pla ~n_inputs:4 ~n_outputs:4 ~n_terms:10 in
+  let big = Leaf.pla ~n_inputs:12 ~n_outputs:19 ~n_terms:98 in
+  Alcotest.(check bool) "bigger pla bigger cell" true
+    (Cell.area big > Cell.area small);
+  Alcotest.(check int) "ports = ins + outs" (12 + 19)
+    (List.length big.Cell.ports)
+
+let () =
+  Alcotest.run "layout"
+    [ ( "port",
+        [ Alcotest.test_case "edge transform" `Quick test_port_edge_transform ]
+      )
+    ; ( "cell",
+        [ Alcotest.test_case "basics" `Quick test_cell_basics
+        ; Alcotest.test_case "leaf drc" `Quick test_leaf_cells_drc_clean
+        ; Alcotest.test_case "transform roundtrip" `Quick
+            test_cell_transform_roundtrip
+        ] )
+    ; ( "tile",
+        [ Alcotest.test_case "hstack" `Quick test_hstack_abutment
+        ; Alcotest.test_case "mirrored rails" `Quick
+            test_vstack_mirrored_rails_shared
+        ; Alcotest.test_case "abutting ports" `Quick test_abutting_ports
+        ] )
+    ; ( "macro",
+        [ Alcotest.test_case "area/count" `Quick test_macro_area_and_count
+        ; Alcotest.test_case "flatten" `Quick test_macro_flatten_matches_symbolic
+        ; Alcotest.test_case "flatten limit" `Quick test_macro_flatten_limit
+        ] )
+    ; ( "cif",
+        [ Alcotest.test_case "of_cell" `Quick test_cif_of_cell
+        ; Alcotest.test_case "of_macro" `Quick test_cif_of_macro_hierarchy
+        ; Alcotest.test_case "pla phantom" `Quick test_pla_phantom_scales
+        ; Alcotest.test_case "pla programmed" `Quick test_pla_programmed_geometry
+        ; Alcotest.test_case "pla from controller" `Quick
+            test_pla_programmed_from_controller
+        ] )
+    ; ( "render",
+        [ Alcotest.test_case "6T cell" `Quick test_render_6t
+        ; Alcotest.test_case "scale" `Quick test_render_scale
+        ] )
+    ; ( "cif reader",
+        [ Alcotest.test_case "cell roundtrip" `Quick test_cif_roundtrip_cell
+        ; Alcotest.test_case "macro roundtrip" `Quick test_cif_roundtrip_macro
+        ; Alcotest.test_case "rejects garbage" `Quick
+            test_cif_reader_rejects_garbage
+        ] )
+    ]

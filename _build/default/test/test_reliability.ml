@@ -1,0 +1,96 @@
+(* Tests for the reliability model (Section VIII / Fig. 5). *)
+
+module Rel = Bisram_rel.Reliability
+module Org = Bisram_sram.Org
+
+(* Fig. 5 configuration: 1024 rows, bpc = bpw = 4 *)
+let org s = Org.make ~words:4096 ~bpw:4 ~bpc:4 ~spares:s ()
+let lambda = 1e-8
+let cfg s = Rel.of_org (org s) ~lambda
+
+let test_boundary_conditions () =
+  Alcotest.(check (float 1e-12)) "R(0)=1" 1.0 (Rel.reliability (cfg 4) 0.0);
+  Alcotest.(check bool) "R(huge)~0" true
+    (Rel.reliability (cfg 4) 1e9 < 1e-6)
+
+let test_monotone_decreasing () =
+  let c = cfg 4 in
+  let prev = ref 1.0 in
+  List.iter
+    (fun t ->
+      let r = Rel.reliability c t in
+      Alcotest.(check bool) (Printf.sprintf "R decreasing at %g" t) true
+        (r <= !prev +. 1e-12);
+      Alcotest.(check bool) "in unit interval" true (r >= 0.0 && r <= 1.0);
+      prev := r)
+    [ 1e3; 1e4; 5e4; 1e5; 2e5; 1e6 ]
+
+let test_early_life_fewer_spares_better () =
+  (* before the crossover, more spares means lower reliability — the
+     spares are themselves failure sites (paper's Fig. 5 observation) *)
+  let t = 10_000.0 in
+  let r s = Rel.reliability (cfg s) t in
+  Alcotest.(check bool) "4 > 8 early" true (r 4 > r 8);
+  Alcotest.(check bool) "8 > 16 early" true (r 8 > r 16)
+
+let test_late_life_more_spares_better () =
+  let t = 200_000.0 in
+  let r s = Rel.reliability (cfg s) t in
+  Alcotest.(check bool) "8 > 4 late" true (r 8 > r 4)
+
+let test_crossover_location () =
+  (* paper: reliability with 4 spares exceeds 8 spares until the device
+     is ~8 years old (~70,000 h) *)
+  match Rel.crossover (cfg 4) (cfg 8) ~t0:1000.0 ~t1:1e6 ~steps:4000 with
+  | Some t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "crossover at %.0f h" t)
+        true
+        (t > 40_000.0 && t < 110_000.0)
+  | None -> Alcotest.fail "no 4-vs-8 crossover found"
+
+let test_spares_extend_mttf () =
+  let m0 = Rel.mttf (cfg 0) and m4 = Rel.mttf (cfg 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mttf %.3g -> %.3g" m0 m4)
+    true (m4 > 3.0 *. m0)
+
+let test_mttf_scales_inversely_with_lambda () =
+  let m1 = Rel.mttf (Rel.of_org (org 4) ~lambda:1e-8) in
+  let m2 = Rel.mttf (Rel.of_org (org 4) ~lambda:2e-8) in
+  Alcotest.(check bool) "halved lambda doubles mttf" true
+    (abs_float ((m1 /. m2) -. 2.0) < 0.1)
+
+let test_failure_pdf_nonnegative () =
+  let c = cfg 4 in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) (Printf.sprintf "pdf >= 0 at %g" t) true
+        (Rel.failure_pdf c t >= -1e-9))
+    [ 1e3; 1e4; 1e5; 5e5 ]
+
+let prop_reliability_unit_interval =
+  QCheck.Test.make ~name:"R(t) in [0,1]" ~count:200
+    QCheck.(pair (float_range 0.0 1e6) (int_range 0 2))
+    (fun (t, si) ->
+      let s = List.nth [ 0; 4; 8 ] si in
+      let r = Rel.reliability (cfg s) t in
+      r >= 0.0 && r <= 1.0)
+
+let () =
+  Alcotest.run "reliability"
+    [ ( "reliability",
+        [ Alcotest.test_case "boundary" `Quick test_boundary_conditions
+        ; Alcotest.test_case "monotone" `Quick test_monotone_decreasing
+        ; Alcotest.test_case "early life" `Quick
+            test_early_life_fewer_spares_better
+        ; Alcotest.test_case "late life" `Quick
+            test_late_life_more_spares_better
+        ; Alcotest.test_case "crossover ~70kh" `Quick test_crossover_location
+        ; Alcotest.test_case "mttf gain" `Slow test_spares_extend_mttf
+        ; Alcotest.test_case "mttf scaling" `Slow
+            test_mttf_scales_inversely_with_lambda
+        ; Alcotest.test_case "pdf nonnegative" `Quick test_failure_pdf_nonnegative
+        ; QCheck_alcotest.to_alcotest prop_reliability_unit_interval
+        ] )
+    ]

@@ -1,0 +1,206 @@
+(* Tests for the circuit-analysis substrate: Elmore, transient, sizing. *)
+
+module C = Bisram_spice.Circuit
+module El = Bisram_spice.Elmore
+module Tr = Bisram_spice.Transient
+module Sz = Bisram_spice.Sizing
+module E = Bisram_tech.Electrical
+module Pr = Bisram_tech.Process
+
+let e07 = Pr.cda_07u3m1p.Pr.electrical
+let feature_m = 0.7e-6
+
+(* ------------------------------------------------------------------ *)
+(* Elmore *)
+
+let test_elmore_single_rc () =
+  (* One segment: delay = rdrive*c + r*c. *)
+  let t = El.create ~rdrive:1000.0 in
+  let n = El.add_segment t ~parent:0 ~r:500.0 ~c:1e-12 in
+  Alcotest.(check (float 1e-18)) "single rc" 1.5e-9 (El.delay t n)
+
+let test_elmore_shared_trunk () =
+  (* Two leaves off a trunk: trunk resistance sees both caps. *)
+  let t = El.create ~rdrive:0.0 in
+  let trunk = El.add_segment t ~parent:0 ~r:100.0 ~c:0.0 in
+  let leaf1 = El.add_segment t ~parent:trunk ~r:0.0 ~c:1e-12 in
+  let _leaf2 = El.add_segment t ~parent:trunk ~r:0.0 ~c:1e-12 in
+  Alcotest.(check (float 1e-18)) "trunk sees 2pF" 0.2e-9 (El.delay t leaf1)
+
+let test_elmore_add_cap () =
+  let t = El.create ~rdrive:1000.0 in
+  let n = El.add_segment t ~parent:0 ~r:0.0 ~c:1e-12 in
+  El.add_cap t n 1e-12;
+  Alcotest.(check (float 1e-18)) "extra cap" 2e-9 (El.delay t n)
+
+let test_elmore_max_delay () =
+  let t = El.create ~rdrive:100.0 in
+  let a = El.add_segment t ~parent:0 ~r:100.0 ~c:1e-12 in
+  let b = El.add_segment t ~parent:a ~r:100.0 ~c:1e-12 in
+  Alcotest.(check (float 1e-18)) "max is deepest" (El.delay t b) (El.max_delay t)
+
+let test_elmore_rc_line () =
+  Alcotest.(check (float 1e-18))
+    "line formula" (1000.0 *. 2e-12 +. 500.0 *. (0.5e-12 +. 1e-12))
+    (El.rc_line ~rdrive:1000.0 ~r:500.0 ~c:1e-12 ~cload:1e-12)
+
+(* ------------------------------------------------------------------ *)
+(* Transient *)
+
+let test_transient_rc_charge () =
+  (* RC charging through a resistor from a stepped source: after 5 tau
+     the node is at Vdd. *)
+  let ckt = C.create e07 in
+  let src = C.fresh_net ~name:"in" ckt in
+  let out = C.fresh_net ~name:"out" ckt in
+  let r = 1000.0 and cap = 1e-12 in
+  C.add ckt (C.Resistor { a = src; b = out; ohms = r });
+  C.add ckt (C.Capacitor { a = out; b = C.gnd; farads = cap });
+  let tau = r *. cap in
+  let res =
+    Tr.simulate ckt ~feature_m
+      ~sources:[ (src, Tr.step ~vdd:5.0 ~at:0.0) ]
+      ~tstop:(10.0 *. tau) ~dt:(tau /. 50.0)
+  in
+  Alcotest.(check bool) "charged to Vdd" true (abs_float (Tr.final res out -. 5.0) < 0.05);
+  (* 50% crossing of an RC step is at 0.69 tau. *)
+  match Tr.crossing (Tr.waveform res out) ~level:2.5 ~rising:true with
+  | Some t -> Alcotest.(check bool) "tau*ln2" true (abs_float (t -. 0.693 *. tau) < 0.1 *. tau)
+  | None -> Alcotest.fail "never crossed 50%"
+
+let make_inverter ckt ~input ~output g =
+  C.add ckt
+    (C.Mos
+       { kind = C.Nmos
+       ; gate = input
+       ; drain = output
+       ; source = C.gnd
+       ; w = g.Sz.wn
+       ; l = g.Sz.l
+       });
+  C.add ckt
+    (C.Mos
+       { kind = C.Pmos
+       ; gate = input
+       ; drain = output
+       ; source = C.vdd_net ckt
+       ; w = g.Sz.wp
+       ; l = g.Sz.l
+       })
+
+let test_transient_inverter () =
+  let ckt = C.create e07 in
+  let input = C.fresh_net ~name:"a" ckt in
+  let output = C.fresh_net ~name:"y" ckt in
+  let g = Sz.balanced e07 ~feature_m ~drive:1.0 in
+  make_inverter ckt ~input ~output g;
+  C.add ckt (C.Capacitor { a = output; b = C.gnd; farads = 50e-15 });
+  let res =
+    Tr.simulate ckt ~feature_m
+      ~sources:[ (input, Tr.step ~vdd:5.0 ~at:1e-9) ]
+      ~tstop:20e-9 ~dt:0.02e-9
+  in
+  (* Before the input step the output floats up through the PMOS (input
+     starts low), so at t=1ns output is high; after it, output falls. *)
+  Alcotest.(check bool) "output low at end" true (Tr.final res output < 0.1);
+  let tin = Tr.crossing (Tr.waveform res input) ~level:2.5 ~rising:true in
+  let tout = Tr.crossing (Tr.waveform res output) ~level:2.5 ~rising:false in
+  match (tin, tout) with
+  | Some ti, Some to_ ->
+      let d = to_ -. ti in
+      Alcotest.(check bool)
+        (Printf.sprintf "inverter delay sane (%.0f ps)" (d *. 1e12))
+        true
+        (d > 1e-12 && d < 5e-9)
+  | _ -> Alcotest.fail "no output transition"
+
+let test_transient_inverter_chain_inverts () =
+  (* Two inverters in series restore polarity. *)
+  let ckt = C.create e07 in
+  let a = C.fresh_net ckt in
+  let b = C.fresh_net ckt in
+  let y = C.fresh_net ckt in
+  let g = Sz.balanced e07 ~feature_m ~drive:2.0 in
+  make_inverter ckt ~input:a ~output:b g;
+  make_inverter ckt ~input:b ~output:y g;
+  let res =
+    Tr.simulate ckt ~feature_m
+      ~sources:[ (a, Tr.step ~vdd:5.0 ~at:0.5e-9) ]
+      ~tstop:10e-9 ~dt:0.02e-9
+  in
+  Alcotest.(check bool) "middle low" true (Tr.final res b < 0.1);
+  Alcotest.(check bool) "out high" true (Tr.final res y > 4.9)
+
+(* ------------------------------------------------------------------ *)
+(* Sizing *)
+
+let test_sizing_balanced () =
+  let g = Sz.balanced e07 ~feature_m ~drive:1.0 in
+  let rn = Sz.rpull_down e07 g and rp = Sz.rpull_up e07 g in
+  Alcotest.(check bool)
+    (Printf.sprintf "balanced within 15%% (rn=%.0f rp=%.0f)" rn rp)
+    true
+    (abs_float (rn -. rp) /. rn < 0.15);
+  Alcotest.(check bool) "wp > wn" true (g.Sz.wp > g.Sz.wn)
+
+let test_sizing_stacks () =
+  let g = Sz.balanced e07 ~feature_m ~drive:1.0 in
+  let nand3 = Sz.nand_stack g ~n:3 in
+  Alcotest.(check (float 1e-12)) "nand3 wn tripled" (3.0 *. g.Sz.wn) nand3.Sz.wn;
+  Alcotest.(check (float 1e-12)) "nand3 wp kept" g.Sz.wp nand3.Sz.wp;
+  let nor2 = Sz.nor_stack g ~n:2 in
+  Alcotest.(check (float 1e-12)) "nor2 wp doubled" (2.0 *. g.Sz.wp) nor2.Sz.wp
+
+let test_sizing_buffer_chain () =
+  let cin = 5e-15 in
+  let chain_small = Sz.buffer_chain e07 ~feature_m ~cin ~cload:10e-15 in
+  Alcotest.(check bool) "small load one stage" true (List.length chain_small = 1);
+  let chain_big = Sz.buffer_chain e07 ~feature_m ~cin ~cload:5e-12 in
+  Alcotest.(check bool) "big load multiple stages" true
+    (List.length chain_big > 1);
+  (* sizes must be increasing *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a.Sz.wn <= b.Sz.wn && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone sizes" true (increasing chain_big)
+
+let prop_inverter_delay_monotone_load =
+  QCheck.Test.make ~name:"inverter delay monotone in load" ~count:100
+    QCheck.(pair (float_range 1.0 100.0) (float_range 1.0 100.0))
+    (fun (c1, c2) ->
+      let g = Sz.balanced e07 ~feature_m ~drive:2.0 in
+      let d c = Sz.inverter_delay e07 ~feature_m g ~cload:(c *. 1e-15) in
+      if c1 <= c2 then d c1 <= d c2 else d c1 >= d c2)
+
+let prop_buffer_chain_nonempty =
+  QCheck.Test.make ~name:"buffer chain never empty" ~count:100
+    QCheck.(pair (float_range 0.5 50.0) (float_range 0.1 10000.0))
+    (fun (cin_f, cload_f) ->
+      Sz.buffer_chain e07 ~feature_m ~cin:(cin_f *. 1e-15)
+        ~cload:(cload_f *. 1e-15)
+      <> [])
+
+let () =
+  Alcotest.run "spice"
+    [ ( "elmore",
+        [ Alcotest.test_case "single rc" `Quick test_elmore_single_rc
+        ; Alcotest.test_case "shared trunk" `Quick test_elmore_shared_trunk
+        ; Alcotest.test_case "add cap" `Quick test_elmore_add_cap
+        ; Alcotest.test_case "max delay" `Quick test_elmore_max_delay
+        ; Alcotest.test_case "rc line" `Quick test_elmore_rc_line
+        ] )
+    ; ( "transient",
+        [ Alcotest.test_case "rc charge" `Quick test_transient_rc_charge
+        ; Alcotest.test_case "inverter" `Quick test_transient_inverter
+        ; Alcotest.test_case "chain inverts" `Quick
+            test_transient_inverter_chain_inverts
+        ] )
+    ; ( "sizing",
+        [ Alcotest.test_case "balanced" `Quick test_sizing_balanced
+        ; Alcotest.test_case "stacks" `Quick test_sizing_stacks
+        ; Alcotest.test_case "buffer chain" `Quick test_sizing_buffer_chain
+        ; QCheck_alcotest.to_alcotest prop_inverter_delay_monotone_load
+        ; QCheck_alcotest.to_alcotest prop_buffer_chain_nonempty
+        ] )
+    ]

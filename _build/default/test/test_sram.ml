@@ -1,0 +1,310 @@
+(* Tests for organization, words and the fault-aware SRAM model. *)
+
+module Org = Bisram_sram.Org
+module Word = Bisram_sram.Word
+module Model = Bisram_sram.Model
+module Timing = Bisram_sram.Timing
+module F = Bisram_faults.Fault
+module Pr = Bisram_tech.Process
+
+let word = Alcotest.testable Word.pp Word.equal
+let cell r c = { F.row = r; F.col = c }
+
+(* ------------------------------------------------------------------ *)
+(* Org *)
+
+let test_org_derived () =
+  let o = Org.make ~words:4096 ~bpw:4 ~bpc:4 ~spares:4 () in
+  Alcotest.(check int) "rows" 1024 (Org.rows o);
+  Alcotest.(check int) "total rows" 1028 (Org.total_rows o);
+  Alcotest.(check int) "cols" 16 (Org.cols o);
+  Alcotest.(check int) "bits" 16384 (Org.bits o);
+  Alcotest.(check (float 1e-9)) "kilobits" 16.0 (Org.kilobits o);
+  Alcotest.(check int) "spare words" 16 (Org.spare_words o)
+
+let test_org_validation () =
+  let bad f = Alcotest.check_raises "rejected" (Invalid_argument "") (fun () ->
+      try ignore (f ()) with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  bad (fun () -> Org.make ~words:100 ~bpw:4 ~bpc:3 ());
+  bad (fun () -> Org.make ~words:100 ~bpw:3 ~bpc:4 ());
+  bad (fun () -> Org.make ~words:10 ~bpw:4 ~bpc:4 ());
+  bad (fun () -> Org.make ~words:64 ~bpw:4 ~bpc:4 ~spares:5 ())
+
+let test_org_address_split () =
+  let o = Org.make ~words:64 ~bpw:8 ~bpc:4 () in
+  (* addr = row*bpc + col *)
+  Alcotest.(check int) "row of 13" 3 (Org.row_of_addr o 13);
+  Alcotest.(check int) "col of 13" 1 (Org.col_of_addr o 13);
+  Alcotest.(check int) "roundtrip" 13 (Org.addr_of o ~row:3 ~col:1);
+  (* bit i of mux position c sits at column i*bpc + c *)
+  Alcotest.(check int) "cell col" 9 (Org.cell_col o ~col:1 ~bit:2)
+
+let prop_org_addr_roundtrip =
+  QCheck.Test.make ~name:"address decomposition roundtrips" ~count:300
+    QCheck.(int_range 0 4095)
+    (fun a ->
+      let o = Org.make ~words:4096 ~bpw:4 ~bpc:8 () in
+      Org.addr_of o ~row:(Org.row_of_addr o a) ~col:(Org.col_of_addr o a) = a)
+
+(* ------------------------------------------------------------------ *)
+(* Word *)
+
+let test_word_basics () =
+  let w = Word.of_int ~width:8 0b10110010 in
+  Alcotest.(check bool) "bit1" true (Word.get w 1);
+  Alcotest.(check bool) "bit0" false (Word.get w 0);
+  Alcotest.(check string) "to_string lsb first" "01001101" (Word.to_string w);
+  Alcotest.check word "lnot" (Word.of_int ~width:8 0b01001101) (Word.lnot_ w);
+  Alcotest.(check (list int)) "diff" [ 0; 7 ]
+    (Word.diff w (Word.of_int ~width:8 0b00110011))
+
+let test_word_set () =
+  let w = Word.zero 4 in
+  let w' = Word.set w 2 true in
+  Alcotest.(check bool) "functional update" false (Word.get w 2);
+  Alcotest.(check bool) "new value" true (Word.get w' 2)
+
+(* ------------------------------------------------------------------ *)
+(* Model: fault-free behaviour *)
+
+let small () = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ()
+
+let test_model_rw () =
+  let m = Model.create (small ()) in
+  let w = Word.of_int ~width:8 0xA5 in
+  Model.write_word m 17 w;
+  Alcotest.check word "read back" w (Model.read_word m 17);
+  Alcotest.check word "other addr untouched" (Word.zero 8) (Model.read_word m 18);
+  Alcotest.(check int) "write count" 1 (Model.writes m);
+  Alcotest.(check int) "read count" 2 (Model.reads m)
+
+let test_model_all_addresses_independent () =
+  let org = small () in
+  let m = Model.create org in
+  for a = 0 to org.Org.words - 1 do
+    Model.write_word m a (Word.of_int ~width:8 (a land 0xFF))
+  done;
+  let ok = ref true in
+  for a = 0 to org.Org.words - 1 do
+    if not (Word.equal (Model.read_word m a) (Word.of_int ~width:8 (a land 0xFF)))
+    then ok := false
+  done;
+  Alcotest.(check bool) "all distinct" true !ok
+
+let test_model_clear () =
+  let m = Model.create (small ()) in
+  Model.write_word m 5 (Word.ones 8);
+  Model.clear m;
+  Alcotest.check word "cleared" (Word.zero 8) (Model.read_word m 5)
+
+(* ------------------------------------------------------------------ *)
+(* Model: fault behaviour.  Bit 2 of mux col 1 = physical column 2*4+1=9. *)
+
+let test_stuck_at () =
+  let m = Model.create (small ()) in
+  Model.set_faults m [ F.Stuck_at (cell 3 9, true) ];
+  (* addr with row 3, col 1 = 13; bit 2 is the faulty cell *)
+  Alcotest.(check bool) "reads 1 initially" true (Word.get (Model.read_word m 13) 2);
+  Model.write_word m 13 (Word.zero 8);
+  Alcotest.(check bool) "still 1 after w0" true (Word.get (Model.read_word m 13) 2);
+  (* neighbour bit unaffected *)
+  Alcotest.(check bool) "bit 3 clean" false (Word.get (Model.read_word m 13) 3)
+
+let test_transition_fault () =
+  let m = Model.create (small ()) in
+  Model.set_faults m [ F.Transition (cell 3 9, true) ] (* cannot rise *);
+  Model.write_word m 13 (Word.ones 8);
+  Alcotest.(check bool) "bit stuck low" false (Word.get (Model.read_word m 13) 2);
+  Alcotest.(check bool) "others rose" true (Word.get (Model.read_word m 13) 3);
+  (* down transitions work: a down-TF cell can rise *)
+  let m2 = Model.create (small ()) in
+  Model.set_faults m2 [ F.Transition (cell 3 9, false) ];
+  Model.write_word m2 13 (Word.ones 8);
+  Alcotest.(check bool) "rose" true (Word.get (Model.read_word m2 13) 2);
+  Model.write_word m2 13 (Word.zero 8);
+  Alcotest.(check bool) "cannot fall" true (Word.get (Model.read_word m2 13) 2)
+
+let test_stuck_open () =
+  let m = Model.create (small ()) in
+  Model.set_faults m [ F.Stuck_open (cell 3 9) ];
+  (* write all-1 everywhere in row 3 col 1; the open cell keeps nothing;
+     read returns the sense-amp residue from the previous read on I/O 2 *)
+  Model.write_word m 13 (Word.ones 8);
+  (* read another address first: residue for io 2 = that cell's value 0 *)
+  ignore (Model.read_word m 14);
+  Alcotest.(check bool) "reads residue 0" false (Word.get (Model.read_word m 13) 2);
+  (* now make the residue 1 by reading a 1 elsewhere *)
+  Model.write_word m 14 (Word.ones 8);
+  ignore (Model.read_word m 14);
+  Alcotest.(check bool) "reads residue 1" true (Word.get (Model.read_word m 13) 2)
+
+let test_coupling_inversion () =
+  let m = Model.create (small ()) in
+  (* aggressor phys col 9 (bit 2 of col 1); victim col 10 (bit 2 of col 2) *)
+  Model.set_faults m
+    [ F.Coupling_inversion { aggressor = cell 3 9; victim = cell 3 10 } ];
+  (* victim: row 3 col 2 = addr 14, bit 2 *)
+  Alcotest.(check bool) "victim starts 0" false (Word.get (Model.read_word m 14) 2);
+  (* flip aggressor: write 1 to addr 13 bit 2 *)
+  Model.write_word m 13 (Word.of_int ~width:8 0b100);
+  Alcotest.(check bool) "victim inverted" true (Word.get (Model.read_word m 14) 2);
+  (* writing the same value again is no transition: no further flip *)
+  Model.write_word m 13 (Word.of_int ~width:8 0b100);
+  Alcotest.(check bool) "no double flip" true (Word.get (Model.read_word m 14) 2)
+
+let test_coupling_idempotent () =
+  let m = Model.create (small ()) in
+  Model.set_faults m
+    [ F.Coupling_idempotent
+        { aggressor = cell 3 9; rising = true; victim = cell 3 10; forces = true }
+    ];
+  Model.write_word m 14 (Word.zero 8);
+  (* falling aggressor transition does nothing *)
+  Model.write_word m 13 (Word.of_int ~width:8 0b100);
+  Alcotest.(check bool) "rising forces 1" true (Word.get (Model.read_word m 14) 2);
+  Model.write_word m 14 (Word.zero 8);
+  Model.write_word m 13 (Word.zero 8);
+  Alcotest.(check bool) "falling does not force" false
+    (Word.get (Model.read_word m 14) 2)
+
+let test_state_coupling () =
+  let m = Model.create (small ()) in
+  Model.set_faults m
+    [ F.State_coupling
+        { aggressor = cell 3 9; when_state = true; victim = cell 3 10; reads_as = false }
+    ];
+  Model.write_word m 14 (Word.of_int ~width:8 0b100) (* victim = 1 *);
+  Alcotest.(check bool) "reads true while aggressor 0" true
+    (Word.get (Model.read_word m 14) 2);
+  Model.write_word m 13 (Word.of_int ~width:8 0b100) (* aggressor = 1 *);
+  Alcotest.(check bool) "masked while aggressor 1" false
+    (Word.get (Model.read_word m 14) 2);
+  Model.write_word m 13 (Word.zero 8);
+  Alcotest.(check bool) "restored" true (Word.get (Model.read_word m 14) 2)
+
+let test_data_retention () =
+  let m = Model.create (small ()) in
+  Model.set_faults m [ F.Data_retention (cell 3 9, false) ];
+  Model.write_word m 13 (Word.ones 8);
+  Alcotest.(check bool) "holds before wait" true (Word.get (Model.read_word m 13) 2);
+  Model.retention_wait m;
+  Alcotest.(check bool) "decays after wait" false (Word.get (Model.read_word m 13) 2);
+  Alcotest.(check bool) "healthy bit holds" true (Word.get (Model.read_word m 13) 3)
+
+let test_remap () =
+  let org = small () in
+  let m = Model.create org in
+  (* kill row 3 completely, then remap logical row 3 to spare row 16 *)
+  Model.set_faults m [ F.Stuck_at (cell 3 9, true) ];
+  Model.set_remap m (Some (fun row -> if row = 3 then Org.rows org else row));
+  Model.write_word m 13 (Word.zero 8);
+  Alcotest.check word "reads clean via spare" (Word.zero 8) (Model.read_word m 13);
+  (* physical row 3 is untouched by the remapped write *)
+  Alcotest.(check bool) "stuck cell still 1 physically" true
+    (Word.get (Model.read_row_word m ~row:3 ~col:1) 2)
+
+let test_faulty_spare () =
+  let org = small () in
+  let m = Model.create org in
+  let spare_row = Org.rows org in
+  Model.set_faults m [ F.Stuck_at (cell spare_row 9, true) ];
+  Model.set_remap m (Some (fun row -> if row = 3 then spare_row else row));
+  Model.write_word m 13 (Word.zero 8);
+  Alcotest.(check bool) "fault visible through remap" true
+    (Word.get (Model.read_word m 13) 2)
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let test_timing_magnitudes () =
+  let org = Org.make ~words:4096 ~bpw:128 ~bpc:8 () in
+  let b = Timing.access_time Pr.cda_07u3m1p org ~drive:2.0 in
+  let t = Timing.total b in
+  Alcotest.(check bool)
+    (Printf.sprintf "access %.2f ns in 0.5..10" (t *. 1e9))
+    true
+    (t > 0.5e-9 && t < 10e-9)
+
+let test_timing_monotone_rows () =
+  let p = Pr.cda_07u3m1p in
+  let t1 =
+    Timing.total
+      (Timing.access_time p (Org.make ~words:1024 ~bpw:8 ~bpc:4 ()) ~drive:2.0)
+  in
+  let t2 =
+    Timing.total
+      (Timing.access_time p (Org.make ~words:16384 ~bpw:8 ~bpc:4 ()) ~drive:2.0)
+  in
+  Alcotest.(check bool) "bigger array slower" true (t2 > t1)
+
+let test_write_and_interface_timing () =
+  let p = Pr.cda_07u3m1p in
+  let org = Org.make ~words:4096 ~bpw:32 ~bpc:8 () in
+  let wt = Timing.write_time p org ~drive:2.0 in
+  let rt = Timing.total (Timing.access_time p org ~drive:2.0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "write %.2f ns positive and comparable to read %.2f ns"
+       (wt *. 1e9) (rt *. 1e9))
+    true
+    (wt > 0.1e-9 && wt < 3.0 *. rt);
+  let itf = Timing.interface p org ~drive:2.0 in
+  Alcotest.(check bool) "setups positive" true
+    (itf.Timing.address_setup > 0.0 && itf.Timing.data_setup > 0.0
+    && itf.Timing.hold >= 0.0);
+  Alcotest.(check bool) "address setup below access" true
+    (itf.Timing.address_setup < rt)
+
+let test_timing_drive_helps () =
+  let p = Pr.cda_07u3m1p in
+  let org = Org.make ~words:4096 ~bpw:32 ~bpc:8 () in
+  let t1 = (Timing.access_time p org ~drive:1.0).Timing.address_buffer in
+  let t4 = (Timing.access_time p org ~drive:4.0).Timing.address_buffer in
+  Alcotest.(check bool) "bigger drive faster address buffer" true (t4 < t1)
+
+let prop_model_rw_roundtrip =
+  QCheck.Test.make ~name:"fault-free write/read roundtrip" ~count:200
+    QCheck.(pair (int_range 0 63) (int_range 0 255))
+    (fun (addr, v) ->
+      let m = Model.create (small ()) in
+      let w = Word.of_int ~width:8 v in
+      Model.write_word m addr w;
+      Word.equal w (Model.read_word m addr))
+
+let () =
+  Alcotest.run "sram"
+    [ ( "org",
+        [ Alcotest.test_case "derived" `Quick test_org_derived
+        ; Alcotest.test_case "validation" `Quick test_org_validation
+        ; Alcotest.test_case "address split" `Quick test_org_address_split
+        ; QCheck_alcotest.to_alcotest prop_org_addr_roundtrip
+        ] )
+    ; ( "word",
+        [ Alcotest.test_case "basics" `Quick test_word_basics
+        ; Alcotest.test_case "set" `Quick test_word_set
+        ] )
+    ; ( "model",
+        [ Alcotest.test_case "read/write" `Quick test_model_rw
+        ; Alcotest.test_case "independence" `Quick
+            test_model_all_addresses_independent
+        ; Alcotest.test_case "clear" `Quick test_model_clear
+        ; Alcotest.test_case "stuck-at" `Quick test_stuck_at
+        ; Alcotest.test_case "transition" `Quick test_transition_fault
+        ; Alcotest.test_case "stuck-open" `Quick test_stuck_open
+        ; Alcotest.test_case "coupling inversion" `Quick test_coupling_inversion
+        ; Alcotest.test_case "coupling idempotent" `Quick
+            test_coupling_idempotent
+        ; Alcotest.test_case "state coupling" `Quick test_state_coupling
+        ; Alcotest.test_case "data retention" `Quick test_data_retention
+        ; Alcotest.test_case "remap" `Quick test_remap
+        ; Alcotest.test_case "faulty spare" `Quick test_faulty_spare
+        ; QCheck_alcotest.to_alcotest prop_model_rw_roundtrip
+        ] )
+    ; ( "timing",
+        [ Alcotest.test_case "magnitudes" `Quick test_timing_magnitudes
+        ; Alcotest.test_case "monotone in rows" `Quick test_timing_monotone_rows
+        ; Alcotest.test_case "write/interface" `Quick
+            test_write_and_interface_timing
+        ; Alcotest.test_case "drive helps" `Quick test_timing_drive_helps
+        ] )
+    ]

@@ -1,0 +1,128 @@
+(* Tests for layers, design rules and process decks. *)
+
+module L = Bisram_tech.Layer
+module Ru = Bisram_tech.Rules
+module Pr = Bisram_tech.Process
+module E = Bisram_tech.Electrical
+module Rect = Bisram_geometry.Rect
+
+let test_layer_roundtrip () =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      let cif = L.cif_name l in
+      Alcotest.(check bool)
+        (Printf.sprintf "cif name %s unique" cif)
+        false (Hashtbl.mem seen cif);
+      Hashtbl.add seen cif ())
+    L.all;
+  Alcotest.(check int) "13 layers" 13 (List.length L.all)
+
+let test_metal_index () =
+  Alcotest.(check (option int)) "m1" (Some 1) (L.metal_index L.Metal1);
+  Alcotest.(check (option int)) "m3" (Some 3) (L.metal_index L.Metal3);
+  Alcotest.(check (option int)) "poly" None (L.metal_index L.Poly)
+
+let test_rules_pitch () =
+  let r = Ru.scmos in
+  Alcotest.(check int) "m1 pitch" 6 (Ru.pitch r L.Metal1);
+  Alcotest.(check int) "poly pitch" 4 (Ru.pitch r L.Poly);
+  Alcotest.(check bool) "contacted pitch >= plain" true
+    (Ru.contact_pitch r >= Ru.pitch r L.Metal1)
+
+let test_rules_width_check () =
+  let r = Ru.scmos in
+  Alcotest.(check (option string))
+    "wide wire ok" None
+    (Ru.check_width r L.Metal1 (Rect.make 0 0 100 3));
+  Alcotest.(check bool) "narrow wire flagged" true
+    (Ru.check_width r L.Metal1 (Rect.make 0 0 100 2) <> None);
+  Alcotest.(check (option string))
+    "zero-extent stub exempt" None
+    (Ru.check_width r L.Metal1 (Rect.make 0 0 0 3))
+
+let test_rules_spacing_check () =
+  let r = Ru.scmos in
+  let ok = [ Rect.make 0 0 3 10; Rect.make 6 0 9 10 ] in
+  let bad = [ Rect.make 0 0 3 10; Rect.make 5 0 8 10 ] in
+  let touching = [ Rect.make 0 0 3 10; Rect.make 3 0 6 10 ] in
+  Alcotest.(check int) "spaced ok" 0 (List.length (Ru.check_spacing r L.Metal1 ok));
+  Alcotest.(check int) "close flagged" 1
+    (List.length (Ru.check_spacing r L.Metal1 bad));
+  Alcotest.(check int) "touching = merged shape" 0
+    (List.length (Ru.check_spacing r L.Metal1 touching))
+
+let test_process_lookup () =
+  (match Pr.find "CDA.7u3m1p" with
+  | Some p -> Alcotest.(check int) "feature" 700 p.Pr.feature_nm
+  | None -> Alcotest.fail "CDA.7u3m1p not found");
+  Alcotest.(check bool) "unknown" true (Pr.find "tsmc28" = None);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Pr.name ^ " supports BISR")
+        true (Pr.supports_bisr p))
+    Pr.all
+
+let test_process_units () =
+  let p = Pr.cda_07u3m1p in
+  Alcotest.(check int) "lambda" 350 p.Pr.lambda_nm;
+  Alcotest.(check int) "nm of 10 lambda" 3500 (Pr.nm_of_lambda p 10);
+  Alcotest.(check (float 1e-9)) "um of 2 lambda" 0.7 (Pr.um_of_lambda p 2);
+  (* 1000 x 1000 lambda at 0.35um = 0.1225 mm^2 *)
+  Alcotest.(check (float 1e-6))
+    "mm2" 0.1225
+    (Pr.mm2_of_lambda_area p 1000 1000)
+
+let test_process_two_metal_rejected () =
+  let p2 = Pr.custom ~name:"old2m" ~feature_nm:800 ~metal_layers:2 () in
+  Alcotest.(check bool) "2-metal rejected" false (Pr.supports_bisr p2)
+
+let test_electrical_scaling () =
+  let e05 = Pr.cda_05u3m1p.Pr.electrical
+  and e07 = Pr.cda_07u3m1p.Pr.electrical in
+  Alcotest.(check bool) "smaller feature has higher kn" true
+    (e05.E.kn > e07.E.kn);
+  Alcotest.(check bool) "beta ratio in 2..3.5" true
+    (let b = E.beta_ratio e07 in
+     b > 2.0 && b < 3.5)
+
+let test_ron_scaling () =
+  let e = Pr.cda_07u3m1p.Pr.electrical in
+  let r1 = E.ron_nmos e ~w:1e-6 ~l:0.7e-6 in
+  let r2 = E.ron_nmos e ~w:2e-6 ~l:0.7e-6 in
+  Alcotest.(check (float 1e-6)) "Ron halves with double W" (r1 /. 2.0) r2;
+  let rp = E.ron_pmos e ~w:1e-6 ~l:0.7e-6 in
+  Alcotest.(check bool) "PMOS weaker than NMOS" true (rp > r1)
+
+let prop_wider_is_stronger =
+  QCheck.Test.make ~name:"Ron monotone decreasing in W" ~count:200
+    QCheck.(pair (float_range 0.5 50.0) (float_range 0.5 50.0))
+    (fun (w1um, w2um) ->
+      let e = Pr.cda_07u3m1p.Pr.electrical in
+      let r w = E.ron_nmos e ~w:(w *. 1e-6) ~l:0.7e-6 in
+      if w1um < w2um then r w1um >= r w2um else r w1um <= r w2um)
+
+let () =
+  Alcotest.run "tech"
+    [ ( "layer",
+        [ Alcotest.test_case "cif names" `Quick test_layer_roundtrip
+        ; Alcotest.test_case "metal index" `Quick test_metal_index
+        ] )
+    ; ( "rules",
+        [ Alcotest.test_case "pitch" `Quick test_rules_pitch
+        ; Alcotest.test_case "width check" `Quick test_rules_width_check
+        ; Alcotest.test_case "spacing check" `Quick test_rules_spacing_check
+        ] )
+    ; ( "process",
+        [ Alcotest.test_case "lookup" `Quick test_process_lookup
+        ; Alcotest.test_case "units" `Quick test_process_units
+        ; Alcotest.test_case "2-metal rejected" `Quick
+            test_process_two_metal_rejected
+        ] )
+    ; ( "electrical",
+        [ Alcotest.test_case "scaling" `Quick test_electrical_scaling
+        ; Alcotest.test_case "ron" `Quick test_ron_scaling
+        ; QCheck_alcotest.to_alcotest prop_wider_is_stronger
+        ] )
+    ]
