@@ -1,0 +1,22 @@
+.PHONY: all build test campaign-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Short randomized campaign as a CI gate: the stuck-at mix is fully
+# covered by IFA-9, so any escape or oracle divergence is a regression
+# (--fail-on-anomaly exits 3 in that case).
+campaign-smoke: build
+	dune exec bin/bisramgen.exe -- campaign --trials 50 --seed 7 \
+	  --mix stuck-at --fail-on-anomaly > /dev/null
+
+ci: build test campaign-smoke
+	@echo "ci: OK"
+
+clean:
+	dune clean

@@ -3,6 +3,7 @@
    Subcommands:
      compile    generate a BISR RAM module: datasheet, floorplan, CIF
      selftest   inject faults into the generated RAM and run BIST/BISR
+     campaign   randomized Monte Carlo test-and-repair campaign
      processes  list the bundled CMOS processes
      marches    list the bundled march algorithms *)
 
@@ -17,6 +18,7 @@ module Alg = Bisram_bist.Algorithms
 module I = Bisram_faults.Injection
 module Repair = Bisram_bisr.Repair
 module Floorplan = Bisram_pr.Floorplan
+module Campaign = Bisram_campaign.Campaign
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments *)
@@ -164,13 +166,21 @@ let compile_cmd =
 (* ------------------------------------------------------------------ *)
 (* selftest *)
 
-let do_selftest process words bpw bpc spares drive strap march nfaults seed =
+let do_selftest process words bpw bpc spares drive strap march nfaults seed_opt =
   match build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march with
   | Error e ->
       Printf.eprintf "bisramgen: %s\n" e;
       1
   | Ok cfg ->
       let org = cfg.Config.org in
+      (* no --seed: draw one from the system and print it, so any run
+         remains reproducible after the fact *)
+      let seed =
+        match seed_opt with
+        | Some s -> s
+        | None -> Random.State.int (Random.State.make_self_init ()) 0x3FFFFFFF
+      in
+      Format.printf "seed    : %d@." seed;
       let rng = Random.State.make [| seed |] in
       let faults =
         I.inject rng ~rows:(Org.total_rows org) ~cols:(Org.cols org)
@@ -191,7 +201,13 @@ let selftest_cmd =
     Arg.(value & opt int 2 & info [ "n"; "faults" ] ~doc:"Faults to inject.")
   in
   let seed_arg =
-    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ]
+          ~doc:
+            "Random seed (printed, so the run is replayable; a fresh one is \
+             drawn when omitted).")
   in
   let term =
     Term.(
@@ -200,7 +216,190 @@ let selftest_cmd =
   in
   Cmd.v
     (Cmd.info "selftest"
-       ~doc:"Inject random faults and run the two-pass self-test/repair.")
+       ~doc:
+         "Inject random faults and run the two-pass self-test/repair \
+          (exit code 2 when the repair is unsuccessful).")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* campaign *)
+
+let retention_only_mix =
+  { I.stuck_at = 0.0
+  ; transition = 0.0
+  ; stuck_open = 0.0
+  ; coupling_inversion = 0.0
+  ; coupling_idempotent = 0.0
+  ; state_coupling = 0.0
+  ; data_retention = 1.0
+  }
+
+let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
+    mix max_seconds no_shrink max_rounds replay_seed fail_on_anomaly =
+  let mix_result =
+    match mix with
+    | "default" -> Ok I.default_mix
+    | "stuck-at" -> Ok I.stuck_at_only
+    | "retention" -> Ok retention_only_mix
+    | s ->
+        Error
+          (Printf.sprintf
+             "unknown mix %S (expected default, stuck-at or retention)" s)
+  in
+  let mode_result =
+    match mode with
+    | "uniform" -> Ok (Campaign.Uniform nfaults)
+    | "poisson" -> Ok (Campaign.Poisson mean)
+    | "clustered" -> Ok (Campaign.Clustered { mean; alpha })
+    | s ->
+        Error
+          (Printf.sprintf
+             "unknown mode %S (expected uniform, poisson or clustered)" s)
+  in
+  let cfg_result =
+    match (lookup_march march, mix_result, mode_result) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+    | Ok m, Ok mix, Ok mode -> (
+        match
+          let org = Org.make ~spares ~words ~bpw ~bpc () in
+          Campaign.make_config ~org ~march:m ~mix ~mode ~trials ~seed
+            ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
+        with
+        | cfg -> Ok cfg
+        | exception Invalid_argument e -> Error e)
+  in
+  match cfg_result with
+  | Error e ->
+      Printf.eprintf "bisramgen: %s\n" e;
+      1
+  | Ok cfg -> (
+      match replay_seed with
+      | Some rseed ->
+          let t = Campaign.replay cfg ~seed:rseed in
+          Format.printf "%a" Campaign.pp_trial t;
+          List.iter
+            (fun anomaly ->
+              let shrunk = Campaign.shrink_anomaly cfg anomaly t.Campaign.t_faults in
+              if List.length shrunk < List.length t.Campaign.t_faults then begin
+                Format.printf "shrunk reproducer: %d fault(s)@."
+                  (List.length shrunk);
+                List.iter
+                  (fun f ->
+                    Format.printf "  %a@." Bisram_faults.Fault.pp f)
+                  shrunk
+              end)
+            t.Campaign.t_anomalies;
+          if t.Campaign.t_anomalies = [] then 0 else 3
+      | None ->
+          let r = Campaign.run cfg in
+          print_string (Campaign.pretty_json_string r);
+          if
+            fail_on_anomaly
+            && (r.Campaign.escapes <> [] || r.Campaign.divergences <> [])
+          then 3
+          else 0)
+
+let campaign_cmd =
+  (* the campaign simulates every trial word-by-word, so its defaults
+     are a small organization, independent of compile's *)
+  let c_words =
+    Arg.(value & opt int 64 & info [ "w"; "words" ] ~doc:"Number of words.")
+  in
+  let c_bpw = Arg.(value & opt int 8 & info [ "bpw" ] ~doc:"Bits per word.") in
+  let c_bpc =
+    Arg.(value & opt int 4 & info [ "bpc" ] ~doc:"Bits per column.")
+  in
+  let c_spares =
+    Arg.(value & opt int 4 & info [ "s"; "spares" ] ~doc:"Spare rows.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Trials to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "mode" ]
+          ~doc:
+            "Fault-count model per trial: uniform (exactly $(b,--faults)), \
+             poisson or clustered (negative binomial, $(b,--mean) and \
+             $(b,--alpha)).")
+  in
+  let nfaults_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "n"; "faults" ] ~doc:"Faults per trial (uniform mode).")
+  in
+  let mean_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "mean" ] ~doc:"Mean fault count (poisson/clustered modes).")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "alpha" ] ~doc:"Clustering factor (clustered mode).")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt string "default"
+      & info [ "mix" ]
+          ~doc:"Fault-class mix: default (IFA), stuck-at or retention.")
+  in
+  let max_seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-seconds" ]
+          ~doc:
+            "Wall-clock budget; the campaign stops gracefully when exceeded \
+             and flags the report as truncated.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Skip delta-debugging failing fault sets to minimal reproducers.")
+  in
+  let max_rounds_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-rounds" ] ~doc:"Iterated (2k-pass) repair round bound.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Re-run the single trial with this seed (from a campaign report) \
+             and print it human-readably; exit 3 when it shows an escape or \
+             divergence.")
+  in
+  let fail_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-anomaly" ]
+          ~doc:"Exit 3 when the campaign found any escape or divergence.")
+  in
+  let term =
+    Term.(
+      const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
+      $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
+      $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg
+      $ replay_arg $ fail_arg)
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Monte Carlo test-and-repair campaign: randomized fault injection, \
+          controller-vs-reference differential oracle, independent \
+          post-repair escape sweep, failure shrinking; emits a deterministic \
+          JSON report.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -292,4 +491,13 @@ let () =
     Cmd.info "bisramgen" ~version:"1.0.0"
       ~doc:"Physical design tool for built-in self-repairable static RAMs"
   in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; selftest_cmd; analyze_cmd; processes_cmd; marches_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd
+          ; selftest_cmd
+          ; campaign_cmd
+          ; analyze_cmd
+          ; processes_cmd
+          ; marches_cmd
+          ]))

@@ -68,7 +68,9 @@ let run_reference model test ~backgrounds =
         if rows = [] then (Passed_clean, tlb) else (Repaired rows, tlb)
       else (Repair_unsuccessful Fault_in_second_pass, tlb)
 
-let run_iterated ?(max_rounds = 8) model test ~backgrounds =
+type iterated_result = { i_outcome : outcome; i_tlb : Tlb.t; i_rounds : int }
+
+let run_iterated_result ?(max_rounds = 8) model test ~backgrounds =
   let tlb = fresh_tlb model in
   Model.set_remap model None;
   let failures = Engine.run model test ~backgrounds in
@@ -85,23 +87,41 @@ let run_iterated ?(max_rounds = 8) model test ~backgrounds =
       `Ok rows
   in
   match record_new first_rows with
-  | `Full -> (Repair_unsuccessful Too_many_faulty_rows, tlb)
+  | `Full ->
+      { i_outcome = Repair_unsuccessful Too_many_faulty_rows
+      ; i_tlb = tlb
+      ; i_rounds = 0
+      }
   | `Ok ->
       Model.set_remap model (Some (fun row -> Tlb.remap tlb ~row));
       let rec verify round =
         let failures = Engine.run model test ~backgrounds in
         if failures = [] then
-          if first_rows = [] then (Passed_clean, tlb)
-          else (Repaired (Tlb.mapped_rows tlb), tlb)
+          let i_outcome =
+            if first_rows = [] then Passed_clean
+            else Repaired (Tlb.mapped_rows tlb)
+          in
+          { i_outcome; i_tlb = tlb; i_rounds = round }
         else if round >= max_rounds then
-          (Repair_unsuccessful Fault_in_second_pass, tlb)
+          { i_outcome = Repair_unsuccessful Fault_in_second_pass
+          ; i_tlb = tlb
+          ; i_rounds = round
+          }
         else
           let rows = Engine.failing_rows (Model.org model) failures in
           match record_new rows with
-          | `Full -> (Repair_unsuccessful Too_many_faulty_rows, tlb)
+          | `Full ->
+              { i_outcome = Repair_unsuccessful Too_many_faulty_rows
+              ; i_tlb = tlb
+              ; i_rounds = round
+              }
           | `Ok -> verify (round + 1)
       in
       verify 1
+
+let run_iterated ?max_rounds model test ~backgrounds =
+  let r = run_iterated_result ?max_rounds model test ~backgrounds in
+  (r.i_outcome, r.i_tlb)
 
 let pp_outcome ppf = function
   | Passed_clean -> Format.pp_print_string ppf "passed clean"

@@ -49,4 +49,22 @@ val run_iterated :
   backgrounds:Bisram_sram.Word.t list ->
   outcome * Tlb.t
 
+type iterated_result = {
+  i_outcome : outcome;
+  i_tlb : Tlb.t;
+  i_rounds : int;
+      (** verification marches executed: 1 for a first-try success,
+          [max_rounds] at the give-up bound, 0 when the initial fault
+          recording already overflowed the TLB *)
+}
+
+(** [run_iterated] plus the number of verification rounds consumed —
+    the campaign harness histograms this as the repair-effort metric. *)
+val run_iterated_result :
+  ?max_rounds:int ->
+  Bisram_sram.Model.t ->
+  Bisram_bist.March.t ->
+  backgrounds:Bisram_sram.Word.t list ->
+  iterated_result
+
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,529 @@
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module March = Bisram_bist.March
+module Datagen = Bisram_bist.Datagen
+module Fault = Bisram_faults.Fault
+module Injection = Bisram_faults.Injection
+module Repair = Bisram_bisr.Repair
+module Tlb = Bisram_bisr.Tlb
+module Repairable = Bisram_yield.Repairable
+module J = Report
+
+(* ------------------------------------------------------------------ *)
+(* configuration *)
+
+type mode =
+  | Uniform of int
+  | Poisson of float
+  | Clustered of { mean : float; alpha : float }
+
+type config = {
+  org : Org.t;
+  march : March.t;
+  mix : Injection.mix;
+  mode : mode;
+  trials : int;
+  seed : int;
+  max_seconds : float option;
+  shrink : bool;
+  max_rounds : int;
+}
+
+let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
+    ?march ?(mix = Injection.default_mix) ?(mode = Uniform 2) ?(trials = 100)
+    ?(seed = 42) ?max_seconds ?(shrink = true) ?(max_rounds = 8) () =
+  let march =
+    match march with Some m -> m | None -> Bisram_bist.Algorithms.ifa_9
+  in
+  Injection.validate_mix mix;
+  if trials < 0 then invalid_arg "Campaign.make_config: trials";
+  (match mode with
+  | Uniform n when n < 0 -> invalid_arg "Campaign.make_config: faults"
+  | Poisson m when m < 0.0 -> invalid_arg "Campaign.make_config: mean"
+  | Clustered { mean; alpha } when mean < 0.0 || alpha <= 0.0 ->
+      invalid_arg "Campaign.make_config: mean/alpha"
+  | _ -> ());
+  { org; march; mix; mode; trials; seed; max_seconds; shrink; max_rounds }
+
+(* ------------------------------------------------------------------ *)
+(* seed discipline *)
+
+(* Every trial is driven by its own integer seed, derived from the
+   campaign seed by an avalanching integer mix, so a one-line
+   [--replay SEED] reconstructs any trial without re-running the
+   campaign.  Masked to 30 bits to keep seeds short and portable. *)
+let mix_int x =
+  let x = x land max_int in
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x735A2D97 land max_int in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1B873593 land max_int in
+  x lxor (x lsr 32)
+
+let trial_seed cfg i = mix_int ((cfg.seed * 0x3C6EF35F) + i + 1) land 0x3FFFFFFF
+
+let rng_of_seed seed = Random.State.make [| 0xB15; seed |]
+
+(* ------------------------------------------------------------------ *)
+(* fault drawing *)
+
+let draw_faults cfg rng =
+  let rows = Org.total_rows cfg.org and cols = Org.cols cfg.org in
+  match cfg.mode with
+  | Uniform n -> Injection.inject rng ~rows ~cols ~mix:cfg.mix ~n
+  | Poisson mean -> Injection.inject_poisson rng ~rows ~cols ~mix:cfg.mix ~mean
+  | Clustered { mean; alpha } ->
+      Injection.inject_clustered rng ~rows ~cols ~mix:cfg.mix ~mean ~alpha
+
+(* ------------------------------------------------------------------ *)
+(* one trial: differential oracle + escape sweeps *)
+
+type flow = Two_pass | Iterated
+
+let flow_name = function Two_pass -> "two-pass" | Iterated -> "iterated"
+
+type anomaly =
+  | Escape of { flow : flow; mismatches : Sweep.mismatch list }
+  | Divergence of { detail : string }
+
+let success = function
+  | Repair.Passed_clean | Repair.Repaired _ -> true
+  | Repair.Repair_unsuccessful _ -> false
+
+let outcome_equal (a : Repair.outcome) (b : Repair.outcome) =
+  match (a, b) with
+  | Repair.Passed_clean, Repair.Passed_clean -> true
+  | Repair.Repaired ra, Repair.Repaired rb -> ra = rb
+  | Repair.Repair_unsuccessful ra, Repair.Repair_unsuccessful rb -> ra = rb
+  | _, _ -> false
+
+let model_with cfg faults =
+  let m = Model.create cfg.org in
+  Model.set_faults m faults;
+  m
+
+let backgrounds cfg = Datagen.required_backgrounds ~bpw:cfg.org.Org.bpw
+
+type verdicts = {
+  controller : Repair.outcome;
+  reference : Repair.outcome;
+  iterated : Repair.outcome;
+  rounds : int;
+  cycles : int;
+}
+
+let run_faults cfg faults =
+  let bgs = backgrounds cfg in
+  (* fresh model per flow: each run mutates array contents and remap *)
+  let mc = model_with cfg faults in
+  let controller, report, c_tlb = Repair.run mc cfg.march ~backgrounds:bgs in
+  let mr = model_with cfg faults in
+  let reference, r_tlb = Repair.run_reference mr cfg.march ~backgrounds:bgs in
+  let mi = model_with cfg faults in
+  let it =
+    Repair.run_iterated_result ~max_rounds:cfg.max_rounds mi cfg.march
+      ~backgrounds:bgs
+  in
+  let anomalies = ref [] in
+  let push a = anomalies := a :: !anomalies in
+  (* oracle divergence: microprogrammed controller vs functional engine *)
+  if not (outcome_equal controller reference) then
+    push
+      (Divergence
+         { detail =
+             Format.asprintf "outcome: controller %a, reference %a"
+               Repair.pp_outcome controller Repair.pp_outcome reference
+         })
+  else if
+    success controller && Tlb.mapped_rows c_tlb <> Tlb.mapped_rows r_tlb
+  then
+    push
+      (Divergence
+         { detail =
+             Format.asprintf "TLB: controller rows [%s], reference rows [%s]"
+               (String.concat ","
+                  (List.map string_of_int (Tlb.mapped_rows c_tlb)))
+               (String.concat ","
+                  (List.map string_of_int (Tlb.mapped_rows r_tlb)))
+         });
+  (* silent escapes: the array disagrees with a passing verdict *)
+  if success controller then begin
+    match Sweep.run mc with
+    | [] -> ()
+    | mismatches -> push (Escape { flow = Two_pass; mismatches })
+  end;
+  if success it.Repair.i_outcome then begin
+    match Sweep.run mi with
+    | [] -> ()
+    | mismatches -> push (Escape { flow = Iterated; mismatches })
+  end;
+  ( { controller
+    ; reference
+    ; iterated = it.Repair.i_outcome
+    ; rounds = it.Repair.i_rounds
+    ; cycles = report.Bisram_bist.Controller.cycles
+    }
+  , List.rev !anomalies )
+
+type trial = {
+  t_index : int;  (** -1 for a replay outside a campaign *)
+  t_seed : int;
+  t_faults : Fault.t list;
+  t_verdicts : verdicts;
+  t_anomalies : anomaly list;
+}
+
+let run_seeded cfg ~index ~seed =
+  let faults = draw_faults cfg (rng_of_seed seed) in
+  let verdicts, anomalies = run_faults cfg faults in
+  { t_index = index
+  ; t_seed = seed
+  ; t_faults = faults
+  ; t_verdicts = verdicts
+  ; t_anomalies = anomalies
+  }
+
+let run_trial cfg ~index = run_seeded cfg ~index ~seed:(trial_seed cfg index)
+let replay cfg ~seed = run_seeded cfg ~index:(-1) ~seed
+
+(* ------------------------------------------------------------------ *)
+(* shrinking *)
+
+(* Cheap re-checks used as the delta-debugging predicate: only the flow
+   that produced the failure is re-run. *)
+let check_escape cfg ~flow faults =
+  let bgs = backgrounds cfg in
+  let m = model_with cfg faults in
+  let outcome =
+    match flow with
+    | Two_pass ->
+        let outcome, _, _ = Repair.run m cfg.march ~backgrounds:bgs in
+        outcome
+    | Iterated ->
+        (Repair.run_iterated_result ~max_rounds:cfg.max_rounds m cfg.march
+           ~backgrounds:bgs)
+          .Repair.i_outcome
+  in
+  success outcome && not (Sweep.clean m)
+
+let check_divergence cfg faults =
+  let bgs = backgrounds cfg in
+  let mc = model_with cfg faults in
+  let controller, _, c_tlb = Repair.run mc cfg.march ~backgrounds:bgs in
+  let mr = model_with cfg faults in
+  let reference, r_tlb = Repair.run_reference mr cfg.march ~backgrounds:bgs in
+  (not (outcome_equal controller reference))
+  || (success controller && Tlb.mapped_rows c_tlb <> Tlb.mapped_rows r_tlb)
+
+let shrink_anomaly cfg anomaly faults =
+  if not cfg.shrink then faults
+  else
+    let keep =
+      match anomaly with
+      | Escape { flow; _ } -> check_escape cfg ~flow
+      | Divergence _ -> check_divergence cfg
+    in
+    Shrink.minimize ~keep faults
+
+(* ------------------------------------------------------------------ *)
+(* campaign results *)
+
+type histogram = {
+  passed_clean : int;
+  repaired : int;
+  too_many_faulty_rows : int;
+  fault_in_second_pass : int;
+}
+
+let empty_histogram =
+  { passed_clean = 0
+  ; repaired = 0
+  ; too_many_faulty_rows = 0
+  ; fault_in_second_pass = 0
+  }
+
+let count_outcome h = function
+  | Repair.Passed_clean -> { h with passed_clean = h.passed_clean + 1 }
+  | Repair.Repaired _ -> { h with repaired = h.repaired + 1 }
+  | Repair.Repair_unsuccessful Repair.Too_many_faulty_rows ->
+      { h with too_many_faulty_rows = h.too_many_faulty_rows + 1 }
+  | Repair.Repair_unsuccessful Repair.Fault_in_second_pass ->
+      { h with fault_in_second_pass = h.fault_in_second_pass + 1 }
+
+type failure = {
+  f_trial : int;
+  f_seed : int;
+  f_kind : string;  (** "escape" or "divergence" *)
+  f_flow : string;  (** "two-pass", "iterated" or "oracle" *)
+  f_detail : string;
+  f_faults : Fault.t list;
+  f_shrunk : Fault.t list;
+}
+
+type result = {
+  config : config;
+  trials_run : int;
+  truncated : bool;
+  two_pass : histogram;
+  iterated : histogram;
+  rounds : (int * int) list;  (** (verify rounds, trial count), sorted *)
+  escapes : failure list;
+  divergences : failure list;
+  observed_yield_two_pass : float;
+  observed_yield_iterated : float;
+  analytic_yield : float;
+}
+
+let analytic_yield cfg =
+  let regular_rows = Org.rows cfg.org and spares = cfg.org.Org.spares in
+  let g =
+    if spares = 0 then Repairable.bare ~regular_rows
+    else
+      Repairable.make ~regular_rows ~spares ~logic_fraction:0.0
+        ~growth_factor:1.0
+  in
+  match cfg.mode with
+  | Uniform n -> Repairable.p_repairable g n
+  | Poisson mean -> Repairable.yield_poisson g ~mean_defects:mean
+  | Clustered { mean; alpha } -> Repairable.yield g ~mean_defects:mean ~alpha
+
+let failure_of_anomaly cfg trial anomaly =
+  let f_kind, f_flow, f_detail =
+    match anomaly with
+    | Escape { flow; mismatches } ->
+        let first =
+          match mismatches with
+          | m :: _ -> Format.asprintf "; first: %a" Sweep.pp_mismatch m
+          | [] -> ""
+        in
+        ( "escape"
+        , flow_name flow
+        , Printf.sprintf "%d mismatching read(s)%s" (List.length mismatches)
+            first )
+    | Divergence { detail } -> ("divergence", "oracle", detail)
+  in
+  { f_trial = trial.t_index
+  ; f_seed = trial.t_seed
+  ; f_kind
+  ; f_flow
+  ; f_detail
+  ; f_faults = trial.t_faults
+  ; f_shrunk = shrink_anomaly cfg anomaly trial.t_faults
+  }
+
+let run ?(now = Unix.gettimeofday) cfg =
+  let start = now () in
+  let over_budget () =
+    match cfg.max_seconds with
+    | None -> false
+    | Some s -> now () -. start >= s
+  in
+  let two_pass = ref empty_histogram in
+  let iterated = ref empty_histogram in
+  let rounds : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let escapes = ref [] in
+  let divergences = ref [] in
+  let trials_run = ref 0 in
+  let truncated = ref false in
+  let index = ref 0 in
+  while !index < cfg.trials && not !truncated do
+    if over_budget () then truncated := true
+    else begin
+      let trial = run_trial cfg ~index:!index in
+      let v = trial.t_verdicts in
+      two_pass := count_outcome !two_pass v.controller;
+      iterated := count_outcome !iterated v.iterated;
+      Hashtbl.replace rounds v.rounds
+        (1 + Option.value ~default:0 (Hashtbl.find_opt rounds v.rounds));
+      List.iter
+        (fun anomaly ->
+          let f = failure_of_anomaly cfg trial anomaly in
+          match anomaly with
+          | Escape _ -> escapes := f :: !escapes
+          | Divergence _ -> divergences := f :: !divergences)
+        trial.t_anomalies;
+      incr trials_run;
+      incr index
+    end
+  done;
+  let frac h =
+    if !trials_run = 0 then 0.0
+    else
+      float_of_int (h.passed_clean + h.repaired) /. float_of_int !trials_run
+  in
+  { config = cfg
+  ; trials_run = !trials_run
+  ; truncated = !truncated
+  ; two_pass = !two_pass
+  ; iterated = !iterated
+  ; rounds =
+      Hashtbl.fold (fun r c acc -> (r, c) :: acc) rounds []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  ; escapes = List.rev !escapes
+  ; divergences = List.rev !divergences
+  ; observed_yield_two_pass = frac !two_pass
+  ; observed_yield_iterated = frac !iterated
+  ; analytic_yield = analytic_yield cfg
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON report *)
+
+let cell_json (c : Fault.cell) =
+  J.Obj [ ("row", J.Int c.Fault.row); ("col", J.Int c.Fault.col) ]
+
+let fault_json = function
+  | Fault.Stuck_at (c, v) ->
+      J.Obj
+        [ ("class", J.String "SAF"); ("cell", cell_json c); ("value", J.Bool v) ]
+  | Fault.Transition (c, up) ->
+      J.Obj
+        [ ("class", J.String "TF"); ("cell", cell_json c); ("rising", J.Bool up) ]
+  | Fault.Stuck_open c ->
+      J.Obj [ ("class", J.String "SOF"); ("cell", cell_json c) ]
+  | Fault.Coupling_inversion { aggressor; victim } ->
+      J.Obj
+        [ ("class", J.String "CFin")
+        ; ("aggressor", cell_json aggressor)
+        ; ("victim", cell_json victim)
+        ]
+  | Fault.Coupling_idempotent { aggressor; rising; victim; forces } ->
+      J.Obj
+        [ ("class", J.String "CFid")
+        ; ("aggressor", cell_json aggressor)
+        ; ("rising", J.Bool rising)
+        ; ("victim", cell_json victim)
+        ; ("forces", J.Bool forces)
+        ]
+  | Fault.State_coupling { aggressor; when_state; victim; reads_as } ->
+      J.Obj
+        [ ("class", J.String "CFst")
+        ; ("aggressor", cell_json aggressor)
+        ; ("when_state", J.Bool when_state)
+        ; ("victim", cell_json victim)
+        ; ("reads_as", J.Bool reads_as)
+        ]
+  | Fault.Data_retention (c, v) ->
+      J.Obj
+        [ ("class", J.String "DRF")
+        ; ("cell", cell_json c)
+        ; ("decays_to", J.Bool v)
+        ]
+
+let mode_json = function
+  | Uniform n -> J.Obj [ ("kind", J.String "uniform"); ("faults", J.Int n) ]
+  | Poisson mean ->
+      J.Obj [ ("kind", J.String "poisson"); ("mean", J.Float mean) ]
+  | Clustered { mean; alpha } ->
+      J.Obj
+        [ ("kind", J.String "clustered")
+        ; ("mean", J.Float mean)
+        ; ("alpha", J.Float alpha)
+        ]
+
+let mix_json (m : Injection.mix) =
+  J.Obj
+    [ ("stuck_at", J.Float m.Injection.stuck_at)
+    ; ("transition", J.Float m.Injection.transition)
+    ; ("stuck_open", J.Float m.Injection.stuck_open)
+    ; ("coupling_inversion", J.Float m.Injection.coupling_inversion)
+    ; ("coupling_idempotent", J.Float m.Injection.coupling_idempotent)
+    ; ("state_coupling", J.Float m.Injection.state_coupling)
+    ; ("data_retention", J.Float m.Injection.data_retention)
+    ]
+
+let config_json cfg =
+  J.Obj
+    [ ( "org"
+      , J.Obj
+          [ ("words", J.Int cfg.org.Org.words)
+          ; ("bpw", J.Int cfg.org.Org.bpw)
+          ; ("bpc", J.Int cfg.org.Org.bpc)
+          ; ("spares", J.Int cfg.org.Org.spares)
+          ] )
+    ; ("march", J.String cfg.march.March.name)
+    ; ("mix", mix_json cfg.mix)
+    ; ("mode", mode_json cfg.mode)
+    ; ("trials", J.Int cfg.trials)
+    ; ("seed", J.Int cfg.seed)
+    ; ( "max_seconds"
+      , match cfg.max_seconds with None -> J.Null | Some s -> J.Float s )
+    ; ("shrink", J.Bool cfg.shrink)
+    ; ("max_rounds", J.Int cfg.max_rounds)
+    ]
+
+let histogram_json h =
+  J.Obj
+    [ ("passed_clean", J.Int h.passed_clean)
+    ; ("repaired", J.Int h.repaired)
+    ; ("too_many_faulty_rows", J.Int h.too_many_faulty_rows)
+    ; ("fault_in_second_pass", J.Int h.fault_in_second_pass)
+    ]
+
+let failure_json f =
+  J.Obj
+    [ ("trial", J.Int f.f_trial)
+    ; ("seed", J.Int f.f_seed)
+    ; ("kind", J.String f.f_kind)
+    ; ("flow", J.String f.f_flow)
+    ; ("detail", J.String f.f_detail)
+    ; ("faults", J.List (List.map fault_json f.f_faults))
+    ; ("shrunk", J.List (List.map fault_json f.f_shrunk))
+    ]
+
+let to_json r =
+  J.Obj
+    [ ("schema", J.String "bisram-campaign/1")
+    ; ("config", config_json r.config)
+    ; ("trials_run", J.Int r.trials_run)
+    ; ("truncated", J.Bool r.truncated)
+    ; ( "outcomes"
+      , J.Obj
+          [ ("two_pass", histogram_json r.two_pass)
+          ; ("iterated", histogram_json r.iterated)
+          ] )
+    ; ( "repair_rounds"
+      , J.List
+          (List.map
+             (fun (rounds, count) ->
+               J.Obj [ ("rounds", J.Int rounds); ("count", J.Int count) ])
+             r.rounds) )
+    ; ("escapes", J.List (List.map failure_json r.escapes))
+    ; ("divergences", J.List (List.map failure_json r.divergences))
+    ; ( "yield"
+      , J.Obj
+          [ ("observed_two_pass", J.Float r.observed_yield_two_pass)
+          ; ("observed_iterated", J.Float r.observed_yield_iterated)
+          ; ("analytic", J.Float r.analytic_yield)
+          ] )
+    ]
+
+let json_string r = J.to_string (to_json r)
+let pretty_json_string r = J.to_pretty_string (to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* human-readable trial report (the --replay output) *)
+
+let pp_anomaly ppf = function
+  | Escape { flow; mismatches } ->
+      Format.fprintf ppf "ESCAPE (%s flow): %d mismatching read(s)"
+        (flow_name flow) (List.length mismatches);
+      List.iteri
+        (fun i m ->
+          if i < 8 then Format.fprintf ppf "@.    %a" Sweep.pp_mismatch m)
+        mismatches
+  | Divergence { detail } -> Format.fprintf ppf "DIVERGENCE: %s" detail
+
+let pp_trial ppf t =
+  Format.fprintf ppf "trial seed %d: %d fault(s)@." t.t_seed
+    (List.length t.t_faults);
+  List.iter (fun f -> Format.fprintf ppf "  %a@." Fault.pp f) t.t_faults;
+  let v = t.t_verdicts in
+  Format.fprintf ppf "controller: %a (%d cycles)@." Repair.pp_outcome
+    v.controller v.cycles;
+  Format.fprintf ppf "reference : %a@." Repair.pp_outcome v.reference;
+  Format.fprintf ppf "iterated  : %a (%d round(s))@." Repair.pp_outcome
+    v.iterated v.rounds;
+  match t.t_anomalies with
+  | [] -> Format.fprintf ppf "no escapes, no divergences@."
+  | l -> List.iter (fun a -> Format.fprintf ppf "%a@." pp_anomaly a) l

@@ -1,0 +1,147 @@
+(** Monte Carlo test-and-repair campaigns: the adversarial stress layer
+    over the whole BIST/BISR flow.
+
+    Each trial draws a random fault set (uniform count, Poisson or
+    clustered), runs the microprogrammed controller
+    ({!Bisram_bisr.Repair.run}) and the functional reference engine
+    ({!Bisram_bisr.Repair.run_reference}) as a differential oracle, runs
+    the iterated 2k-pass flow for the repair-effort histogram, and then
+    sweeps the post-repair array independently ({!Sweep}) for silent
+    escapes — cells still faulty at a logical address although the flow
+    said [Passed_clean] or [Repaired].
+
+    Reproducibility discipline: every trial has its own integer seed
+    derived from the campaign seed; any failing trial can be re-run in
+    isolation with {!replay}.  Failing fault sets are shrunk by greedy
+    delta debugging ({!Shrink}) to minimal reproducers before they are
+    reported.  The whole campaign is deterministic: the same config
+    yields a byte-identical JSON report. *)
+
+type mode =
+  | Uniform of int  (** exactly n faults per trial *)
+  | Poisson of float  (** Poisson-distributed count with the given mean *)
+  | Clustered of { mean : float; alpha : float }
+      (** negative-binomial (clustered) count *)
+
+type config = {
+  org : Bisram_sram.Org.t;
+  march : Bisram_bist.March.t;
+  mix : Bisram_faults.Injection.mix;
+  mode : mode;
+  trials : int;
+  seed : int;
+  max_seconds : float option;  (** wall-clock budget; [None] = unbounded *)
+  shrink : bool;  (** delta-debug failing fault sets *)
+  max_rounds : int;  (** iterated-flow bound *)
+}
+
+(** Defaults: 64x8 words, bpc 4, 4 spares, IFA-9, default mix, 2 faults
+    per trial, 100 trials, seed 42, no time budget, shrinking on,
+    8 rounds.  @raise Invalid_argument on negative counts or an invalid
+    mix. *)
+val make_config :
+  ?org:Bisram_sram.Org.t ->
+  ?march:Bisram_bist.March.t ->
+  ?mix:Bisram_faults.Injection.mix ->
+  ?mode:mode ->
+  ?trials:int ->
+  ?seed:int ->
+  ?max_seconds:float ->
+  ?shrink:bool ->
+  ?max_rounds:int ->
+  unit ->
+  config
+
+(** The derived per-trial seed (pure function of campaign seed and
+    trial index — the value printed in reports and fed to [--replay]). *)
+val trial_seed : config -> int -> int
+
+type flow = Two_pass | Iterated
+
+val flow_name : flow -> string
+
+type anomaly =
+  | Escape of { flow : flow; mismatches : Sweep.mismatch list }
+  | Divergence of { detail : string }
+
+type verdicts = {
+  controller : Bisram_bisr.Repair.outcome;
+  reference : Bisram_bisr.Repair.outcome;
+  iterated : Bisram_bisr.Repair.outcome;
+  rounds : int;
+  cycles : int;
+}
+
+type trial = {
+  t_index : int;  (** -1 for a replay outside a campaign *)
+  t_seed : int;
+  t_faults : Bisram_faults.Fault.t list;
+  t_verdicts : verdicts;
+  t_anomalies : anomaly list;
+}
+
+(** Run all three flows plus oracle comparison and escape sweeps on an
+    explicit fault list (no randomness). *)
+val run_faults :
+  config -> Bisram_faults.Fault.t list -> verdicts * anomaly list
+
+(** Run the trial at a campaign index (seed derived). *)
+val run_trial : config -> index:int -> trial
+
+(** Re-run a single trial from its reported seed. *)
+val replay : config -> seed:int -> trial
+
+(** Shrink the fault list of a failing trial to a minimal list that
+    still triggers the given anomaly's kind (identity when
+    [config.shrink] is false). *)
+val shrink_anomaly :
+  config -> anomaly -> Bisram_faults.Fault.t list ->
+  Bisram_faults.Fault.t list
+
+type histogram = {
+  passed_clean : int;
+  repaired : int;
+  too_many_faulty_rows : int;
+  fault_in_second_pass : int;
+}
+
+type failure = {
+  f_trial : int;
+  f_seed : int;
+  f_kind : string;  (** "escape" or "divergence" *)
+  f_flow : string;  (** "two-pass", "iterated" or "oracle" *)
+  f_detail : string;
+  f_faults : Bisram_faults.Fault.t list;
+  f_shrunk : Bisram_faults.Fault.t list;
+}
+
+type result = {
+  config : config;
+  trials_run : int;
+  truncated : bool;  (** stopped early on the wall-clock budget *)
+  two_pass : histogram;
+  iterated : histogram;
+  rounds : (int * int) list;  (** (verify rounds, trial count), sorted *)
+  escapes : failure list;
+  divergences : failure list;
+  observed_yield_two_pass : float;
+  observed_yield_iterated : float;
+  analytic_yield : float;
+      (** {!Bisram_yield.Repairable} prediction for the same geometry
+          and fault-count model (array-only: logic fraction 0,
+          growth 1) *)
+}
+
+(** Run the campaign.  [now] (default [Unix.gettimeofday]) is only
+    consulted for the wall-clock budget; with [max_seconds = None] the
+    run is fully deterministic.  Partial results under a budget are
+    valid and flagged [truncated]. *)
+val run : ?now:(unit -> float) -> config -> result
+
+val analytic_yield : config -> float
+val to_json : result -> Report.t
+val json_string : result -> string
+val pretty_json_string : result -> string
+val fault_json : Bisram_faults.Fault.t -> Report.t
+val pp_trial : Format.formatter -> trial -> unit
+val pp_anomaly : Format.formatter -> anomaly -> unit

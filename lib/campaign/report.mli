@@ -1,0 +1,22 @@
+(** A minimal deterministic JSON representation for campaign reports.
+
+    Serialization is fully deterministic: object fields are emitted in
+    the order given, floats through a fixed ["%.9g"] format (integral
+    values as ["%.1f"]), so the same report value always produces the
+    same bytes — the property the campaign's replay discipline relies
+    on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering. *)
+val to_string : t -> string
+
+(** Two-space-indented rendering, trailing newline (the CLI output). *)
+val to_pretty_string : t -> string

@@ -1,0 +1,38 @@
+(** Independent post-repair array sweep: the campaign's escape
+    detector.
+
+    After the BIST/BISR flow declares a RAM good ([Passed_clean] or
+    [Repaired]), the sweep exercises every logical address through the
+    installed remap with write/read-back passes over four data
+    backgrounds (all-0, all-1 and an address-alternating checkerboard
+    pair), in both address orders, plus a retention wait per
+    background.  Any mismatch is a {e test escape}: a faulty cell still
+    reachable at a logical address although verification passed.
+
+    The sweep is deliberately not a march test — it shares no code with
+    {!Bisram_bist.Engine} or the microprogrammed controller, so it can
+    catch faults the march algorithm itself fails to cover (e.g.
+    stuck-open or data-retention faults under a weak march). *)
+
+type phase = Read_up | Read_down | Retention
+
+type mismatch = {
+  addr : int;  (** logical word address *)
+  pattern : string;  (** background name: all-0, all-1, checker, checker-inv *)
+  phase : phase;
+  expected : Bisram_sram.Word.t;
+  got : Bisram_sram.Word.t;
+}
+
+val phase_name : phase -> string
+
+(** [run model] sweeps the model as-is (faults and remap installed) and
+    returns every mismatch in detection order.  With
+    [~stop_at_first:true] at most one mismatch is returned (cheaper —
+    used as the shrinking predicate).  Array contents are destroyed. *)
+val run : ?stop_at_first:bool -> Bisram_sram.Model.t -> mismatch list
+
+(** No mismatch at all (early-stopping). *)
+val clean : Bisram_sram.Model.t -> bool
+
+val pp_mismatch : Format.formatter -> mismatch -> unit

@@ -28,6 +28,27 @@ let stuck_at_only =
   ; data_retention = 0.0
   }
 
+let mix_weights mix =
+  [ ("stuck_at", mix.stuck_at)
+  ; ("transition", mix.transition)
+  ; ("stuck_open", mix.stuck_open)
+  ; ("coupling_inversion", mix.coupling_inversion)
+  ; ("coupling_idempotent", mix.coupling_idempotent)
+  ; ("state_coupling", mix.state_coupling)
+  ; ("data_retention", mix.data_retention)
+  ]
+
+let validate_mix mix =
+  List.iter
+    (fun (name, w) ->
+      if Float.is_nan w || w < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Injection: %s weight %g is negative" name w))
+    (mix_weights mix);
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 (mix_weights mix) in
+  if total <= 0.0 then
+    invalid_arg "Injection: mix has no positive weight (all-zero mix)"
+
 let random_cell rng ~rows ~cols =
   { Fault.row = Random.State.int rng rows; col = Random.State.int rng cols }
 
@@ -51,6 +72,7 @@ let neighbour rng ~rows ~cols (c : Fault.cell) =
 
 let random_fault rng ~rows ~cols ~mix =
   assert (rows > 0 && cols > 0);
+  validate_mix mix;
   let weights =
     [ (mix.stuck_at, `Saf)
     ; (mix.transition, `Tf)
@@ -62,7 +84,6 @@ let random_fault rng ~rows ~cols ~mix =
     ]
   in
   let total = List.fold_left (fun a (w, _) -> a +. w) 0.0 weights in
-  assert (total > 0.0);
   let pick = Random.State.float rng total in
   let rec select acc = function
     | [] -> `Saf
@@ -88,6 +109,7 @@ let random_fault rng ~rows ~cols ~mix =
   | `Drf -> Fault.Data_retention (victim, flag)
 
 let inject rng ~rows ~cols ~mix ~n =
+  validate_mix mix;
   List.init n (fun _ -> random_fault rng ~rows ~cols ~mix)
 
 let inject_poisson rng ~rows ~cols ~mix ~mean =

@@ -23,6 +23,13 @@ val default_mix : mix
     for the paper's yield analysis (a defect makes one cell bad). *)
 val stuck_at_only : mix
 
+(** @raise Invalid_argument when any weight is negative or NaN, or when
+    every weight is zero (the sampler would silently bias towards
+    stuck-at faults otherwise).  Called by [random_fault] and the
+    [inject*] functions; exposed so configuration front ends can fail
+    fast. *)
+val validate_mix : mix -> unit
+
 (** [random_fault rng ~rows ~cols ~mix] draws one fault.  Coupling
     aggressors are drawn from the victim's neighbourhood (same column,
     adjacent row, or adjacent column) as physical adjacency dictates. *)

@@ -1,0 +1,321 @@
+(* Tests for the Monte Carlo campaign harness: JSON report module,
+   greedy shrinking, escape sweep, determinism, replay, budgets and the
+   differential-oracle / no-silent-escape properties. *)
+
+module C = Bisram_campaign.Campaign
+module Sweep = Bisram_campaign.Sweep
+module Shrink = Bisram_campaign.Shrink
+module J = Bisram_campaign.Report
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module F = Bisram_faults.Fault
+module I = Bisram_faults.Injection
+module Repair = Bisram_bisr.Repair
+module Alg = Bisram_bist.Algorithms
+module Datagen = Bisram_bist.Datagen
+
+let retention_only =
+  { I.stuck_at = 0.0
+  ; transition = 0.0
+  ; stuck_open = 0.0
+  ; coupling_inversion = 0.0
+  ; coupling_idempotent = 0.0
+  ; state_coupling = 0.0
+  ; data_retention = 1.0
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_rendering () =
+  let j =
+    J.Obj
+      [ ("a", J.Int 3)
+      ; ("b", J.Float 0.5)
+      ; ("c", J.Float 2.0)
+      ; ("s", J.String "x\"y\n")
+      ; ("l", J.List [ J.Bool true; J.Null ])
+      ]
+  in
+  Alcotest.(check string)
+    "compact deterministic"
+    "{\"a\":3,\"b\":0.5,\"c\":2.0,\"s\":\"x\\\"y\\n\",\"l\":[true,null]}"
+    (J.to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* shrinker *)
+
+let test_shrink_single_culprit () =
+  let items = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check (list int))
+    "isolates the culprit" [ 7 ]
+    (Shrink.minimize ~keep:(fun l -> List.mem 7 l) items)
+
+let test_shrink_pair () =
+  let items = [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  Alcotest.(check (list int))
+    "keeps interacting pair in order" [ 3; 9 ]
+    (Shrink.minimize ~keep:(fun l -> List.mem 3 l && List.mem 9 l) items)
+
+let test_shrink_size_threshold () =
+  let items = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let r = Shrink.minimize ~keep:(fun l -> List.length l >= 3) items in
+  Alcotest.(check int) "1-minimal size" 3 (List.length r)
+
+let test_shrink_not_failing () =
+  Alcotest.(check (list int))
+    "non-failing input unchanged" [ 1; 2 ]
+    (Shrink.minimize ~keep:(fun _ -> false) [ 1; 2 ])
+
+let prop_shrink_minimal =
+  QCheck.Test.make ~name:"shrunk list is 1-minimal" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 12) (int_range 0 30))
+    (fun items ->
+      let keep l = List.exists (fun x -> x mod 3 = 0) l in
+      QCheck.assume (keep items);
+      let r = Shrink.minimize ~keep items in
+      keep r
+      && List.for_all
+           (fun x -> not (keep (List.filter (fun y -> y <> x) r)))
+           r)
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let test_sweep_clean_ram () =
+  let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 () in
+  let m = Model.create org in
+  Alcotest.(check (list int)) "no mismatch on a clean RAM" []
+    (List.map (fun mm -> mm.Sweep.addr) (Sweep.run m))
+
+let test_sweep_sees_unrepaired_fault () =
+  let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 () in
+  let m = Model.create org in
+  Model.set_faults m [ F.Stuck_at ({ F.row = 3; col = 9 }, true) ];
+  Alcotest.(check bool) "stuck-at visible" false (Sweep.clean m)
+
+let test_sweep_blind_after_remap () =
+  let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 () in
+  let m = Model.create org in
+  Model.set_faults m [ F.Stuck_at ({ F.row = 3; col = 9 }, true) ];
+  let outcome, _, _ =
+    Repair.run m Alg.ifa_9 ~backgrounds:(Datagen.required_backgrounds ~bpw:8)
+  in
+  (match outcome with
+  | Repair.Repaired _ -> ()
+  | o -> Alcotest.failf "expected repair, got %a" Repair.pp_outcome o);
+  Alcotest.(check bool) "repaired fault invisible" true (Sweep.clean m)
+
+(* ------------------------------------------------------------------ *)
+(* campaign determinism and replay *)
+
+let test_campaign_deterministic () =
+  let cfg = C.make_config ~trials:60 ~seed:11 () in
+  let a = C.json_string (C.run cfg) in
+  let b = C.json_string (C.run cfg) in
+  Alcotest.(check string) "byte-identical reports" a b
+
+let test_campaign_seed_changes_report () =
+  let r1 = C.json_string (C.run (C.make_config ~trials:20 ~seed:1 ())) in
+  let r2 = C.json_string (C.run (C.make_config ~trials:20 ~seed:2 ())) in
+  Alcotest.(check bool) "different seeds differ" true (r1 <> r2)
+
+let known_escape_config ?(trials = 30) () =
+  C.make_config ~march:Alg.mats_plus ~mix:retention_only ~mode:(C.Uniform 3)
+    ~trials ~seed:5 ()
+
+let test_known_escape_detected_and_shrunk () =
+  let cfg = known_escape_config () in
+  let r = C.run cfg in
+  Alcotest.(check bool) "escapes found" true (r.C.escapes <> []);
+  List.iter
+    (fun f ->
+      let n = List.length f.C.f_shrunk in
+      if n < 1 || n > 3 then
+        Alcotest.failf "shrunk reproducer has %d faults" n;
+      (* a retention-only escape shrinks to a single decaying cell *)
+      Alcotest.(check int) "minimal reproducer" 1 n)
+    r.C.escapes
+
+let test_known_escape_replayable () =
+  let cfg = known_escape_config () in
+  let r = C.run cfg in
+  let f = List.hd r.C.escapes in
+  let t = C.replay cfg ~seed:f.C.f_seed in
+  Alcotest.(check bool) "replay reproduces the escape" true
+    (List.exists
+       (function C.Escape _ -> true | C.Divergence _ -> false)
+       t.C.t_anomalies);
+  Alcotest.(check bool) "replay regenerates the fault set" true
+    (t.C.t_faults = f.C.f_faults)
+
+let test_clean_mix_has_no_anomalies () =
+  let cfg =
+    C.make_config ~mix:I.stuck_at_only ~mode:(C.Uniform 3) ~trials:60 ~seed:3
+      ()
+  in
+  let r = C.run cfg in
+  Alcotest.(check int) "no escapes" 0 (List.length r.C.escapes);
+  Alcotest.(check int) "no divergences" 0 (List.length r.C.divergences);
+  Alcotest.(check int) "all trials accounted"
+    r.C.trials_run
+    (r.C.two_pass.C.passed_clean + r.C.two_pass.C.repaired
+    + r.C.two_pass.C.too_many_faulty_rows
+    + r.C.two_pass.C.fault_in_second_pass)
+
+let test_budget_truncates () =
+  (* a fake clock advancing 1s per reading: the first budget check
+     already fires, so zero trials run and the report says truncated *)
+  let t = ref 0.0 in
+  let now () =
+    t := !t +. 1.0;
+    !t
+  in
+  let cfg = C.make_config ~trials:50 ~seed:1 ~max_seconds:0.5 () in
+  let r = C.run ~now cfg in
+  Alcotest.(check bool) "truncated" true r.C.truncated;
+  Alcotest.(check int) "no trials" 0 r.C.trials_run;
+  Alcotest.(check bool) "report still renders" true
+    (String.length (C.json_string r) > 0)
+
+let test_budget_partial () =
+  (* 0.1s per check, 0.35s budget: exactly three trials fit *)
+  let t = ref 0.0 in
+  let now () =
+    t := !t +. 0.1;
+    !t
+  in
+  let cfg = C.make_config ~trials:50 ~seed:1 ~max_seconds:0.35 () in
+  let r = C.run ~now cfg in
+  Alcotest.(check bool) "truncated" true r.C.truncated;
+  Alcotest.(check int) "three trials" 3 r.C.trials_run
+
+let test_unbudgeted_runs_all () =
+  let cfg = C.make_config ~trials:25 ~seed:9 () in
+  let r = C.run cfg in
+  Alcotest.(check bool) "not truncated" false r.C.truncated;
+  Alcotest.(check int) "all trials" 25 r.C.trials_run
+
+let test_rounds_histogram_totals () =
+  let cfg = C.make_config ~trials:40 ~seed:13 ~mode:(C.Uniform 4) () in
+  let r = C.run cfg in
+  Alcotest.(check int) "rounds cover every trial" r.C.trials_run
+    (List.fold_left (fun a (_, c) -> a + c) 0 r.C.rounds)
+
+let test_yield_brackets_analytic () =
+  (* The analytic strict notion (no fault in ANY spare) is a lower
+     bound on the simulated two-pass flow, which only fails on faults
+     in spares it actually deploys; the iterated flow repairs faulty
+     spares and dominates both. *)
+  let cfg =
+    C.make_config ~mix:I.stuck_at_only ~mode:(C.Uniform 6) ~trials:300 ~seed:21
+      ()
+  in
+  let r = C.run cfg in
+  if r.C.observed_yield_two_pass < r.C.analytic_yield -. 0.06 then
+    Alcotest.failf "two-pass %.3f below strict analytic bound %.3f"
+      r.C.observed_yield_two_pass r.C.analytic_yield;
+  Alcotest.(check bool) "iterated dominates two-pass" true
+    (r.C.observed_yield_iterated >= r.C.observed_yield_two_pass)
+
+(* ------------------------------------------------------------------ *)
+(* properties: differential oracle and no silent escapes *)
+
+let prop_oracle_agreement =
+  (* controller and functional reference agree on every outcome, for
+     random fault sets across every class of the default mix *)
+  QCheck.Test.make ~name:"controller agrees with reference oracle" ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 0 6))
+    (fun (seed, n) ->
+      let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 () in
+      let rng = Random.State.make [| 0xD1FF; seed |] in
+      let faults =
+        I.inject rng ~rows:(Org.total_rows org) ~cols:(Org.cols org)
+          ~mix:I.default_mix ~n
+      in
+      let bgs = Datagen.required_backgrounds ~bpw:8 in
+      let run_on () =
+        let m = Model.create org in
+        Model.set_faults m faults;
+        m
+      in
+      let mc = run_on () in
+      let controller, _, _ = Repair.run mc Alg.ifa_9 ~backgrounds:bgs in
+      let mr = run_on () in
+      let reference, _ = Repair.run_reference mr Alg.ifa_9 ~backgrounds:bgs in
+      match (controller, reference) with
+      | Repair.Passed_clean, Repair.Passed_clean -> true
+      | Repair.Repaired a, Repair.Repaired b -> a = b
+      | Repair.Repair_unsuccessful a, Repair.Repair_unsuccessful b -> a = b
+      | _ -> false)
+
+let prop_no_silent_escape_stuck_at =
+  (* for the fault class the march covers completely, a success verdict
+     from the iterated flow means the sweep finds nothing *)
+  QCheck.Test.make
+    ~name:"run_iterated never reports Repaired over a faulty logical cell"
+    ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 0 8))
+    (fun (seed, n) ->
+      let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 () in
+      let rng = Random.State.make [| 0x5CA9; seed |] in
+      let faults =
+        I.inject rng ~rows:(Org.total_rows org) ~cols:(Org.cols org)
+          ~mix:I.stuck_at_only ~n
+      in
+      let m = Model.create org in
+      Model.set_faults m faults;
+      let r =
+        Repair.run_iterated_result m Alg.ifa_9
+          ~backgrounds:(Datagen.required_backgrounds ~bpw:8)
+      in
+      match r.Repair.i_outcome with
+      | Repair.Passed_clean | Repair.Repaired _ -> Sweep.clean m
+      | Repair.Repair_unsuccessful _ -> true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "campaign"
+    [ ( "json"
+      , [ Alcotest.test_case "rendering" `Quick test_json_rendering ] )
+    ; ( "shrink"
+      , [ Alcotest.test_case "single culprit" `Quick test_shrink_single_culprit
+        ; Alcotest.test_case "pair" `Quick test_shrink_pair
+        ; Alcotest.test_case "size threshold" `Quick test_shrink_size_threshold
+        ; Alcotest.test_case "not failing" `Quick test_shrink_not_failing
+        ; QCheck_alcotest.to_alcotest prop_shrink_minimal
+        ] )
+    ; ( "sweep"
+      , [ Alcotest.test_case "clean RAM" `Quick test_sweep_clean_ram
+        ; Alcotest.test_case "unrepaired fault" `Quick
+            test_sweep_sees_unrepaired_fault
+        ; Alcotest.test_case "repaired fault invisible" `Quick
+            test_sweep_blind_after_remap
+        ] )
+    ; ( "campaign"
+      , [ Alcotest.test_case "deterministic report" `Quick
+            test_campaign_deterministic
+        ; Alcotest.test_case "seed sensitivity" `Quick
+            test_campaign_seed_changes_report
+        ; Alcotest.test_case "known escape detected+shrunk" `Quick
+            test_known_escape_detected_and_shrunk
+        ; Alcotest.test_case "known escape replayable" `Quick
+            test_known_escape_replayable
+        ; Alcotest.test_case "stuck-at mix is anomaly-free" `Quick
+            test_clean_mix_has_no_anomalies
+        ; Alcotest.test_case "budget truncates" `Quick test_budget_truncates
+        ; Alcotest.test_case "budget partial results" `Quick
+            test_budget_partial
+        ; Alcotest.test_case "unbudgeted runs all" `Quick
+            test_unbudgeted_runs_all
+        ; Alcotest.test_case "rounds histogram totals" `Quick
+            test_rounds_histogram_totals
+        ; Alcotest.test_case "observed yield brackets analytic" `Slow
+            test_yield_brackets_analytic
+        ] )
+    ; ( "properties"
+      , [ QCheck_alcotest.to_alcotest prop_oracle_agreement
+        ; QCheck_alcotest.to_alcotest prop_no_silent_escape_stuck_at
+        ] )
+    ]

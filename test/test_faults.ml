@@ -125,6 +125,42 @@ let test_injection_mix_hits_all_classes () =
       Alcotest.(check bool) (name ^ " appears") true (Hashtbl.mem seen name))
     F.all_class_names
 
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let test_mix_rejects_negative_weight () =
+  let bad = { I.default_mix with I.transition = -0.1 } in
+  expect_invalid "validate_mix" (fun () -> I.validate_mix bad);
+  expect_invalid "inject" (fun () ->
+      I.inject (rng ()) ~rows:8 ~cols:8 ~mix:bad ~n:1);
+  expect_invalid "random_fault" (fun () ->
+      I.random_fault (rng ()) ~rows:8 ~cols:8 ~mix:bad)
+
+let test_mix_rejects_all_zero () =
+  let zero =
+    { I.stuck_at = 0.0
+    ; transition = 0.0
+    ; stuck_open = 0.0
+    ; coupling_inversion = 0.0
+    ; coupling_idempotent = 0.0
+    ; state_coupling = 0.0
+    ; data_retention = 0.0
+    }
+  in
+  expect_invalid "validate_mix" (fun () -> I.validate_mix zero);
+  (* validated even when no fault would actually be drawn *)
+  expect_invalid "inject n=0" (fun () ->
+      I.inject (rng ()) ~rows:8 ~cols:8 ~mix:zero ~n:0);
+  expect_invalid "inject_poisson" (fun () ->
+      I.inject_poisson (rng ()) ~rows:8 ~cols:8 ~mix:zero ~mean:2.0)
+
+let test_mix_valid_passes () =
+  I.validate_mix I.default_mix;
+  I.validate_mix I.stuck_at_only;
+  Alcotest.(check pass) "valid mixes accepted" () ()
+
 let test_faulty_rows () =
   let fs =
     [ F.Stuck_at (cell 5 0, true)
@@ -243,6 +279,12 @@ let () =
         ; Alcotest.test_case "all classes" `Quick
             test_injection_mix_hits_all_classes
         ; Alcotest.test_case "faulty rows" `Quick test_faulty_rows
+        ; Alcotest.test_case "mix rejects negative weight" `Quick
+            test_mix_rejects_negative_weight
+        ; Alcotest.test_case "mix rejects all-zero" `Quick
+            test_mix_rejects_all_zero
+        ; Alcotest.test_case "valid mixes accepted" `Quick
+            test_mix_valid_passes
         ; QCheck_alcotest.to_alcotest prop_coupling_aggressor_adjacent
         ; QCheck_alcotest.to_alcotest prop_gamma_positive
         ] )
