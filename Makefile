@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke ci clean
+.PHONY: all build test campaign-smoke campaign-determinism bench-json ci clean
 
 all: build
 
@@ -10,12 +10,31 @@ test: build
 
 # Short randomized campaign as a CI gate: the stuck-at mix is fully
 # covered by IFA-9, so any escape or oracle divergence is a regression
-# (--fail-on-anomaly exits 3 in that case).
+# (--fail-on-anomaly exits 3 in that case).  Runs on two worker domains
+# to exercise the parallel scheduler in CI.
 campaign-smoke: build
 	dune exec bin/bisramgen.exe -- campaign --trials 50 --seed 7 \
-	  --mix stuck-at --fail-on-anomaly > /dev/null
+	  --mix stuck-at --fail-on-anomaly --jobs 2 > /dev/null
 
-ci: build test campaign-smoke
+# Determinism gate: the parallel report must be byte-identical to the
+# sequential one for the same config and seed.
+campaign-determinism: build
+	dune exec bin/bisramgen.exe -- campaign --trials 50 --seed 7 \
+	  --mix stuck-at --jobs 1 > .ci-campaign-jobs1.json
+	dune exec bin/bisramgen.exe -- campaign --trials 50 --seed 7 \
+	  --mix stuck-at --jobs 2 > .ci-campaign-jobs2.json
+	diff .ci-campaign-jobs1.json .ci-campaign-jobs2.json
+	rm -f .ci-campaign-jobs1.json .ci-campaign-jobs2.json
+	@echo "campaign-determinism: OK"
+
+# Machine-readable perf trajectory: campaign throughput at several
+# --jobs levels plus fast-vs-legacy kernel microbenchmarks, written to
+# the repo root so subsequent changes have a baseline to regress
+# against (see EXPERIMENTS.md for the interpretation).
+bench-json: build
+	dune exec bench/bench_json.exe -- -o BENCH_campaign.json
+
+ci: build test campaign-smoke campaign-determinism
 	@echo "ci: OK"
 
 clean:

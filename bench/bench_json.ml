@@ -1,0 +1,218 @@
+(* Machine-readable benchmark trajectory.
+
+   Times the Monte Carlo campaign at several --jobs levels and the core
+   simulation kernels (fast fault-free path vs the legacy per-cell
+   fault machinery), then writes BENCH_campaign.json at the repo root
+   so later PRs have a perf baseline to regress against.
+
+   Every measurement is wall-clock via the monotonic clock; the
+   machine's core count is recorded because parallel speedup is bounded
+   by it (a 1-core container runs jobs=4 at ~1x, and that is the honest
+   number to store). *)
+
+module C = Bisram_campaign.Campaign
+module J = Bisram_campaign.Report
+module Org = Bisram_sram.Org
+module Model = Bisram_sram.Model
+module Word = Bisram_sram.Word
+module Engine = Bisram_bist.Engine
+module Alg = Bisram_bist.Algorithms
+module Datagen = Bisram_bist.Datagen
+module Clock = Bisram_parallel.Clock
+module Pool = Bisram_parallel.Pool
+
+let time f =
+  let t0 = Clock.now () in
+  let r = f () in
+  (r, Clock.now () -. t0)
+
+(* best-of-k wall time: robust against scheduler noise on small boxes *)
+let best_of k f =
+  let best = ref infinity in
+  for _ = 1 to k do
+    let _, s = time f in
+    if s < !best then best := s
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* campaign throughput at increasing job counts *)
+
+let campaign_runs ~trials ~jobs_levels =
+  let cfg =
+    C.make_config ~mode:(C.Uniform 0) ~trials ~seed:1999 ~shrink:false ()
+  in
+  let baseline = ref None in
+  let runs, identical =
+    List.fold_left
+      (fun (runs, identical) jobs ->
+        ignore (C.run ~jobs cfg) (* warm-up: page in code and heap *);
+        let report = ref "" in
+        let seconds =
+          best_of 2 (fun () -> report := C.json_string (C.run ~jobs cfg))
+        in
+        let identical =
+          identical
+          &&
+          match !baseline with
+          | None ->
+              baseline := Some !report;
+              true
+          | Some b -> String.equal b !report
+        in
+        let tps = float_of_int trials /. seconds in
+        (runs @ [ (jobs, seconds, tps) ], identical))
+      ([], true) jobs_levels
+  in
+  let base_tps =
+    match runs with (_, _, tps) :: _ -> tps | [] -> nan
+  in
+  let run_json (jobs, seconds, tps) =
+    J.Obj
+      [ ("jobs", J.Int jobs)
+      ; ("seconds", J.Float seconds)
+      ; ("trials_per_sec", J.Float tps)
+      ; ("speedup_vs_jobs1", J.Float (tps /. base_tps))
+      ]
+  in
+  J.Obj
+    [ ( "org"
+      , J.Obj
+          [ ("words", J.Int cfg.C.org.Org.words)
+          ; ("bpw", J.Int cfg.C.org.Org.bpw)
+          ; ("bpc", J.Int cfg.C.org.Org.bpc)
+          ; ("spares", J.Int cfg.C.org.Org.spares)
+          ] )
+    ; ("trials", J.Int trials)
+    ; ("faults_per_trial", J.Int 0)
+    ; ("reports_identical_across_jobs", J.Bool identical)
+    ; ("runs", J.List (List.map run_json runs))
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* kernel microbenchmarks: fast path vs legacy per-cell machinery *)
+
+let kernel ~name ~variant ~ops ns =
+  J.Obj
+    [ ("name", J.String name)
+    ; ("variant", J.String variant)
+    ; ("ns_per_op", J.Float ns)
+    ; ("ops", J.Int ops)
+    ]
+
+let march_kernel ~fast =
+  let org = Org.make ~words:1024 ~bpw:4 ~bpc:4 ~spares:4 () in
+  let bgs = Datagen.required_backgrounds ~bpw:4 in
+  let m = Model.create org in
+  Model.set_fast_path m fast;
+  let reps = 5 in
+  let seconds =
+    best_of 3 (fun () ->
+        for _ = 1 to reps do
+          ignore (Engine.passes m Alg.ifa_9 ~backgrounds:bgs)
+        done)
+  in
+  let ops = reps * Engine.op_count Alg.ifa_9 org ~backgrounds:(List.length bgs) in
+  (seconds /. float_of_int ops *. 1e9, ops)
+
+let word_rw_kernel ~fast =
+  let org = Org.make ~words:4096 ~bpw:8 ~bpc:4 ~spares:4 () in
+  let m = Model.create org in
+  Model.set_fast_path m fast;
+  let w = Word.of_int ~width:8 0xA5 in
+  let reps = 20 in
+  let seconds =
+    best_of 3 (fun () ->
+        for _ = 1 to reps do
+          for a = 0 to org.Org.words - 1 do
+            Model.write_word m a w;
+            ignore (Model.read_word m a)
+          done
+        done)
+  in
+  let ops = reps * org.Org.words * 2 in
+  (seconds /. float_of_int ops *. 1e9, ops)
+
+let clear_kernel ~dirty =
+  (* dirty = full array written since last clear; clean = nothing
+     written, so the dirty-row clear is O(1) row scans *)
+  let org = Org.make ~words:4096 ~bpw:8 ~bpc:4 ~spares:4 () in
+  let m = Model.create org in
+  let w = Word.of_int ~width:8 0xFF in
+  let reps = 200 in
+  let seconds =
+    best_of 3 (fun () ->
+        for _ = 1 to reps do
+          if dirty then
+            for a = 0 to org.Org.words - 1 do
+              Model.write_word m a w
+            done;
+          Model.clear m
+        done)
+  in
+  (seconds /. float_of_int reps *. 1e9, reps)
+
+let kernels () =
+  let fast_ns, fast_ops = march_kernel ~fast:true in
+  let legacy_ns, legacy_ops = march_kernel ~fast:false in
+  let rw_fast_ns, rw_fast_ops = word_rw_kernel ~fast:true in
+  let rw_legacy_ns, rw_legacy_ops = word_rw_kernel ~fast:false in
+  let clear_clean_ns, clear_clean_ops = clear_kernel ~dirty:false in
+  let clear_dirty_ns, clear_dirty_ops = clear_kernel ~dirty:true in
+  ( J.List
+      [ kernel ~name:"ifa9_march_clean_4kb" ~variant:"fast" ~ops:fast_ops
+          fast_ns
+      ; kernel ~name:"ifa9_march_clean_4kb" ~variant:"legacy" ~ops:legacy_ops
+          legacy_ns
+      ; kernel ~name:"word_rw_clean_32kb" ~variant:"fast" ~ops:rw_fast_ops
+          rw_fast_ns
+      ; kernel ~name:"word_rw_clean_32kb" ~variant:"legacy" ~ops:rw_legacy_ops
+          rw_legacy_ns
+      ; kernel ~name:"clear_untouched_32kb" ~variant:"fast"
+          ~ops:clear_clean_ops clear_clean_ns
+      ; kernel ~name:"clear_after_full_write_32kb" ~variant:"fast"
+          ~ops:clear_dirty_ops clear_dirty_ns
+      ]
+  , J.Obj
+      [ ("ifa9_march_fast_vs_legacy", J.Float (legacy_ns /. fast_ns))
+      ; ("word_rw_fast_vs_legacy", J.Float (rw_legacy_ns /. rw_fast_ns))
+      ] )
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let out = ref "BENCH_campaign.json" in
+  let trials = ref 200 in
+  let rec parse = function
+    | [] -> ()
+    | "-o" :: path :: rest ->
+        out := path;
+        parse rest
+    | "--trials" :: n :: rest ->
+        trials := int_of_string n;
+        parse rest
+    | a :: _ ->
+        Printf.eprintf "bench_json: unknown argument %S\n" a;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let campaign = campaign_runs ~trials:!trials ~jobs_levels:[ 1; 2; 4 ] in
+  let kernels, derived = kernels () in
+  let doc =
+    J.Obj
+      [ ("schema", J.String "bisram-bench/1")
+      ; ( "machine"
+        , J.Obj
+            [ ("cores", J.Int (Pool.recommended_jobs ()))
+            ; ("ocaml", J.String Sys.ocaml_version)
+            ; ("word_size", J.Int Sys.word_size)
+            ] )
+      ; ("campaign", campaign)
+      ; ("kernels", kernels)
+      ; ("derived", derived)
+      ]
+  in
+  let oc = open_out !out in
+  output_string oc (J.to_pretty_string doc);
+  close_out oc;
+  Printf.printf "wrote %s\n" !out

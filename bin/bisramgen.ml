@@ -235,7 +235,12 @@ let retention_only_mix =
   }
 
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
-    mix max_seconds no_shrink max_rounds replay_seed fail_on_anomaly =
+    mix max_seconds no_shrink max_rounds jobs replay_seed fail_on_anomaly =
+  let jobs_result =
+    if jobs < 1 then
+      Error (Printf.sprintf "--jobs must be at least 1 (got %d)" jobs)
+    else Ok jobs
+  in
   let mix_result =
     match mix with
     | "default" -> Ok I.default_mix
@@ -257,9 +262,11 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
              "unknown mode %S (expected uniform, poisson or clustered)" s)
   in
   let cfg_result =
-    match (lookup_march march, mix_result, mode_result) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
-    | Ok m, Ok mix, Ok mode -> (
+    match (lookup_march march, mix_result, mode_result, jobs_result) with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
+    | _, _, _, Error e ->
+        Error e
+    | Ok m, Ok mix, Ok mode, Ok _ -> (
         match
           let org = Org.make ~spares ~words ~bpw ~bpc () in
           Campaign.make_config ~org ~march:m ~mix ~mode ~trials ~seed
@@ -291,7 +298,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
             t.Campaign.t_anomalies;
           if t.Campaign.t_anomalies = [] then 0 else 3
       | None ->
-          let r = Campaign.run cfg in
+          let r = Campaign.run ~jobs cfg in
           print_string (Campaign.pretty_json_string r);
           if
             fail_on_anomaly
@@ -370,6 +377,15 @@ let campaign_cmd =
       value & opt int 8
       & info [ "max-rounds" ] ~doc:"Iterated (2k-pass) repair round bound.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains running trials concurrently (at least 1; default \
+             1, fully sequential).  The report is byte-identical at any \
+             $(docv) for the same config and seed.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -390,7 +406,7 @@ let campaign_cmd =
     Term.(
       const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
       $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
-      $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg
+      $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
       $ replay_arg $ fail_arg)
   in
   Cmd.v

@@ -43,6 +43,10 @@ let run_general ram test ~backgrounds ~stop_at_first =
   (try
      List.iter
        (fun bg ->
+         (* hoisted out of the address loop: [lnot_] allocates, and the
+            complemented background is needed on every ~r/~w op of every
+            address — the engine's hottest allocation site *)
+         let bg_compl = Word.lnot_ bg in
          List.iteri
            (fun item_idx item ->
              match item with
@@ -53,11 +57,11 @@ let run_general ram test ~backgrounds ~stop_at_first =
                        (fun op_idx op ->
                          match op with
                          | March.W compl ->
-                             let w = if compl then Word.lnot_ bg else bg in
+                             let w = if compl then bg_compl else bg in
                              ram.write addr w
                          | March.R compl ->
                              let expected =
-                               if compl then Word.lnot_ bg else bg
+                               if compl then bg_compl else bg
                              in
                              let got = ram.read addr in
                              if not (Word.equal expected got) then begin

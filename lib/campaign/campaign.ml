@@ -311,12 +311,33 @@ let failure_of_anomaly cfg trial anomaly =
   ; f_shrunk = shrink_anomaly cfg anomaly trial.t_faults
   }
 
-let run ?(now = Unix.gettimeofday) cfg =
+let run ?now ?(jobs = 1) cfg =
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+  let now =
+    match now with Some f -> f | None -> Bisram_parallel.Clock.now
+  in
   let start = now () in
   let over_budget () =
     match cfg.max_seconds with
     | None -> false
     | Some s -> now () -. start >= s
+  in
+  (* Every trial already owns its derived seed, so trials are
+     independent and can run on any worker.  Shrinking runs inside the
+     worker too (it dominates the cost of a failing trial) and is a
+     deterministic function of the trial.  The merge below walks the
+     positional results in trial order, which keeps the report
+     byte-identical at every job count (budgeted runs excepted: where
+     the budget fires depends on timing at any job count). *)
+  let work index =
+    let trial = run_trial cfg ~index in
+    let failures =
+      List.map (fun a -> (a, failure_of_anomaly cfg trial a)) trial.t_anomalies
+    in
+    (trial, failures)
+  in
+  let completed =
+    Bisram_parallel.Pool.map ~jobs ~should_stop:over_budget cfg.trials work
   in
   let two_pass = ref empty_histogram in
   let iterated = ref empty_histogram in
@@ -324,28 +345,24 @@ let run ?(now = Unix.gettimeofday) cfg =
   let escapes = ref [] in
   let divergences = ref [] in
   let trials_run = ref 0 in
-  let truncated = ref false in
-  let index = ref 0 in
-  while !index < cfg.trials && not !truncated do
-    if over_budget () then truncated := true
-    else begin
-      let trial = run_trial cfg ~index:!index in
-      let v = trial.t_verdicts in
-      two_pass := count_outcome !two_pass v.controller;
-      iterated := count_outcome !iterated v.iterated;
-      Hashtbl.replace rounds v.rounds
-        (1 + Option.value ~default:0 (Hashtbl.find_opt rounds v.rounds));
-      List.iter
-        (fun anomaly ->
-          let f = failure_of_anomaly cfg trial anomaly in
-          match anomaly with
-          | Escape _ -> escapes := f :: !escapes
-          | Divergence _ -> divergences := f :: !divergences)
-        trial.t_anomalies;
-      incr trials_run;
-      incr index
-    end
-  done;
+  Array.iter
+    (fun slot ->
+      match slot with
+      | None -> ()
+      | Some (trial, failures) ->
+          let v = trial.t_verdicts in
+          two_pass := count_outcome !two_pass v.controller;
+          iterated := count_outcome !iterated v.iterated;
+          Hashtbl.replace rounds v.rounds
+            (1 + Option.value ~default:0 (Hashtbl.find_opt rounds v.rounds));
+          List.iter
+            (fun (anomaly, f) ->
+              match anomaly with
+              | Escape _ -> escapes := f :: !escapes
+              | Divergence _ -> divergences := f :: !divergences)
+            failures;
+          incr trials_run)
+    completed;
   let frac h =
     if !trials_run = 0 then 0.0
     else
@@ -353,7 +370,7 @@ let run ?(now = Unix.gettimeofday) cfg =
   in
   { config = cfg
   ; trials_run = !trials_run
-  ; truncated = !truncated
+  ; truncated = !trials_run < cfg.trials
   ; two_pass = !two_pass
   ; iterated = !iterated
   ; rounds =

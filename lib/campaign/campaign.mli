@@ -15,7 +15,8 @@
     isolation with {!replay}.  Failing fault sets are shrunk by greedy
     delta debugging ({!Shrink}) to minimal reproducers before they are
     reported.  The whole campaign is deterministic: the same config
-    yields a byte-identical JSON report. *)
+    yields a byte-identical JSON report, at any [jobs] count — trials
+    are fanned out over domains but merged in trial-index order. *)
 
 type mode =
   | Uniform of int  (** exactly n faults per trial *)
@@ -132,11 +133,21 @@ type result = {
           growth 1) *)
 }
 
-(** Run the campaign.  [now] (default [Unix.gettimeofday]) is only
-    consulted for the wall-clock budget; with [max_seconds = None] the
-    run is fully deterministic.  Partial results under a budget are
-    valid and flagged [truncated]. *)
-val run : ?now:(unit -> float) -> config -> result
+(** Run the campaign.  [now] (default {!Bisram_parallel.Clock.now}, a
+    monotonic clock immune to wall-time jumps) is only consulted for
+    the wall-clock budget; with [max_seconds = None] the run is fully
+    deterministic.  Partial results under a budget are valid and
+    flagged [truncated].
+
+    [jobs] (default 1: fully sequential, no domain spawned) fans the
+    trials out over that many domains via {!Bisram_parallel.Pool};
+    results are merged in trial-index order, so with no time budget
+    the report is byte-identical at every job count.  Under a budget,
+    which trials complete before the cutoff depends on timing at any
+    job count, including 1.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+val run : ?now:(unit -> float) -> ?jobs:int -> config -> result
 
 val analytic_yield : config -> float
 val to_json : result -> Report.t

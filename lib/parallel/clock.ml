@@ -1,0 +1,2 @@
+let now_ns () = Monotonic_clock.now ()
+let now () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,0 +1,10 @@
+(** Monotonic time, immune to wall-clock jumps (NTP steps, DST,
+    manual resets).  Backed by [CLOCK_MONOTONIC] via the
+    bechamel.monotonic_clock stub already used by the benchmarks. *)
+
+(** Seconds since an arbitrary fixed origin; strictly non-decreasing
+    within a process.  Only differences are meaningful. *)
+val now : unit -> float
+
+(** Nanoseconds since the same origin (the raw counter). *)
+val now_ns : unit -> int64

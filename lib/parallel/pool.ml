@@ -1,0 +1,54 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) n f =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
+  if n < 0 then invalid_arg "Pool.map: negative length";
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let stopped = Atomic.make false in
+  let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+    Atomic.make None
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      if Atomic.get stopped then continue := false
+      else begin
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= n then continue := false
+        else begin
+          let hi = min n (lo + chunk) in
+          let i = ref lo in
+          while !continue && !i < hi do
+            if should_stop () then begin
+              Atomic.set stopped true;
+              continue := false
+            end
+            else begin
+              (match f !i with
+              | v -> results.(!i) <- Some v
+              | exception e ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  ignore (Atomic.compare_and_set error None (Some (e, bt)));
+                  Atomic.set stopped true;
+                  continue := false);
+              incr i
+            end
+          done
+        end
+      end
+    done
+  in
+  (* never spawn more helpers than there are items left to hand out *)
+  let helpers =
+    List.init
+      (min (jobs - 1) (max 0 (n - 1)))
+      (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  (match Atomic.get error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  results

@@ -1,0 +1,40 @@
+(** A small domain-pool scheduler for embarrassingly parallel index
+    ranges (OCaml 5 [Domain] + [Atomic], no external dependency).
+
+    Work items are the indices [0 .. n-1].  Workers claim chunks of
+    consecutive indices from a shared atomic counter, so claims are
+    handed out in index order and the completed set under an early stop
+    is (with [chunk = 1] and one worker) an exact prefix.  Results are
+    returned positionally, which lets the caller merge them in input
+    order — the property the campaign relies on for byte-identical
+    reports at any job count. *)
+
+(** Upper bound the runtime considers useful for [jobs] on this
+    machine ({!Domain.recommended_domain_count}). *)
+val recommended_jobs : unit -> int
+
+(** [map ~jobs ~chunk ~should_stop n f] computes [f i] for [i] in
+    [0 .. n-1] on [jobs] workers ([jobs - 1] spawned domains plus the
+    calling one) and returns the results in index order.
+
+    [jobs] defaults to [1]: no domain is spawned and the calls happen
+    sequentially in the caller, in index order.  [chunk] (default [1])
+    is the number of consecutive indices a worker claims at a time.
+
+    [should_stop] (default [fun () -> false]) is polled before every
+    item; once it returns [true] no further item is started anywhere
+    (items already in flight complete), and the corresponding slots are
+    [None].  It may be called concurrently from every worker.
+
+    If any [f i] raises, the pool stops claiming work, waits for the
+    workers, and re-raises the first exception (with its backtrace) in
+    the caller.
+
+    @raise Invalid_argument if [jobs < 1], [chunk < 1] or [n < 0]. *)
+val map :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?should_stop:(unit -> bool) ->
+  int ->
+  (int -> 'a) ->
+  'a option array

@@ -7,6 +7,8 @@ type agg_effect =
 type t = {
   org : Org.t;
   ncells : int;
+  nrows : int;
+  cols : int;
   cells : Bytes.t;
   (* fault indices, one slot per physical cell *)
   mutable fault_list : F.t list;
@@ -21,14 +23,28 @@ type t = {
   mutable remap : (int -> int) option;
   mutable n_reads : int;
   mutable n_writes : int;
+  (* Fast-path bookkeeping.  [row_fault] marks every row on which any
+     fault machinery is armed (fault site, coupling aggressor or
+     victim); [row_written] marks rows whose data bytes may differ from
+     the power-up zeros.  [nfaults]/[nopens] are the armed totals, so
+     the all-clean test is a single integer compare. *)
+  mutable nfaults : int;
+  mutable nopens : int;
+  row_fault : Bytes.t;
+  row_written : Bytes.t;
+  mutable fast : bool; (* test seam: disable to force the legacy path *)
 }
 
 let org t = t.org
 
 let create org =
-  let ncells = Org.total_rows org * Org.cols org in
+  let nrows = Org.total_rows org in
+  let cols = Org.cols org in
+  let ncells = nrows * cols in
   { org
   ; ncells
+  ; nrows
+  ; cols
   ; cells = Bytes.make ncells '\000'
   ; fault_list = []
   ; pin = Array.make ncells None
@@ -42,54 +58,106 @@ let create org =
   ; remap = None
   ; n_reads = 0
   ; n_writes = 0
+  ; nfaults = 0
+  ; nopens = 0
+  ; row_fault = Bytes.make nrows '\000'
+  ; row_written = Bytes.make nrows '\000'
+  ; fast = true
   }
 
+let set_fast_path t on = t.fast <- on
+
 let idx t (c : F.cell) =
-  let cols = Org.cols t.org in
-  if c.F.row < 0 || c.F.row >= Org.total_rows t.org then
+  if c.F.row < 0 || c.F.row >= t.nrows then
     invalid_arg "Model: fault row out of range";
-  if c.F.col < 0 || c.F.col >= cols then
+  if c.F.col < 0 || c.F.col >= t.cols then
     invalid_arg "Model: fault col out of range";
-  (c.F.row * cols) + c.F.col
+  (c.F.row * t.cols) + c.F.col
 
 let stored t i = Bytes.get t.cells i <> '\000'
 let store t i v = Bytes.set t.cells i (if v then '\001' else '\000')
 
+let row_is_faulty t row = Bytes.unsafe_get t.row_fault row <> '\000'
+let mark_row_fault t row = Bytes.unsafe_set t.row_fault row '\001'
+let mark_row_written t row = Bytes.unsafe_set t.row_written row '\001'
+
 let clear t =
-  Bytes.fill t.cells 0 t.ncells '\000';
-  Array.iteri (fun i p -> match p with Some v -> store t i v | None -> ()) t.pin;
+  (* power-up fill, dirty rows only: a row holds non-zero bytes only if
+     it was written (or force-stored / decayed, which is confined to
+     fault-armed rows) since the previous clear *)
+  for row = 0 to t.nrows - 1 do
+    if
+      Bytes.unsafe_get t.row_written row <> '\000'
+      || Bytes.unsafe_get t.row_fault row <> '\000'
+    then begin
+      Bytes.fill t.cells (row * t.cols) t.cols '\000';
+      Bytes.unsafe_set t.row_written row '\000'
+    end
+  done;
+  (* re-assert pinned cells; list order matches the pin-array contents
+     (the last Stuck_at on a cell wins in both) *)
+  List.iter
+    (fun f -> match f with F.Stuck_at (c, v) -> store t (idx t c) v | _ -> ())
+    t.fault_list;
   Array.fill t.sense_residue 0 (Array.length t.sense_residue) false
 
 let set_faults t faults =
+  (* tear down the previous fault machinery, armed rows only *)
+  for row = 0 to t.nrows - 1 do
+    if Bytes.unsafe_get t.row_fault row <> '\000' then begin
+      let off = row * t.cols in
+      Array.fill t.pin off t.cols None;
+      Array.fill t.no_rise off t.cols false;
+      Array.fill t.no_fall off t.cols false;
+      Array.fill t.opens off t.cols false;
+      Array.fill t.retention off t.cols None;
+      Array.fill t.state_cpl off t.cols [];
+      Array.fill t.agg_effects off t.cols [];
+      Bytes.unsafe_set t.row_fault row '\000'
+    end
+  done;
   t.fault_list <- faults;
-  Array.fill t.pin 0 t.ncells None;
-  Array.fill t.no_rise 0 t.ncells false;
-  Array.fill t.no_fall 0 t.ncells false;
-  Array.fill t.opens 0 t.ncells false;
-  Array.fill t.retention 0 t.ncells None;
-  Array.fill t.state_cpl 0 t.ncells [];
-  Array.fill t.agg_effects 0 t.ncells [];
+  t.nfaults <- 0;
+  t.nopens <- 0;
   List.iter
     (fun f ->
-      match f with
-      | F.Stuck_at (c, v) -> t.pin.(idx t c) <- Some v
+      (match f with
+      | F.Stuck_at (c, v) ->
+          let i = idx t c in
+          mark_row_fault t c.F.row;
+          t.pin.(i) <- Some v
       | F.Transition (c, up) ->
-          if up then t.no_rise.(idx t c) <- true
-          else t.no_fall.(idx t c) <- true
-      | F.Stuck_open c -> t.opens.(idx t c) <- true
-      | F.Data_retention (c, v) -> t.retention.(idx t c) <- Some v
+          let i = idx t c in
+          mark_row_fault t c.F.row;
+          if up then t.no_rise.(i) <- true else t.no_fall.(i) <- true
+      | F.Stuck_open c ->
+          let i = idx t c in
+          mark_row_fault t c.F.row;
+          t.opens.(i) <- true;
+          t.nopens <- t.nopens + 1
+      | F.Data_retention (c, v) ->
+          let i = idx t c in
+          mark_row_fault t c.F.row;
+          t.retention.(i) <- Some v
       | F.Coupling_inversion { aggressor; victim } ->
-          let a = idx t aggressor in
-          t.agg_effects.(a) <- Invert (idx t victim) :: t.agg_effects.(a)
+          let a = idx t aggressor and v = idx t victim in
+          mark_row_fault t aggressor.F.row;
+          mark_row_fault t victim.F.row;
+          t.agg_effects.(a) <- Invert v :: t.agg_effects.(a)
       | F.Coupling_idempotent { aggressor; rising; victim; forces } ->
-          let a = idx t aggressor in
+          let a = idx t aggressor and v = idx t victim in
+          mark_row_fault t aggressor.F.row;
+          mark_row_fault t victim.F.row;
           t.agg_effects.(a) <-
-            Force { rising; victim = idx t victim; forces }
-            :: t.agg_effects.(a)
+            Force { rising; victim = v; forces } :: t.agg_effects.(a)
       | F.State_coupling { aggressor; when_state; victim; reads_as } ->
-          let v = idx t victim in
-          t.state_cpl.(v) <-
-            (idx t aggressor, when_state, reads_as) :: t.state_cpl.(v))
+          let a = idx t aggressor and v = idx t victim in
+          (* only the victim's reads are special; plain writes to the
+             aggressor stay on the fast path because the victim re-reads
+             the aggressor's stored state on every access *)
+          mark_row_fault t victim.F.row;
+          t.state_cpl.(v) <- (a, when_state, reads_as) :: t.state_cpl.(v));
+      t.nfaults <- t.nfaults + 1)
     faults;
   clear t
 
@@ -147,30 +215,54 @@ let check_word t w =
   if Word.width w <> t.org.Org.bpw then
     invalid_arg "Model: word width mismatch"
 
+(* A write lands on the fast path when the target row has no fault
+   machinery armed: no pins/transition/open faults to consult and no
+   aggressor effects to fire (aggressor rows are always marked). *)
 let write_phys t ~row ~col w =
   check_word t w;
-  if row < 0 || row >= Org.total_rows t.org then
-    invalid_arg "Model: row out of range";
+  if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
   if col < 0 || col >= t.org.Org.bpc then invalid_arg "Model: col out of range";
-  let cols = Org.cols t.org in
-  for bit = 0 to t.org.Org.bpw - 1 do
-    let c = Org.cell_col t.org ~col ~bit in
-    write_bit t ((row * cols) + c) (Word.get w bit)
-  done;
+  let bpc = t.org.Org.bpc in
+  if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then begin
+    let base = (row * t.cols) + col in
+    for bit = 0 to t.org.Org.bpw - 1 do
+      Bytes.unsafe_set t.cells
+        (base + (bit * bpc))
+        (if Word.get w bit then '\001' else '\000')
+    done
+  end
+  else
+    for bit = 0 to t.org.Org.bpw - 1 do
+      let c = Org.cell_col t.org ~col ~bit in
+      write_bit t ((row * t.cols) + c) (Word.get w bit)
+    done;
+  mark_row_written t row;
   t.n_writes <- t.n_writes + 1
 
+(* A read is fast when the row is clean AND no stuck-open fault exists
+   anywhere: the legacy path refreshes the per-I/O sense residue on
+   every read, which is observable only through an open cell, so with
+   [nopens = 0] skipping the refresh cannot change any later read. *)
 let read_phys t ~row ~col =
-  if row < 0 || row >= Org.total_rows t.org then
-    invalid_arg "Model: row out of range";
+  if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
   if col < 0 || col >= t.org.Org.bpc then invalid_arg "Model: col out of range";
-  let cols = Org.cols t.org in
-  let bits =
-    Array.init t.org.Org.bpw (fun bit ->
-        let c = Org.cell_col t.org ~col ~bit in
-        read_bit t ~io:bit ((row * cols) + c))
+  let bpc = t.org.Org.bpc in
+  let w =
+    if
+      t.fast
+      && (t.nfaults = 0 || (t.nopens = 0 && not (row_is_faulty t row)))
+    then begin
+      let base = (row * t.cols) + col in
+      Word.init t.org.Org.bpw (fun bit ->
+          Bytes.unsafe_get t.cells (base + (bit * bpc)) <> '\000')
+    end
+    else
+      Word.init t.org.Org.bpw (fun bit ->
+          let c = Org.cell_col t.org ~col ~bit in
+          read_bit t ~io:bit ((row * t.cols) + c))
   in
   t.n_reads <- t.n_reads + 1;
-  Word.of_bits bits
+  w
 
 let read_word t a =
   let row = physical_row t (Org.row_of_addr t.org a) in
@@ -183,13 +275,18 @@ let write_word t a w =
 let read_row_word t ~row ~col = read_phys t ~row ~col
 let write_row_word t ~row ~col w = write_phys t ~row ~col w
 
+(* Decay is confined to retention-faulty cells, so walking the armed
+   fault list replaces the legacy O(ncells) array scan; for several
+   retention faults on one cell the last one wins on both paths. *)
 let retention_wait t =
-  Array.iteri
-    (fun i decay ->
-      match decay with
-      | Some v -> if t.pin.(i) = None then store t i v
-      | None -> ())
-    t.retention
+  List.iter
+    (fun f ->
+      match f with
+      | F.Data_retention (c, v) ->
+          let i = idx t c in
+          if t.pin.(i) = None then store t i v
+      | _ -> ())
+    t.fault_list
 
 let reads t = t.n_reads
 let writes t = t.n_writes

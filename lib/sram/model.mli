@@ -42,5 +42,13 @@ val reads : t -> int
 val writes : t -> int
 
 (** Forget all stored data (power-up state: zeros, pinned cells at their
-    stuck value); counters and faults are preserved. *)
+    stuck value); counters and faults are preserved.  Only rows written
+    since the previous clear (plus fault-armed rows) are touched. *)
 val clear : t -> unit
+
+(** Testing seam: [set_fast_path t false] forces every access through
+    the legacy per-cell fault machinery, even on fault-free rows.  The
+    fast path (on by default) is observationally equivalent — the
+    [test_sram] qcheck property holds the two paths against each
+    other — so this is only for differential tests and benchmarks. *)
+val set_fast_path : t -> bool -> unit

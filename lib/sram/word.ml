@@ -4,6 +4,7 @@ let width t = Array.length t.bits
 let zero n = { bits = Array.make n false }
 let ones n = { bits = Array.make n true }
 let of_bits b = { bits = Array.copy b }
+let init n f = { bits = Array.init n f }
 let of_int ~width v = { bits = Array.init width (fun i -> (v lsr i) land 1 = 1) }
 
 let get t i =

@@ -8,6 +8,11 @@ val zero : int -> t
 val ones : int -> t
 val of_bits : bool array -> t
 
+(** [init n f] is the word whose bit [i] is [f i] — like
+    {!Array.init}, without the defensive copy of {!of_bits} (the
+    fault-free read fast path of {!Model} is built on it). *)
+val init : int -> (int -> bool) -> t
+
 (** Low [width] bits of an integer, bit 0 = LSB. *)
 val of_int : width:int -> int -> t
 

@@ -196,6 +196,25 @@ let test_unbudgeted_runs_all () =
   Alcotest.(check bool) "not truncated" false r.C.truncated;
   Alcotest.(check int) "all trials" 25 r.C.trials_run
 
+let test_jobs_byte_identical () =
+  (* ISSUE acceptance gate: the parallel report is byte-identical to the
+     sequential one, both on a clean run and on one with escapes (the
+     escape/divergence lists exercise the merge's index ordering) *)
+  let check_cfg name cfg =
+    let seq = C.json_string (C.run ~jobs:1 cfg) in
+    let par = C.json_string (C.run ~jobs:4 cfg) in
+    Alcotest.(check string) name seq par
+  in
+  check_cfg "clean mix, jobs=4 = jobs=1"
+    (C.make_config ~trials:40 ~seed:11 ~mode:(C.Uniform 2) ());
+  check_cfg "escaping mix, jobs=4 = jobs=1" (known_escape_config ~trials:20 ())
+
+let test_jobs_validation () =
+  let cfg = C.make_config ~trials:5 ~seed:1 () in
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Campaign.run: jobs must be >= 1") (fun () ->
+      ignore (C.run ~jobs:0 cfg))
+
 let test_rounds_histogram_totals () =
   let cfg = C.make_config ~trials:40 ~seed:13 ~mode:(C.Uniform 4) () in
   let r = C.run cfg in
@@ -311,6 +330,9 @@ let () =
             test_unbudgeted_runs_all
         ; Alcotest.test_case "rounds histogram totals" `Quick
             test_rounds_histogram_totals
+        ; Alcotest.test_case "parallel report byte-identical" `Quick
+            test_jobs_byte_identical
+        ; Alcotest.test_case "jobs validation" `Quick test_jobs_validation
         ; Alcotest.test_case "observed yield brackets analytic" `Slow
             test_yield_brackets_analytic
         ] )

@@ -1,0 +1,143 @@
+(* Tests for the domain-pool scheduler and the monotonic clock. *)
+
+module Pool = Bisram_parallel.Pool
+module Clock = Bisram_parallel.Clock
+
+let completed r = Array.to_list r |> List.filter_map Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* pool *)
+
+let test_empty_input () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check int)
+        "no slots" 0
+        (Array.length (Pool.map ~jobs 0 (fun i -> i))))
+    [ 1; 4 ]
+
+let test_one_item () =
+  Alcotest.(check (list int))
+    "single result" [ 10 ]
+    (completed (Pool.map ~jobs:4 1 (fun i -> (i + 1) * 10)))
+
+let test_more_chunks_than_workers () =
+  (* 57 items in chunks of 4 = 15 chunks over 3 workers *)
+  let n = 57 in
+  let r = Pool.map ~jobs:3 ~chunk:4 n (fun i -> i * i) in
+  Alcotest.(check int) "every slot filled" n (List.length (completed r));
+  Array.iteri
+    (fun i v -> Alcotest.(check (option int)) "in index order" (Some (i * i)) v)
+    r
+
+let test_sequential_runs_in_order () =
+  let order = ref [] in
+  let r =
+    Pool.map 5 (fun i ->
+        order := i :: !order;
+        i)
+  in
+  Alcotest.(check (list int))
+    "caller domain, index order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !order);
+  Alcotest.(check (list int)) "results positional" [ 0; 1; 2; 3; 4 ]
+    (completed r)
+
+let test_parallel_matches_sequential () =
+  let f i = (i * 37) mod 11 in
+  let seq = Pool.map 100 f in
+  let par = Pool.map ~jobs:4 ~chunk:7 100 f in
+  Alcotest.(check (list int)) "same results any job count" (completed seq)
+    (completed par)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs ~chunk:2 20 (fun i -> if i = 13 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "expected the worker exception to re-raise"
+      | exception Boom 13 -> ())
+    [ 1; 4 ]
+
+let test_should_stop_prefix () =
+  (* one worker, chunk 1: the poll sequence is deterministic, so
+     stopping after the 7th poll completes exactly the 7-trial prefix *)
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 7
+  in
+  let r = Pool.map ~jobs:1 ~should_stop:stop 50 (fun i -> i) in
+  Alcotest.(check (list int)) "exact prefix" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (completed r)
+
+let test_should_stop_parallel_halts () =
+  let stop () = true in
+  let r = Pool.map ~jobs:4 50 ~should_stop:stop (fun i -> i) in
+  Alcotest.(check (list int)) "nothing ran" [] (completed r)
+
+let test_validation () =
+  let bad f =
+    Alcotest.(check bool) "rejected" true
+      (match f () with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+  in
+  bad (fun () -> Pool.map ~jobs:0 3 (fun i -> i));
+  bad (fun () -> Pool.map ~chunk:0 3 (fun i -> i));
+  bad (fun () -> Pool.map (-1) (fun i -> i))
+
+let prop_pool_positional =
+  QCheck.Test.make ~name:"pool results are positional at any jobs/chunk"
+    ~count:60
+    QCheck.(triple (int_range 0 64) (int_range 1 6) (int_range 1 9))
+    (fun (n, jobs, chunk) ->
+      let r = Pool.map ~jobs ~chunk n (fun i -> i * 3) in
+      Array.length r = n
+      && Array.for_all Option.is_some r
+      && List.for_all (fun i -> r.(i) = Some (i * 3)) (List.init n Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* clock *)
+
+let test_clock_monotonic () =
+  let a = Clock.now () in
+  let b = Clock.now () in
+  let c = Clock.now () in
+  Alcotest.(check bool) "non-decreasing" true (a <= b && b <= c)
+
+let test_clock_ns_scale () =
+  let a = Clock.now_ns () in
+  let fa = Clock.now () in
+  (* the float view is the ns counter in seconds *)
+  Alcotest.(check bool) "same origin and scale" true
+    (fa >= Int64.to_float a /. 1e9)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool"
+      , [ Alcotest.test_case "empty input" `Quick test_empty_input
+        ; Alcotest.test_case "one item" `Quick test_one_item
+        ; Alcotest.test_case "more chunks than workers" `Quick
+            test_more_chunks_than_workers
+        ; Alcotest.test_case "sequential order" `Quick
+            test_sequential_runs_in_order
+        ; Alcotest.test_case "parallel matches sequential" `Quick
+            test_parallel_matches_sequential
+        ; Alcotest.test_case "worker exception propagates" `Quick
+            test_exception_propagates
+        ; Alcotest.test_case "should_stop prefix (sequential)" `Quick
+            test_should_stop_prefix
+        ; Alcotest.test_case "should_stop halts workers" `Quick
+            test_should_stop_parallel_halts
+        ; Alcotest.test_case "argument validation" `Quick test_validation
+        ; QCheck_alcotest.to_alcotest prop_pool_positional
+        ] )
+    ; ( "clock"
+      , [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic
+        ; Alcotest.test_case "ns scale" `Quick test_clock_ns_scale
+        ] )
+    ]

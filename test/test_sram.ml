@@ -271,6 +271,88 @@ let prop_model_rw_roundtrip =
       Model.write_word m addr w;
       Word.equal w (Model.read_word m addr))
 
+(* Differential check of the fault-free fast path against the legacy
+   per-cell machinery: same faults, same operation sequence, every read
+   and the access counters must agree — on fault-free arrays (n = 0)
+   and on random fault sets of every class, including spare rows. *)
+let prop_fast_path_equals_legacy =
+  QCheck.Test.make ~name:"fast path agrees with legacy path" ~count:150
+    QCheck.(pair (int_range 0 100_000) (int_range 0 6))
+    (fun (seed, n) ->
+      let module I = Bisram_faults.Injection in
+      let org = small () in
+      let rng = Random.State.make [| 0xFA57; seed |] in
+      let faults =
+        I.inject rng ~rows:(Org.total_rows org) ~cols:(Org.cols org)
+          ~mix:I.default_mix ~n
+      in
+      let spare = Org.rows org in
+      let ops =
+        List.init 250 (fun _ ->
+            match Random.State.int rng 10 with
+            | 0 -> `Wait
+            | 1 -> `Clear
+            | 2 -> `Spare_w (Random.State.int rng org.Org.spares,
+                             Random.State.int rng 256)
+            | 3 -> `Spare_r (Random.State.int rng org.Org.spares)
+            | 4 | 5 | 6 ->
+                `W (Random.State.int rng org.Org.words,
+                    Random.State.int rng 256)
+            | _ -> `R (Random.State.int rng org.Org.words))
+      in
+      let drive fast =
+        let m = Model.create org in
+        Model.set_fast_path m fast;
+        Model.set_faults m faults;
+        let log =
+          List.filter_map
+            (fun op ->
+              match op with
+              | `W (a, v) ->
+                  Model.write_word m a (Word.of_int ~width:8 v);
+                  None
+              | `R a -> Some (Word.to_string (Model.read_word m a))
+              | `Spare_w (k, v) ->
+                  Model.write_row_word m ~row:(spare + k) ~col:0
+                    (Word.of_int ~width:8 v);
+                  None
+              | `Spare_r k ->
+                  Some (Word.to_string (Model.read_row_word m ~row:(spare + k) ~col:0))
+              | `Wait ->
+                  Model.retention_wait m;
+                  None
+              | `Clear ->
+                  Model.clear m;
+                  None)
+            ops
+        in
+        (log, Model.reads m, Model.writes m)
+      in
+      drive true = drive false)
+
+let test_clear_touches_only_dirty_rows () =
+  (* behavioural check of the dirty-row invariant: after clear,
+     every cell reads zero again regardless of what was written,
+     including spare rows and pinned cells at their stuck value *)
+  let org = small () in
+  let m = Model.create org in
+  Model.set_faults m [ F.Stuck_at (cell 3 9, true) ];
+  for a = 0 to org.Org.words - 1 do
+    Model.write_word m a (Word.ones 8)
+  done;
+  Model.write_row_word m ~row:(Org.rows org) ~col:2 (Word.ones 8);
+  Model.clear m;
+  for a = 0 to org.Org.words - 1 do
+    let expected =
+      if a = 13 then Word.of_int ~width:8 0b100 (* pinned cell reads 1 *)
+      else Word.zero 8
+    in
+    Alcotest.check word (Printf.sprintf "addr %d cleared" a) expected
+      (Model.read_word m a)
+  done;
+  Alcotest.check word "spare row cleared" (Word.zero 8)
+    (Model.read_row_word m ~row:(Org.rows org) ~col:2)
+
 let () =
   Alcotest.run "sram"
     [ ( "org",
@@ -299,6 +381,9 @@ let () =
         ; Alcotest.test_case "remap" `Quick test_remap
         ; Alcotest.test_case "faulty spare" `Quick test_faulty_spare
         ; QCheck_alcotest.to_alcotest prop_model_rw_roundtrip
+        ; QCheck_alcotest.to_alcotest prop_fast_path_equals_legacy
+        ; Alcotest.test_case "clear covers dirty rows" `Quick
+            test_clear_touches_only_dirty_rows
         ] )
     ; ( "timing",
         [ Alcotest.test_case "magnitudes" `Quick test_timing_magnitudes
