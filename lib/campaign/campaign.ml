@@ -317,10 +317,15 @@ let run ?now ?(jobs = 1) cfg =
     match now with Some f -> f | None -> Bisram_parallel.Clock.now
   in
   let start = now () in
+  let caller = Domain.self () in
   let over_budget () =
-    match cfg.max_seconds with
-    | None -> false
-    | Some s -> now () -. start >= s
+    (* only the calling domain consults [now]; helper domains see the
+       pool's shared stop flag instead, so an impure [now] (e.g. a test
+       stub advancing a ref) never races across domains *)
+    Domain.self () = caller
+    && (match cfg.max_seconds with
+       | None -> false
+       | Some s -> now () -. start >= s)
   in
   (* Every trial already owns its derived seed, so trials are
      independent and can run on any worker.  Shrinking runs inside the
@@ -339,38 +344,47 @@ let run ?now ?(jobs = 1) cfg =
   let completed =
     Bisram_parallel.Pool.map ~jobs ~should_stop:over_budget cfg.trials work
   in
+  (* Under a budget, workers past the one that tripped the stop may have
+     completed trials beyond the first unfinished index, leaving holes.
+     Aggregate only the maximal contiguous prefix so a truncated report
+     means the same thing at every job count: exactly the trials
+     [0 .. trials_run - 1], as the sequential loop would produce. *)
+  let trials_run =
+    let n = Array.length completed in
+    let i = ref 0 in
+    while !i < n && Option.is_some completed.(!i) do
+      incr i
+    done;
+    !i
+  in
   let two_pass = ref empty_histogram in
   let iterated = ref empty_histogram in
   let rounds : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let escapes = ref [] in
   let divergences = ref [] in
-  let trials_run = ref 0 in
-  Array.iter
-    (fun slot ->
-      match slot with
-      | None -> ()
-      | Some (trial, failures) ->
-          let v = trial.t_verdicts in
-          two_pass := count_outcome !two_pass v.controller;
-          iterated := count_outcome !iterated v.iterated;
-          Hashtbl.replace rounds v.rounds
-            (1 + Option.value ~default:0 (Hashtbl.find_opt rounds v.rounds));
-          List.iter
-            (fun (anomaly, f) ->
-              match anomaly with
-              | Escape _ -> escapes := f :: !escapes
-              | Divergence _ -> divergences := f :: !divergences)
-            failures;
-          incr trials_run)
-    completed;
+  for i = 0 to trials_run - 1 do
+    match completed.(i) with
+    | None -> assert false (* inside the contiguous prefix *)
+    | Some (trial, failures) ->
+        let v = trial.t_verdicts in
+        two_pass := count_outcome !two_pass v.controller;
+        iterated := count_outcome !iterated v.iterated;
+        Hashtbl.replace rounds v.rounds
+          (1 + Option.value ~default:0 (Hashtbl.find_opt rounds v.rounds));
+        List.iter
+          (fun (anomaly, f) ->
+            match anomaly with
+            | Escape _ -> escapes := f :: !escapes
+            | Divergence _ -> divergences := f :: !divergences)
+          failures
+  done;
   let frac h =
-    if !trials_run = 0 then 0.0
-    else
-      float_of_int (h.passed_clean + h.repaired) /. float_of_int !trials_run
+    if trials_run = 0 then 0.0
+    else float_of_int (h.passed_clean + h.repaired) /. float_of_int trials_run
   in
   { config = cfg
-  ; trials_run = !trials_run
-  ; truncated = !trials_run < cfg.trials
+  ; trials_run
+  ; truncated = trials_run < cfg.trials
   ; two_pass = !two_pass
   ; iterated = !iterated
   ; rounds =

@@ -136,15 +136,21 @@ type result = {
 (** Run the campaign.  [now] (default {!Bisram_parallel.Clock.now}, a
     monotonic clock immune to wall-time jumps) is only consulted for
     the wall-clock budget; with [max_seconds = None] the run is fully
-    deterministic.  Partial results under a budget are valid and
-    flagged [truncated].
+    deterministic.  [now] is called from the calling domain only, even
+    when [jobs > 1], so it need not be safe to share across domains
+    (worker domains observe the stop through the pool's internal flag).
+    Partial results under a budget are valid and flagged [truncated].
 
     [jobs] (default 1: fully sequential, no domain spawned) fans the
     trials out over that many domains via {!Bisram_parallel.Pool};
     results are merged in trial-index order, so with no time budget
     the report is byte-identical at every job count.  Under a budget,
-    which trials complete before the cutoff depends on timing at any
-    job count, including 1.
+    {e how many} trials complete before the cutoff depends on timing at
+    any job count, including 1 — but the report always aggregates
+    exactly the contiguous prefix [0 .. trials_run - 1]: trials a
+    worker finished beyond the first unfinished index are discarded, so
+    a truncated report at [jobs = n] equals an unbudgeted sequential
+    run over its first [trials_run] trials.
 
     @raise Invalid_argument if [jobs < 1]. *)
 val run : ?now:(unit -> float) -> ?jobs:int -> config -> result

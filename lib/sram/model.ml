@@ -113,6 +113,12 @@ let set_faults t faults =
       Array.fill t.retention off t.cols None;
       Array.fill t.state_cpl off t.cols [];
       Array.fill t.agg_effects off t.cols [];
+      (* the row may hold non-zero bytes planted by the old config
+         without [row_written] being set (pin re-assertion in [clear],
+         retention decay, coupling force-stores), so flag it written:
+         once [row_fault] drops, only that flag makes the final [clear]
+         restore the power-up zeros *)
+      mark_row_written t row;
       Bytes.unsafe_set t.row_fault row '\000'
     end
   done;

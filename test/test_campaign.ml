@@ -190,6 +190,48 @@ let test_budget_partial () =
   Alcotest.(check bool) "truncated" true r.C.truncated;
   Alcotest.(check int) "three trials" 3 r.C.trials_run
 
+let test_budget_now_caller_only () =
+  (* the mli promises [now] is never called from a worker domain, so an
+     impure stub (like the refs above) cannot race when jobs > 1 *)
+  let caller = Domain.self () in
+  let foreign = Atomic.make false in
+  let now () =
+    if Domain.self () <> caller then Atomic.set foreign true;
+    0.0
+  in
+  let cfg = C.make_config ~trials:30 ~seed:7 ~max_seconds:1000.0 () in
+  ignore (C.run ~now ~jobs:4 cfg);
+  Alcotest.(check bool) "now confined to calling domain" false
+    (Atomic.get foreign)
+
+let test_budget_parallel_prefix_semantics () =
+  (* a truncated parallel report must aggregate exactly the contiguous
+     prefix [0 .. trials_run - 1]: whatever the cutoff landed on, the
+     counts equal an unbudgeted sequential run over that many trials *)
+  (* only the caller polls [now] (0.02s per poll, 0.12s budget), so it
+     stops after a handful of its own claims; 200 trials guarantee the
+     helpers cannot drain the queue first, so the caller's tripped
+     claim is a hole and the run is always truncated *)
+  let t = ref 0.0 in
+  let now () =
+    t := !t +. 0.02;
+    !t
+  in
+  let cfg =
+    { (known_escape_config ~trials:200 ()) with C.max_seconds = Some 0.12 }
+  in
+  let r = C.run ~now ~jobs:4 cfg in
+  Alcotest.(check bool) "truncated" true r.C.truncated;
+  let prefix =
+    C.run { cfg with C.trials = r.C.trials_run; C.max_seconds = None }
+  in
+  Alcotest.(check bool) "counts equal the sequential prefix run" true
+    (r.C.two_pass = prefix.C.two_pass
+    && r.C.iterated = prefix.C.iterated
+    && r.C.rounds = prefix.C.rounds
+    && r.C.escapes = prefix.C.escapes
+    && r.C.divergences = prefix.C.divergences)
+
 let test_unbudgeted_runs_all () =
   let cfg = C.make_config ~trials:25 ~seed:9 () in
   let r = C.run cfg in
@@ -326,6 +368,10 @@ let () =
         ; Alcotest.test_case "budget truncates" `Quick test_budget_truncates
         ; Alcotest.test_case "budget partial results" `Quick
             test_budget_partial
+        ; Alcotest.test_case "budget now confined to caller" `Quick
+            test_budget_now_caller_only
+        ; Alcotest.test_case "budget parallel prefix semantics" `Quick
+            test_budget_parallel_prefix_semantics
         ; Alcotest.test_case "unbudgeted runs all" `Quick
             test_unbudgeted_runs_all
         ; Alcotest.test_case "rounds histogram totals" `Quick

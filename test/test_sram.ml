@@ -192,6 +192,28 @@ let test_data_retention () =
   Alcotest.(check bool) "decays after wait" false (Word.get (Model.read_word m 13) 2);
   Alcotest.(check bool) "healthy bit holds" true (Word.get (Model.read_word m 13) 3)
 
+let test_set_faults_reuse_restores_powerup_zeros () =
+  (* Reusing one model across [set_faults] calls (as Coverage.evaluate
+     and Module_model.inject do): data planted by the old config — the
+     stuck-at pin re-asserted by [clear], retention decay, coupling
+     force-stores — must not leak into the new config.  Regression for
+     the teardown forgetting to flag previously armed rows as dirty. *)
+  let m = Model.create (small ()) in
+  Model.set_faults m [ F.Stuck_at (cell 3 9, true) ];
+  Alcotest.(check bool) "pin reads 1 under old config" true
+    (Word.get (Model.read_word m 13) 2);
+  (* second config on a different row; read row 3 without writing it *)
+  Model.set_faults m [ F.Transition (cell 1 0, true) ];
+  Alcotest.check word "old pinned row back to power-up zeros" (Word.zero 8)
+    (Model.read_word m 13);
+  (* same leak through retention decay: decay row 3, then re-arm *)
+  Model.set_faults m [ F.Data_retention (cell 3 9, true) ];
+  Model.retention_wait m;
+  Alcotest.(check bool) "decayed to 1" true (Word.get (Model.read_word m 13) 2);
+  Model.set_faults m [];
+  Alcotest.check word "decayed row back to power-up zeros" (Word.zero 8)
+    (Model.read_word m 13)
+
 let test_remap () =
   let org = small () in
   let m = Model.create org in
@@ -378,6 +400,8 @@ let () =
             test_coupling_idempotent
         ; Alcotest.test_case "state coupling" `Quick test_state_coupling
         ; Alcotest.test_case "data retention" `Quick test_data_retention
+        ; Alcotest.test_case "set_faults reuse restores power-up zeros"
+            `Quick test_set_faults_reuse_restores_powerup_zeros
         ; Alcotest.test_case "remap" `Quick test_remap
         ; Alcotest.test_case "faulty spare" `Quick test_faulty_spare
         ; QCheck_alcotest.to_alcotest prop_model_rw_roundtrip
