@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism bench-json ci clean
+.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke ci clean
 
 all: build
 
@@ -34,7 +34,15 @@ campaign-determinism: build
 bench-json: build
 	dune exec bench/bench_json.exe -- -o BENCH_campaign.json
 
-ci: build test campaign-smoke campaign-determinism
+# Wiring check for the bench harness itself: tiny trial/rep counts, a
+# throwaway output file (its numbers are noise by design — bench-json
+# is the one that regenerates the committed baseline).
+bench-smoke: build
+	dune exec bench/bench_json.exe -- --smoke -o .ci-bench-smoke.json
+	rm -f .ci-bench-smoke.json
+	@echo "bench-smoke: OK"
+
+ci: build test campaign-smoke campaign-determinism bench-smoke
 	@echo "ci: OK"
 
 clean:

@@ -8,7 +8,14 @@
    Every measurement is wall-clock via the monotonic clock; the
    machine's core count is recorded because parallel speedup is bounded
    by it (a 1-core container runs jobs=4 at ~1x, and that is the honest
-   number to store). *)
+   number to store).  Each kernel also records its minor-heap
+   allocation per op ([Gc.minor_words] delta — allocation is
+   deterministic, so a single sample is exact), which is the metric
+   the packed word/row representation is meant to drive to zero.
+
+   --smoke shrinks trials/reps to a few-second run for CI wiring
+   checks; its numbers are noise, so it refuses to overwrite the
+   committed baseline unless -o points elsewhere. *)
 
 module C = Bisram_campaign.Campaign
 module J = Bisram_campaign.Report
@@ -21,6 +28,8 @@ module Datagen = Bisram_bist.Datagen
 module Clock = Bisram_parallel.Clock
 module Pool = Bisram_parallel.Pool
 
+let smoke = ref false
+
 let time f =
   let t0 = Clock.now () in
   let r = f () in
@@ -28,12 +37,19 @@ let time f =
 
 (* best-of-k wall time: robust against scheduler noise on small boxes *)
 let best_of k f =
+  let k = if !smoke then 1 else k in
   let best = ref infinity in
   for _ = 1 to k do
     let _, s = time f in
     if s < !best then best := s
   done;
   !best
+
+(* minor-heap words allocated by one run of [f] *)
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
 
 (* ------------------------------------------------------------------ *)
 (* campaign throughput at increasing job counts *)
@@ -92,46 +108,53 @@ let campaign_runs ~trials ~jobs_levels =
 (* ------------------------------------------------------------------ *)
 (* kernel microbenchmarks: fast path vs legacy per-cell machinery *)
 
-let kernel ~name ~variant ~ops ns =
+type kmeasure = { ns_per_op : float; ops : int; minor_words_per_op : float }
+
+let kernel ~name ~variant m =
   J.Obj
     [ ("name", J.String name)
     ; ("variant", J.String variant)
-    ; ("ns_per_op", J.Float ns)
-    ; ("ops", J.Int ops)
+    ; ("ns_per_op", J.Float m.ns_per_op)
+    ; ("ops", J.Int m.ops)
+    ; ("minor_words_per_op", J.Float m.minor_words_per_op)
     ]
+
+let measure ~ops f =
+  let seconds = best_of 3 f in
+  let mw = minor_words_of f in
+  { ns_per_op = seconds /. float_of_int ops *. 1e9
+  ; ops
+  ; minor_words_per_op = mw /. float_of_int ops
+  }
 
 let march_kernel ~fast =
   let org = Org.make ~words:1024 ~bpw:4 ~bpc:4 ~spares:4 () in
   let bgs = Datagen.required_backgrounds ~bpw:4 in
   let m = Model.create org in
   Model.set_fast_path m fast;
-  let reps = 5 in
-  let seconds =
-    best_of 3 (fun () ->
-        for _ = 1 to reps do
-          ignore (Engine.passes m Alg.ifa_9 ~backgrounds:bgs)
-        done)
+  let reps = if !smoke then 1 else 5 in
+  let ops =
+    reps * Engine.op_count Alg.ifa_9 org ~backgrounds:(List.length bgs)
   in
-  let ops = reps * Engine.op_count Alg.ifa_9 org ~backgrounds:(List.length bgs) in
-  (seconds /. float_of_int ops *. 1e9, ops)
+  measure ~ops (fun () ->
+      for _ = 1 to reps do
+        ignore (Engine.passes m Alg.ifa_9 ~backgrounds:bgs)
+      done)
 
 let word_rw_kernel ~fast =
   let org = Org.make ~words:4096 ~bpw:8 ~bpc:4 ~spares:4 () in
   let m = Model.create org in
   Model.set_fast_path m fast;
   let w = Word.of_int ~width:8 0xA5 in
-  let reps = 20 in
-  let seconds =
-    best_of 3 (fun () ->
-        for _ = 1 to reps do
-          for a = 0 to org.Org.words - 1 do
-            Model.write_word m a w;
-            ignore (Model.read_word m a)
-          done
-        done)
-  in
+  let reps = if !smoke then 2 else 20 in
   let ops = reps * org.Org.words * 2 in
-  (seconds /. float_of_int ops *. 1e9, ops)
+  measure ~ops (fun () ->
+      for _ = 1 to reps do
+        for a = 0 to org.Org.words - 1 do
+          Model.write_word m a w;
+          ignore (Model.read_word m a)
+        done
+      done)
 
 let clear_kernel ~dirty =
   (* dirty = full array written since last clear; clean = nothing
@@ -139,9 +162,9 @@ let clear_kernel ~dirty =
   let org = Org.make ~words:4096 ~bpw:8 ~bpc:4 ~spares:4 () in
   let m = Model.create org in
   let w = Word.of_int ~width:8 0xFF in
-  let reps = 200 in
-  let seconds =
-    best_of 3 (fun () ->
+  let reps = if !smoke then 10 else 200 in
+  let m' =
+    measure ~ops:reps (fun () ->
         for _ = 1 to reps do
           if dirty then
             for a = 0 to org.Org.words - 1 do
@@ -150,63 +173,78 @@ let clear_kernel ~dirty =
           Model.clear m
         done)
   in
-  (seconds /. float_of_int reps *. 1e9, reps)
+  (* ns_per_op for this kernel means ns per clear *)
+  m'
 
 let kernels () =
-  let fast_ns, fast_ops = march_kernel ~fast:true in
-  let legacy_ns, legacy_ops = march_kernel ~fast:false in
-  let rw_fast_ns, rw_fast_ops = word_rw_kernel ~fast:true in
-  let rw_legacy_ns, rw_legacy_ops = word_rw_kernel ~fast:false in
-  let clear_clean_ns, clear_clean_ops = clear_kernel ~dirty:false in
-  let clear_dirty_ns, clear_dirty_ops = clear_kernel ~dirty:true in
+  let fast = march_kernel ~fast:true in
+  let legacy = march_kernel ~fast:false in
+  let rw_fast = word_rw_kernel ~fast:true in
+  let rw_legacy = word_rw_kernel ~fast:false in
+  let clear_clean = clear_kernel ~dirty:false in
+  let clear_dirty = clear_kernel ~dirty:true in
   ( J.List
-      [ kernel ~name:"ifa9_march_clean_4kb" ~variant:"fast" ~ops:fast_ops
-          fast_ns
-      ; kernel ~name:"ifa9_march_clean_4kb" ~variant:"legacy" ~ops:legacy_ops
-          legacy_ns
-      ; kernel ~name:"word_rw_clean_32kb" ~variant:"fast" ~ops:rw_fast_ops
-          rw_fast_ns
-      ; kernel ~name:"word_rw_clean_32kb" ~variant:"legacy" ~ops:rw_legacy_ops
-          rw_legacy_ns
-      ; kernel ~name:"clear_untouched_32kb" ~variant:"fast"
-          ~ops:clear_clean_ops clear_clean_ns
-      ; kernel ~name:"clear_after_full_write_32kb" ~variant:"fast"
-          ~ops:clear_dirty_ops clear_dirty_ns
+      [ kernel ~name:"ifa9_march_clean_4kb" ~variant:"fast" fast
+      ; kernel ~name:"ifa9_march_clean_4kb" ~variant:"legacy" legacy
+      ; kernel ~name:"word_rw_clean_32kb" ~variant:"fast" rw_fast
+      ; kernel ~name:"word_rw_clean_32kb" ~variant:"legacy" rw_legacy
+      ; kernel ~name:"clear_untouched_32kb" ~variant:"fast" clear_clean
+      ; kernel ~name:"clear_after_full_write_32kb" ~variant:"fast" clear_dirty
       ]
   , J.Obj
-      [ ("ifa9_march_fast_vs_legacy", J.Float (legacy_ns /. fast_ns))
-      ; ("word_rw_fast_vs_legacy", J.Float (rw_legacy_ns /. rw_fast_ns))
+      [ ( "ifa9_march_fast_vs_legacy"
+        , J.Float (legacy.ns_per_op /. fast.ns_per_op) )
+      ; ( "word_rw_fast_vs_legacy"
+        , J.Float (rw_legacy.ns_per_op /. rw_fast.ns_per_op) )
       ] )
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let out = ref "BENCH_campaign.json" in
+  let out_set = ref false in
   let trials = ref 200 in
+  let trials_set = ref false in
   let rec parse = function
     | [] -> ()
     | "-o" :: path :: rest ->
         out := path;
+        out_set := true;
         parse rest
     | "--trials" :: n :: rest ->
         trials := int_of_string n;
+        trials_set := true;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
         parse rest
     | a :: _ ->
         Printf.eprintf "bench_json: unknown argument %S\n" a;
         exit 1
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let campaign = campaign_runs ~trials:!trials ~jobs_levels:[ 1; 2; 4 ] in
+  if !smoke then begin
+    if not !trials_set then trials := 20;
+    if not !out_set then begin
+      Printf.eprintf
+        "bench_json: --smoke numbers are noise; pass -o to write them \
+         somewhere other than the committed baseline\n";
+      exit 1
+    end
+  end;
+  let jobs_levels = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let campaign = campaign_runs ~trials:!trials ~jobs_levels in
   let kernels, derived = kernels () in
   let doc =
     J.Obj
-      [ ("schema", J.String "bisram-bench/1")
+      [ ("schema", J.String "bisram-bench/2")
       ; ( "machine"
         , J.Obj
             [ ("cores", J.Int (Pool.recommended_jobs ()))
             ; ("ocaml", J.String Sys.ocaml_version)
             ; ("word_size", J.Int Sys.word_size)
             ] )
+      ; ("smoke", J.Bool !smoke)
       ; ("campaign", campaign)
       ; ("kernels", kernels)
       ; ("derived", derived)

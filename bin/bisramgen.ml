@@ -171,6 +171,12 @@ let do_selftest process words bpw bpc spares drive strap march nfaults seed_opt 
   | Error e ->
       Printf.eprintf "bisramgen: %s\n" e;
       1
+  | Ok cfg when not (Org.simulable cfg.Config.org) ->
+      Printf.eprintf
+        "bisramgen: selftest simulates the RAM word-by-word, which needs bpw \
+         <= %d (got %d); wider organizations are compile-only\n"
+        Bisram_sram.Word.max_width cfg.Config.org.Org.bpw;
+      1
   | Ok cfg ->
       let org = cfg.Config.org in
       (* no --seed: draw one from the system and print it, so any run
@@ -197,6 +203,20 @@ let do_selftest process words bpw bpc spares drive strap march nfaults seed_opt 
       (match outcome with Repair.Repair_unsuccessful _ -> 2 | _ -> 0)
 
 let selftest_cmd =
+  (* selftest simulates every word access, so its defaults are a
+     simulable organization (bpw <= Word.max_width), independent of
+     compile's datasheet defaults *)
+  let st_words =
+    Arg.(value & opt int 4096 & info [ "w"; "words" ] ~doc:"Number of words.")
+  in
+  let st_bpw =
+    Arg.(
+      value & opt int 32
+      & info [ "bpw" ] ~doc:"Bits per word (power of two, at most 62).")
+  in
+  let st_bpc =
+    Arg.(value & opt int 8 & info [ "bpc" ] ~doc:"Bits per column.")
+  in
   let nfaults_arg =
     Arg.(value & opt int 2 & info [ "n"; "faults" ] ~doc:"Faults to inject.")
   in
@@ -211,7 +231,7 @@ let selftest_cmd =
   in
   let term =
     Term.(
-      const do_selftest $ process_arg $ words_arg $ bpw_arg $ bpc_arg
+      const do_selftest $ process_arg $ st_words $ st_bpw $ st_bpc
       $ spares_arg $ drive_arg $ strap_arg $ march_arg $ nfaults_arg $ seed_arg)
   in
   Cmd.v
@@ -237,8 +257,9 @@ let retention_only_mix =
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     mix max_seconds no_shrink max_rounds jobs replay_seed fail_on_anomaly =
   let jobs_result =
-    if jobs < 1 then
-      Error (Printf.sprintf "--jobs must be at least 1 (got %d)" jobs)
+    if jobs < 0 then
+      Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = auto-detect)" jobs)
+    else if jobs = 0 then Ok (Bisram_parallel.Pool.recommended_jobs ())
     else Ok jobs
   in
   let mix_result =
@@ -266,20 +287,23 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
     | _, _, _, Error e ->
         Error e
-    | Ok m, Ok mix, Ok mode, Ok _ -> (
+    | Ok m, Ok mix, Ok mode, Ok jobs -> (
         match
           let org = Org.make ~spares ~words ~bpw ~bpc () in
           Campaign.make_config ~org ~march:m ~mix ~mode ~trials ~seed
             ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
         with
-        | cfg -> Ok cfg
+        (* the resolved job count stays out of the config: the report
+           must not depend on the machine the campaign happened to
+           run on *)
+        | cfg -> Ok (cfg, jobs)
         | exception Invalid_argument e -> Error e)
   in
   match cfg_result with
   | Error e ->
       Printf.eprintf "bisramgen: %s\n" e;
       1
-  | Ok cfg -> (
+  | Ok (cfg, jobs) -> (
       match replay_seed with
       | Some rseed ->
           let t = Campaign.replay cfg ~seed:rseed in
@@ -382,9 +406,10 @@ let campaign_cmd =
       value & opt int 1
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Worker domains running trials concurrently (at least 1; default \
-             1, fully sequential).  The report is byte-identical at any \
-             $(docv) for the same config and seed.")
+            "Worker domains running trials concurrently (default 1, fully \
+             sequential; 0 auto-detects the machine's recommended domain \
+             count).  The report is byte-identical at any $(docv) for the \
+             same config and seed.")
   in
   let replay_arg =
     Arg.(

@@ -77,6 +77,8 @@ type t = {
   test : March.t;
   words : int;
   backgrounds : Word.t list;
+      (* empty for layout-only controllers ({!compile_layout}) *)
+  n_backgrounds : int;
   states : sdef array;
   idle : int;
   done_ok : int;
@@ -89,9 +91,13 @@ let reset_action = function
   | March.Down -> Addr_reset_down
   | March.Up | March.Either -> Addr_reset_up
 
-let compile test ~words ~backgrounds =
+(* The FSM layout depends only on the march test; backgrounds enter as
+   a loop whose trip count is [n_backgrounds], so layout-only flows
+   (wide words that the packed simulator cannot represent) compile with
+   the count alone and an empty value list. *)
+let compile_gen test ~words ~backgrounds ~n_backgrounds =
   if words <= 0 then invalid_arg "Controller.compile: words";
-  if backgrounds = [] then invalid_arg "Controller.compile: no backgrounds";
+  if n_backgrounds < 1 then invalid_arg "Controller.compile: no backgrounds";
   let items = Array.of_list test.March.items in
   let n_items = Array.length items in
   if n_items = 0 then invalid_arg "Controller.compile: empty march";
@@ -239,7 +245,14 @@ let compile test ~words ~backgrounds =
   Array.iter
     (fun s -> List.iter (fun a -> assert (is_work_action a)) s.work)
     states;
-  { test; words; backgrounds; states; idle; done_ok; fail }
+  { test; words; backgrounds; n_backgrounds; states; idle; done_ok; fail }
+
+let compile test ~words ~backgrounds =
+  compile_gen test ~words ~backgrounds
+    ~n_backgrounds:(List.length backgrounds)
+
+let compile_layout test ~words ~n_backgrounds =
+  compile_gen test ~words ~backgrounds:[] ~n_backgrounds
 
 let state_count t = Array.length t.states
 
@@ -266,6 +279,8 @@ type datapath = {
 }
 
 let make_datapath t model hooks =
+  if t.backgrounds = [] then
+    invalid_arg "Controller.run: layout-only controller (no backgrounds)";
   Model.clear model;
   { model
   ; hooks
@@ -338,7 +353,7 @@ let finish t dp state cycles =
 
 let cycle_budget t =
   let per_pass =
-    March.ops_per_address t.test * t.words * List.length t.backgrounds
+    March.ops_per_address t.test * t.words * t.n_backgrounds
   in
   (8 * (per_pass + 100) * 2) + 1000
 

@@ -37,6 +37,14 @@ type t
 val compile :
   March.t -> words:int -> backgrounds:Bisram_sram.Word.t list -> t
 
+(** Like {!compile} but with only the background {e count}: the FSM
+    layout, PLA image and reports never consult the background values.
+    For wide-word organizations ([bpw > Word.max_width]) whose
+    backgrounds cannot be represented as packed words — layout/area
+    flows only.  {!run}/{!run_via_pla} raise [Invalid_argument] on the
+    result. *)
+val compile_layout : March.t -> words:int -> n_backgrounds:int -> t
+
 val state_count : t -> int
 val flipflop_count : t -> int
 

@@ -1,23 +1,24 @@
 module Word = Bisram_sram.Word
 
-type t = { bpw : int; mutable state : bool array }
+(* Packed Johnson counter: bit i of [state] is stage i.  One step is
+   two shifts and a mask — no per-stage work, no allocation. *)
+type t = { bpw : int; mask : int; mutable state : int }
 
 let create ~bpw =
   if bpw <= 0 then invalid_arg "Datagen.create: bpw must be positive";
-  { bpw; state = Array.make bpw false }
+  if bpw > Word.max_width then
+    invalid_arg
+      (Printf.sprintf "Datagen.create: bpw %d exceeds Word.max_width (%d)"
+         bpw Word.max_width);
+  { bpw; mask = (1 lsl bpw) - 1; state = 0 }
 
 let bpw t = t.bpw
-let reset t = t.state <- Array.make t.bpw false
-let state t = Word.of_bits t.state
+let reset t = t.state <- 0
+let state t = Word.of_int ~width:t.bpw t.state
 
 let step t =
-  let n = t.bpw in
-  let next = Array.make n false in
-  next.(0) <- not t.state.(n - 1);
-  for i = 1 to n - 1 do
-    next.(i) <- t.state.(i - 1)
-  done;
-  t.state <- next
+  let msb = (t.state lsr (t.bpw - 1)) land 1 in
+  t.state <- ((t.state lsl 1) lor (1 - msb)) land t.mask
 
 let required_count ~bpw = (bpw / 2) + 1
 

@@ -12,6 +12,8 @@
 
 type t
 
+(** @raise Invalid_argument unless [0 < bpw <= Word.max_width]: the
+    counter state is packed into one native int, like {!Word}. *)
 val create : bpw:int -> t
 val bpw : t -> int
 

@@ -52,31 +52,44 @@ let run_general ram test ~backgrounds ~stop_at_first =
              match item with
              | March.Wait -> ram.retention_wait ()
              | March.Elem { order; ops } ->
+                 (* per-element op table, resolved against the current
+                    background once: the address loop walks a flat array
+                    instead of re-running List.iteri closures, so it
+                    allocates nothing per address *)
+                 let n_ops = List.length ops in
+                 let is_write = Array.make n_ops false in
+                 let op_word = Array.make n_ops bg in
+                 List.iteri
+                   (fun i op ->
+                     match op with
+                     | March.W compl ->
+                         is_write.(i) <- true;
+                         if compl then op_word.(i) <- bg_compl
+                     | March.R compl ->
+                         if compl then op_word.(i) <- bg_compl)
+                   ops;
                  iter_addresses ram.words order (fun addr ->
-                     List.iteri
-                       (fun op_idx op ->
-                         match op with
-                         | March.W compl ->
-                             let w = if compl then bg_compl else bg in
-                             ram.write addr w
-                         | March.R compl ->
-                             let expected =
-                               if compl then bg_compl else bg
-                             in
-                             let got = ram.read addr in
-                             if not (Word.equal expected got) then begin
-                               failures :=
-                                 { background = bg
-                                 ; item = item_idx
-                                 ; op = op_idx
-                                 ; addr
-                                 ; expected
-                                 ; got
-                                 }
-                                 :: !failures;
-                               if stop_at_first then raise Stop
-                             end)
-                       ops))
+                     for op_idx = 0 to n_ops - 1 do
+                       let w = Array.unsafe_get op_word op_idx in
+                       if Array.unsafe_get is_write op_idx then
+                         ram.write addr w
+                       else begin
+                         let got = ram.read addr in
+                         (* packed words: an int compare *)
+                         if not (Word.equal w got) then begin
+                           failures :=
+                             { background = bg
+                             ; item = item_idx
+                             ; op = op_idx
+                             ; addr
+                             ; expected = w
+                             ; got
+                             }
+                             :: !failures;
+                           if stop_at_first then raise Stop
+                         end
+                       end
+                     done))
            test.March.items)
        backgrounds
    with Stop -> ());

@@ -41,11 +41,11 @@ let transformed_ops_per_address test =
   in
   match final_phase items with Some true -> base + 1 | Some false | None -> base
 
-(* A rotate-and-xor MISR over read words. *)
+(* A rotate-and-xor MISR over read words: the packed word value feeds
+   the signature directly (no string hashing, no allocation). *)
 let misr_step sig_ w =
   let rot = ((sig_ lsl 1) lor (sig_ lsr 61)) land ((1 lsl 62) - 1) in
-  let h = Hashtbl.hash (Word.to_string w) in
-  rot lxor h
+  rot lxor Word.to_int w
 
 let iter_addresses n order f =
   match order with

@@ -36,6 +36,8 @@ let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
     match march with Some m -> m | None -> Bisram_bist.Algorithms.ifa_9
   in
   Injection.validate_mix mix;
+  if not (Org.simulable org) then
+    invalid_arg "Campaign.make_config: organization is not simulable (bpw too wide)";
   if trials < 0 then invalid_arg "Campaign.make_config: trials";
   (match mode with
   | Uniform n when n < 0 -> invalid_arg "Campaign.make_config: faults"

@@ -26,7 +26,7 @@ let phase_name = function
 let patterns org =
   let bpw = org.Org.bpw in
   let zero = Word.zero bpw and ones = Word.ones bpw in
-  let alt = Word.of_bits (Array.init bpw (fun i -> i land 1 = 0)) in
+  let alt = Word.init bpw (fun i -> i land 1 = 0) in
   let alt' = Word.lnot_ alt in
   [ ("all-0", fun _ -> zero)
   ; ("all-1", fun _ -> ones)

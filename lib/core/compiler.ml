@@ -2,6 +2,7 @@ module Org = Bisram_sram.Org
 module Timing = Bisram_sram.Timing
 module Model = Bisram_sram.Model
 module Controller = Bisram_bist.Controller
+module Datagen = Bisram_bist.Datagen
 module Trpla = Bisram_bist.Trpla
 module March = Bisram_bist.March
 module Tlb_timing = Bisram_bisr.Tlb_timing
@@ -100,9 +101,17 @@ let area_report cfg macros floorplan ~base_module_mm2 =
 
 let compile cfg =
   let org = cfg.Config.org in
-  let backgrounds = Config.backgrounds cfg in
+  (* Wide-word organizations (bpw > Word.max_width) are layout-only:
+     their backgrounds cannot be represented as packed words, but the
+     controller needs only the background count to compile. *)
+  let n_backgrounds = Datagen.required_count ~bpw:org.Org.bpw in
   let controller =
-    Controller.compile cfg.Config.march ~words:org.Org.words ~backgrounds
+    if Org.simulable org then
+      Controller.compile cfg.Config.march ~words:org.Org.words
+        ~backgrounds:(Config.backgrounds cfg)
+    else
+      Controller.compile_layout cfg.Config.march ~words:org.Org.words
+        ~n_backgrounds
   in
   let pla = Controller.to_pla controller in
   let macros = Macros.generate cfg ~pla in
@@ -142,10 +151,10 @@ let compile cfg =
     ; flipflops = Controller.flipflop_count controller
     ; pla_terms = Trpla.term_count pla
     ; pla_transistors = Trpla.transistor_count pla
-    ; backgrounds = List.length backgrounds
+    ; backgrounds = n_backgrounds
     ; test_ops =
         2 * March.ops_per_address cfg.Config.march * org.Org.words
-        * List.length backgrounds
+        * n_backgrounds
     }
   in
   { config = cfg; macros; controller; pla; floorplan; area; timing; ctl_report }

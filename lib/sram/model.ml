@@ -9,6 +9,14 @@ type t = {
   ncells : int;
   nrows : int;
   cols : int;
+  bpc : int;
+  bpw : int;
+  (* Packed fast-path store: one int per (row, col-mux) word, bit [b]
+     of slot [row * bpc + col] = cell (row, b*bpc + col).  Authoritative
+     for every row without armed fault machinery while [fast] is on. *)
+  packed : int array;
+  (* Legacy byte-per-cell store: authoritative for fault-armed rows
+     (and for every row when [fast] is off). *)
   cells : Bytes.t;
   (* fault indices, one slot per physical cell *)
   mutable fault_list : F.t list;
@@ -25,9 +33,9 @@ type t = {
   mutable n_writes : int;
   (* Fast-path bookkeeping.  [row_fault] marks every row on which any
      fault machinery is armed (fault site, coupling aggressor or
-     victim); [row_written] marks rows whose data bytes may differ from
-     the power-up zeros.  [nfaults]/[nopens] are the armed totals, so
-     the all-clean test is a single integer compare. *)
+     victim); [row_written] marks rows whose data may differ from the
+     power-up zeros.  [nfaults]/[nopens] are the armed totals, so the
+     all-clean test is a single integer compare. *)
   mutable nfaults : int;
   mutable nopens : int;
   row_fault : Bytes.t;
@@ -38,6 +46,12 @@ type t = {
 let org t = t.org
 
 let create org =
+  if not (Org.simulable org) then
+    invalid_arg
+      (Printf.sprintf
+         "Model.create: bpw %d exceeds the packed simulator's %d-bit words \
+          (layout-only flows accept it; simulation does not)"
+         org.Org.bpw Word.max_width);
   let nrows = Org.total_rows org in
   let cols = Org.cols org in
   let ncells = nrows * cols in
@@ -45,6 +59,9 @@ let create org =
   ; ncells
   ; nrows
   ; cols
+  ; bpc = org.Org.bpc
+  ; bpw = org.Org.bpw
+  ; packed = Array.make (nrows * org.Org.bpc) 0
   ; cells = Bytes.make ncells '\000'
   ; fault_list = []
   ; pin = Array.make ncells None
@@ -65,8 +82,6 @@ let create org =
   ; fast = true
   }
 
-let set_fast_path t on = t.fast <- on
-
 let idx t (c : F.cell) =
   if c.F.row < 0 || c.F.row >= t.nrows then
     invalid_arg "Model: fault row out of range";
@@ -74,15 +89,75 @@ let idx t (c : F.cell) =
     invalid_arg "Model: fault col out of range";
   (c.F.row * t.cols) + c.F.col
 
-let stored t i = Bytes.get t.cells i <> '\000'
-let store t i v = Bytes.set t.cells i (if v then '\001' else '\000')
-
 let row_is_faulty t row = Bytes.unsafe_get t.row_fault row <> '\000'
 let mark_row_fault t row = Bytes.unsafe_set t.row_fault row '\001'
 let mark_row_written t row = Bytes.unsafe_set t.row_written row '\001'
 
+(* A cell's data lives in [packed] iff its row is in the fast regime.
+   Rows change regime only inside [set_faults] (whose trailing [clear]
+   wipes both stores back to power-up zeros) and [set_fast_path] (which
+   migrates the data), so the two stores never disagree. *)
+let row_in_packed t row = t.fast && not (row_is_faulty t row)
+
+(* Cell-granular access used by the legacy fault machinery.  Regime
+   aware: a State_coupling victim re-reads its aggressor's stored
+   state, and the aggressor may sit on a clean (packed) row. *)
+let stored t i =
+  let row = i / t.cols in
+  if row_in_packed t row then begin
+    let c = i - (row * t.cols) in
+    let col = c mod t.bpc and bit = c / t.bpc in
+    (Array.unsafe_get t.packed ((row * t.bpc) + col) lsr bit) land 1 = 1
+  end
+  else Bytes.get t.cells i <> '\000'
+
+let store t i v =
+  let row = i / t.cols in
+  if row_in_packed t row then begin
+    let c = i - (row * t.cols) in
+    let col = c mod t.bpc and bit = c / t.bpc in
+    let slot = (row * t.bpc) + col in
+    let cur = Array.unsafe_get t.packed slot in
+    Array.unsafe_set t.packed slot
+      (if v then cur lor (1 lsl bit) else cur land lnot (1 lsl bit))
+  end
+  else Bytes.set t.cells i (if v then '\001' else '\000')
+
+let set_fast_path t on =
+  if on <> t.fast then begin
+    (* migrate every clean row between the two stores so the regime
+       switch is observationally silent (fault-armed rows already live
+       in the byte store on both sides) *)
+    for row = 0 to t.nrows - 1 do
+      if not (row_is_faulty t row) then
+        for col = 0 to t.bpc - 1 do
+          let slot = (row * t.bpc) + col in
+          let base = (row * t.cols) + col in
+          if on then begin
+            let v = ref 0 in
+            for bit = 0 to t.bpw - 1 do
+              if Bytes.unsafe_get t.cells (base + (bit * t.bpc)) <> '\000'
+              then v := !v lor (1 lsl bit);
+              Bytes.unsafe_set t.cells (base + (bit * t.bpc)) '\000'
+            done;
+            t.packed.(slot) <- !v
+          end
+          else begin
+            let v = t.packed.(slot) in
+            for bit = 0 to t.bpw - 1 do
+              Bytes.unsafe_set t.cells
+                (base + (bit * t.bpc))
+                (if (v lsr bit) land 1 = 1 then '\001' else '\000')
+            done;
+            t.packed.(slot) <- 0
+          end
+        done
+    done;
+    t.fast <- on
+  end
+
 let clear t =
-  (* power-up fill, dirty rows only: a row holds non-zero bytes only if
+  (* power-up fill, dirty rows only: a row holds non-zero data only if
      it was written (or force-stored / decayed, which is confined to
      fault-armed rows) since the previous clear *)
   for row = 0 to t.nrows - 1 do
@@ -91,6 +166,7 @@ let clear t =
       || Bytes.unsafe_get t.row_fault row <> '\000'
     then begin
       Bytes.fill t.cells (row * t.cols) t.cols '\000';
+      Array.fill t.packed (row * t.bpc) t.bpc 0;
       Bytes.unsafe_set t.row_written row '\000'
     end
   done;
@@ -218,54 +294,44 @@ let physical_row t row =
   match t.remap with None -> row | Some f -> f row
 
 let check_word t w =
-  if Word.width w <> t.org.Org.bpw then
-    invalid_arg "Model: word width mismatch"
+  if Word.width w <> t.bpw then invalid_arg "Model: word width mismatch"
 
 (* A write lands on the fast path when the target row has no fault
    machinery armed: no pins/transition/open faults to consult and no
-   aggressor effects to fire (aggressor rows are always marked). *)
+   aggressor effects to fire (aggressor rows are always marked).  The
+   packed store makes it a single array store of the word's int. *)
 let write_phys t ~row ~col w =
   check_word t w;
   if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
-  if col < 0 || col >= t.org.Org.bpc then invalid_arg "Model: col out of range";
-  let bpc = t.org.Org.bpc in
-  if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then begin
-    let base = (row * t.cols) + col in
-    for bit = 0 to t.org.Org.bpw - 1 do
-      Bytes.unsafe_set t.cells
-        (base + (bit * bpc))
-        (if Word.get w bit then '\001' else '\000')
-    done
-  end
-  else
-    for bit = 0 to t.org.Org.bpw - 1 do
-      let c = Org.cell_col t.org ~col ~bit in
-      write_bit t ((row * t.cols) + c) (Word.get w bit)
-    done;
+  if col < 0 || col >= t.bpc then invalid_arg "Model: col out of range";
+  (if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then
+     Array.unsafe_set t.packed ((row * t.bpc) + col) (Word.to_int w)
+   else
+     for bit = 0 to t.bpw - 1 do
+       write_bit t ((row * t.cols) + (bit * t.bpc) + col) (Word.get w bit)
+     done);
   mark_row_written t row;
   t.n_writes <- t.n_writes + 1
 
 (* A read is fast when the row is clean AND no stuck-open fault exists
    anywhere: the legacy path refreshes the per-I/O sense residue on
    every read, which is observable only through an open cell, so with
-   [nopens = 0] skipping the refresh cannot change any later read. *)
+   [nopens = 0] skipping the refresh cannot change any later read.
+   The fast case is a single array load; [of_int] re-masks, which is
+   free on an already-packed value. *)
 let read_phys t ~row ~col =
   if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
-  if col < 0 || col >= t.org.Org.bpc then invalid_arg "Model: col out of range";
-  let bpc = t.org.Org.bpc in
+  if col < 0 || col >= t.bpc then invalid_arg "Model: col out of range";
   let w =
     if
       t.fast
       && (t.nfaults = 0 || (t.nopens = 0 && not (row_is_faulty t row)))
-    then begin
-      let base = (row * t.cols) + col in
-      Word.init t.org.Org.bpw (fun bit ->
-          Bytes.unsafe_get t.cells (base + (bit * bpc)) <> '\000')
-    end
+    then Word.of_int ~width:t.bpw (Array.unsafe_get t.packed ((row * t.bpc) + col))
     else
-      Word.init t.org.Org.bpw (fun bit ->
-          let c = Org.cell_col t.org ~col ~bit in
-          read_bit t ~io:bit ((row * t.cols) + c))
+      (* [Word.init] applies f in increasing bit order, preserving the
+         per-I/O sense-residue update sequence of the legacy path *)
+      Word.init t.bpw (fun bit ->
+          read_bit t ~io:bit ((row * t.cols) + (bit * t.bpc) + col))
   in
   t.n_reads <- t.n_reads + 1;
   w

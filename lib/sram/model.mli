@@ -3,10 +3,21 @@
     The model covers the regular rows plus the spare rows, a per-I/O
     sense-amplifier residue (needed for the stuck-open read model), an
     optional row remap installed by the BISR logic, and a retention
-    "wait" operation for IFA-9 data-retention testing. *)
+    "wait" operation for IFA-9 data-retention testing.
+
+    Storage is split by regime.  Rows with no armed fault machinery
+    live in a packed store — one native int per (row, column-mux)
+    word — so a clean-array access is a single array load/store of
+    {!Word.to_int}/{!Word.of_int}.  Fault-armed rows live in a legacy
+    byte-per-cell store driven by the per-cell fault machinery.  A row
+    changes regime only inside {!set_faults} (whose trailing {!clear}
+    restores power-up zeros in both stores) and {!set_fast_path}
+    (which migrates the data), so the stores never disagree. *)
 
 type t
 
+(** @raise Invalid_argument when the organization is not
+    {!Org.simulable} (bpw > [Word.max_width]). *)
 val create : Org.t -> t
 val org : t -> Org.t
 

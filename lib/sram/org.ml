@@ -36,6 +36,14 @@ let cell_col t ~col ~bit =
   if bit < 0 || bit >= t.bpw then invalid_arg "Org.cell_col: bad bit";
   (bit * t.bpc) + col
 
+(* The behavioural simulator (Model/Word/Datagen) packs a word into one
+   native int, so it only accepts organizations with bpw <= Word.max_width.
+   Layout-only flows (compile, area, timing, power) have no such bound:
+   the paper's Fig. 6/7 modules use bpw = 128/256 and never simulate
+   word accesses, which is why the guard lives at Model.create rather
+   than here. *)
+let simulable t = t.bpw <= Word.max_width
+
 let equal (a : t) b = a = b
 
 let pp ppf t =

@@ -46,5 +46,11 @@ val addr_of : t -> row:int -> col:int -> int
     of mux position [c] sits at column [i*bpc + c]. *)
 val cell_col : t -> col:int -> bit:int -> int
 
+(** Whether the behavioural simulator accepts this organization:
+    [bpw <= Word.max_width] (62).  Layout/area/timing flows carry no
+    such bound — the paper's Fig. 6/7 modules (bpw = 128/256) compile
+    but are never word-simulated.  {!Model.create} enforces this. *)
+val simulable : t -> bool
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

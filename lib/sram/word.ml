@@ -1,35 +1,68 @@
-type t = { bits : bool array }
+(* Packed bitvector: bit i of the word is bit i of [v].  The invariant
+   [v land lnot (mask width) = 0] is maintained by every constructor, so
+   [equal] and the BIST engine's expected-vs-got check reduce to a
+   native integer compare and no operation allocates beyond its small
+   result record. *)
 
-let width t = Array.length t.bits
-let zero n = { bits = Array.make n false }
-let ones n = { bits = Array.make n true }
-let of_bits b = { bits = Array.copy b }
-let init n f = { bits = Array.init n f }
-let of_int ~width v = { bits = Array.init width (fun i -> (v lsr i) land 1 = 1) }
+type t = { width : int; v : int }
+
+(* 62 keeps [1 lsl width] and [mask width] inside OCaml's 63-bit
+   tagged int on 64-bit platforms (mask 62 = max_int). *)
+let max_width = 62
+
+let check_width n =
+  if n < 0 || n > max_width then
+    invalid_arg
+      (Printf.sprintf "Word: width %d out of range (0..%d)" n max_width)
+
+let mask n = (1 lsl n) - 1
+
+let width t = t.width
+let zero n = check_width n; { width = n; v = 0 }
+let ones n = check_width n; { width = n; v = mask n }
+
+let of_int ~width v =
+  check_width width;
+  { width; v = v land mask width }
+
+let to_int t = t.v
+
+let init n f =
+  check_width n;
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    if f i then v := !v lor (1 lsl i)
+  done;
+  { width = n; v = !v }
+
+let of_bits b = init (Array.length b) (Array.get b)
 
 let get t i =
-  if i < 0 || i >= width t then invalid_arg "Word.get";
-  t.bits.(i)
+  if i < 0 || i >= t.width then invalid_arg "Word.get";
+  (t.v lsr i) land 1 = 1
 
-let set t i v =
-  if i < 0 || i >= width t then invalid_arg "Word.set";
-  let b = Array.copy t.bits in
-  b.(i) <- v;
-  { bits = b }
+let set t i b =
+  if i < 0 || i >= t.width then invalid_arg "Word.set";
+  { t with v = (if b then t.v lor (1 lsl i) else t.v land lnot (1 lsl i)) }
 
-let lnot_ t = { bits = Array.map not t.bits }
-let equal a b = a.bits = b.bits
-let to_bits t = Array.copy t.bits
+let lnot_ t = { t with v = lnot t.v land mask t.width }
+
+let equal a b =
+  if a.width <> b.width then invalid_arg "Word.equal: width mismatch";
+  a.v = b.v
+
+let to_bits t = Array.init t.width (fun i -> (t.v lsr i) land 1 = 1)
 
 let diff a b =
-  if width a <> width b then invalid_arg "Word.diff: width mismatch";
+  if a.width <> b.width then invalid_arg "Word.diff: width mismatch";
+  let x = a.v lxor b.v in
   let out = ref [] in
-  for i = width a - 1 downto 0 do
-    if a.bits.(i) <> b.bits.(i) then out := i :: !out
+  for i = a.width - 1 downto 0 do
+    if (x lsr i) land 1 = 1 then out := i :: !out
   done;
   !out
 
 let to_string t =
-  String.init (width t) (fun i -> if t.bits.(i) then '1' else '0')
+  String.init t.width (fun i -> if (t.v lsr i) land 1 = 1 then '1' else '0')
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

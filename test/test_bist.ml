@@ -146,6 +146,19 @@ let test_half_cycle_pairwise_coverage () =
     done
   done
 
+let test_datagen_width_guard () =
+  (* the counter packs its state into one native int, like Word *)
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check int) "max_width accepted" Word.max_width
+    (Datagen.bpw (Datagen.create ~bpw:Word.max_width));
+  Alcotest.(check bool) "64 rejected" true
+    (raises (fun () -> Datagen.create ~bpw:64));
+  Alcotest.(check bool) "0 rejected" true
+    (raises (fun () -> Datagen.create ~bpw:0))
+
 let prop_johnson_period =
   QCheck.Test.make ~name:"johnson counter period = 2*bpw" ~count:20
     QCheck.(int_range 1 32)
@@ -566,6 +579,7 @@ let () =
             test_required_backgrounds
         ; Alcotest.test_case "pairwise coverage" `Quick
             test_half_cycle_pairwise_coverage
+        ; Alcotest.test_case "width guard" `Quick test_datagen_width_guard
         ; QCheck_alcotest.to_alcotest prop_johnson_period
         ] )
     ; ( "trpla",

@@ -65,6 +65,66 @@ let test_word_set () =
   Alcotest.(check bool) "functional update" false (Word.get w 2);
   Alcotest.(check bool) "new value" true (Word.get w' 2)
 
+let test_word_width_bounds () =
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  (* max_width itself is fine, one past it is not *)
+  Alcotest.check word "ones at max_width"
+    (Word.of_int ~width:Word.max_width max_int)
+    (Word.ones Word.max_width);
+  Alcotest.(check int) "max_width packs to max_int" max_int
+    (Word.to_int (Word.ones Word.max_width));
+  Alcotest.(check bool) "width 63 rejected" true
+    (raises (fun () -> Word.zero (Word.max_width + 1)));
+  Alcotest.(check bool) "negative width rejected" true
+    (raises (fun () -> Word.zero (-1)));
+  (* width mismatch is a caller bug, not inequality *)
+  Alcotest.(check bool) "equal raises on width mismatch" true
+    (raises (fun () -> Word.equal (Word.zero 4) (Word.zero 5)));
+  Alcotest.(check bool) "diff raises on width mismatch" true
+    (raises (fun () -> Word.diff (Word.zero 4) (Word.zero 5)))
+
+(* Every Word operation checked against a bool-array reference model,
+   across the full width range including the 62-bit boundary.  The
+   packed representation's masking discipline (no stray high bits, so
+   [equal] can be a plain int compare) is exactly what this pins. *)
+let prop_word_vs_reference =
+  QCheck.Test.make ~name:"packed word agrees with bool-array reference"
+    ~count:500
+    QCheck.(quad (int_range 1 62) int int small_nat)
+    (fun (width, v1, v2, i) ->
+      let i = i mod width in
+      let ref_of v = Array.init width (fun b -> (v lsr b) land 1 = 1) in
+      let r1 = ref_of v1 and r2 = ref_of v2 in
+      let w1 = Word.of_int ~width v1 and w2 = Word.of_int ~width v2 in
+      let agree w r = Word.to_bits w = r in
+      agree w1 r1 && agree w2 r2
+      (* init/of_bits/to_bits roundtrip *)
+      && agree (Word.init width (Array.get r1)) r1
+      && agree (Word.of_bits r1) r1
+      && Word.width w1 = width
+      (* get / functional set *)
+      && Word.get w1 i = r1.(i)
+      && agree (Word.set w1 i true) (Array.mapi (fun b x -> b = i || x) r1)
+      && agree (Word.set w1 i false) (Array.mapi (fun b x -> b <> i && x) r1)
+      (* complement *)
+      && agree (Word.lnot_ w1) (Array.map not r1)
+      (* equality = array equality at the same width *)
+      && Word.equal w1 w2 = (r1 = r2)
+      (* diff = mismatching positions, ascending *)
+      && Word.diff w1 w2
+         = List.filter (fun b -> r1.(b) <> r2.(b))
+             (List.init width (fun b -> b))
+      (* string form, bit 0 first *)
+      && Word.to_string w1
+         = String.init width (fun b -> if r1.(b) then '1' else '0')
+      (* to_int inverts of_int under the width mask *)
+      && Word.to_int w1 = v1 land ((1 lsl width) - 1)
+      && agree (Word.zero width) (Array.make width false)
+      && agree (Word.ones width) (Array.make width true))
+
 (* ------------------------------------------------------------------ *)
 (* Model: fault-free behaviour *)
 
@@ -97,6 +157,19 @@ let test_model_clear () =
   Model.write_word m 5 (Word.ones 8);
   Model.clear m;
   Alcotest.check word "cleared" (Word.zero 8) (Model.read_word m 5)
+
+let test_model_rejects_unsimulable_org () =
+  (* bpw = 64 is a legal organization (layout flows accept it) but
+     exceeds the packed simulator's word width *)
+  let o = Org.make ~words:64 ~bpw:64 ~bpc:4 () in
+  Alcotest.(check bool) "org constructs" true (Org.bits o = 4096);
+  Alcotest.(check bool) "not simulable" false (Org.simulable o);
+  Alcotest.(check bool) "simulable at 32" true
+    (Org.simulable (Org.make ~words:64 ~bpw:32 ~bpc:4 ()));
+  Alcotest.(check bool) "Model.create rejects it" true
+    (match Model.create o with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Model: fault behaviour.  Bit 2 of mux col 1 = physical column 2*4+1=9. *)
@@ -352,6 +425,80 @@ let prop_fast_path_equals_legacy =
       in
       drive true = drive false)
 
+(* Same differential with the BISR remap in the loop: ops install and
+   remove logical-to-spare row translations mid-stream, plus fast-path
+   toggles (exercising the packed<->byte store migration), so reads
+   through a remap of clean and faulty rows must agree byte for byte
+   with the legacy machinery. *)
+let prop_fast_path_equals_legacy_remap =
+  QCheck.Test.make ~name:"fast path agrees with legacy path under remap"
+    ~count:150
+    QCheck.(pair (int_range 0 100_000) (int_range 0 5))
+    (fun (seed, n) ->
+      let module I = Bisram_faults.Injection in
+      let org = small () in
+      let rng = Random.State.make [| 0x4E4A; seed |] in
+      let faults =
+        I.inject rng ~rows:(Org.total_rows org) ~cols:(Org.cols org)
+          ~mix:I.default_mix ~n
+      in
+      let spare = Org.rows org in
+      let ops =
+        List.init 300 (fun _ ->
+            match Random.State.int rng 12 with
+            | 0 -> `Wait
+            | 1 -> `Clear
+            | 2 ->
+                `Remap
+                  ( Random.State.int rng (Org.rows org)
+                  , Random.State.int rng org.Org.spares )
+            | 3 -> `Unmap
+            | 4 -> `Toggle
+            | 5 | 6 | 7 ->
+                `W (Random.State.int rng org.Org.words,
+                    Random.State.int rng 256)
+            | _ -> `R (Random.State.int rng org.Org.words))
+      in
+      let drive fast =
+        let m = Model.create org in
+        Model.set_fast_path m fast;
+        Model.set_faults m faults;
+        let on = ref fast in
+        let log =
+          List.filter_map
+            (fun op ->
+              match op with
+              | `W (a, v) ->
+                  Model.write_word m a (Word.of_int ~width:8 v);
+                  None
+              | `R a -> Some (Word.to_string (Model.read_word m a))
+              | `Remap (r, k) ->
+                  Model.set_remap m
+                    (Some (fun row -> if row = r then spare + k else row));
+                  None
+              | `Unmap ->
+                  Model.set_remap m None;
+                  None
+              | `Toggle ->
+                  (* only meaningful in the fast-driven model: the
+                     legacy-driven one stays legacy throughout *)
+                  if fast then begin
+                    on := not !on;
+                    Model.set_fast_path m !on
+                  end;
+                  None
+              | `Wait ->
+                  Model.retention_wait m;
+                  None
+              | `Clear ->
+                  Model.clear m;
+                  None)
+            ops
+        in
+        (log, Model.reads m, Model.writes m)
+      in
+      drive true = drive false)
+
 let test_clear_touches_only_dirty_rows () =
   (* behavioural check of the dirty-row invariant: after clear,
      every cell reads zero again regardless of what was written,
@@ -386,12 +533,16 @@ let () =
     ; ( "word",
         [ Alcotest.test_case "basics" `Quick test_word_basics
         ; Alcotest.test_case "set" `Quick test_word_set
+        ; Alcotest.test_case "width bounds" `Quick test_word_width_bounds
+        ; QCheck_alcotest.to_alcotest prop_word_vs_reference
         ] )
     ; ( "model",
         [ Alcotest.test_case "read/write" `Quick test_model_rw
         ; Alcotest.test_case "independence" `Quick
             test_model_all_addresses_independent
         ; Alcotest.test_case "clear" `Quick test_model_clear
+        ; Alcotest.test_case "rejects unsimulable org" `Quick
+            test_model_rejects_unsimulable_org
         ; Alcotest.test_case "stuck-at" `Quick test_stuck_at
         ; Alcotest.test_case "transition" `Quick test_transition_fault
         ; Alcotest.test_case "stuck-open" `Quick test_stuck_open
@@ -406,6 +557,7 @@ let () =
         ; Alcotest.test_case "faulty spare" `Quick test_faulty_spare
         ; QCheck_alcotest.to_alcotest prop_model_rw_roundtrip
         ; QCheck_alcotest.to_alcotest prop_fast_path_equals_legacy
+        ; QCheck_alcotest.to_alcotest prop_fast_path_equals_legacy_remap
         ; Alcotest.test_case "clear covers dirty rows" `Quick
             test_clear_touches_only_dirty_rows
         ] )
