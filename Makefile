@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke ci clean
+.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke trace-smoke ci clean
 
 all: build
 
@@ -42,7 +42,19 @@ bench-smoke: build
 	rm -f .ci-bench-smoke.json
 	@echo "bench-smoke: OK"
 
-ci: build test campaign-smoke campaign-determinism bench-smoke
+# Telemetry wiring check: a tiny instrumented campaign must produce a
+# well-formed Chrome trace and metrics file with the always-present
+# keys (trial spans, campaign/model/pool counters, cycle histogram).
+trace-smoke: build
+	dune exec bin/bisramgen.exe -- campaign --trials 6 --seed 11 --jobs 2 \
+	  --trace .ci-trace-smoke.trace.json \
+	  --metrics .ci-trace-smoke.metrics.json > /dev/null
+	dune exec bench/trace_check.exe -- --trace .ci-trace-smoke.trace.json \
+	  --metrics .ci-trace-smoke.metrics.json
+	rm -f .ci-trace-smoke.trace.json .ci-trace-smoke.metrics.json
+	@echo "trace-smoke: OK"
+
+ci: build test campaign-smoke campaign-determinism bench-smoke trace-smoke
 	@echo "ci: OK"
 
 clean:

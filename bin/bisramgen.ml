@@ -19,6 +19,9 @@ module I = Bisram_faults.Injection
 module Repair = Bisram_bisr.Repair
 module Floorplan = Bisram_pr.Floorplan
 module Campaign = Bisram_campaign.Campaign
+module Obs = Bisram_obs.Obs
+module Obs_export = Bisram_obs.Export
+module Json = Bisram_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments *)
@@ -254,8 +257,32 @@ let retention_only_mix =
   ; data_retention = 1.0
   }
 
+(* Telemetry runs around the campaign, never inside its report: the
+   trace/metrics/stats artifacts are written to their own files (or
+   stderr), and stdout still carries the byte-identical JSON report. *)
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let export_telemetry ~trace ~metrics ~stats =
+  let snap = Obs.snapshot () in
+  (match trace with
+  | None -> ()
+  | Some path ->
+      write_file path (Json.to_pretty_string (Obs_export.chrome_trace_json snap));
+      Printf.eprintf "wrote trace %s (load in Perfetto / chrome://tracing)\n"
+        path);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      write_file path (Json.to_pretty_string (Obs_export.metrics_json snap));
+      Printf.eprintf "wrote metrics %s\n" path);
+  if stats then prerr_string (Obs_export.stats_table snap)
+
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
-    mix max_seconds no_shrink max_rounds jobs replay_seed fail_on_anomaly =
+    mix max_seconds no_shrink max_rounds jobs trace metrics stats replay_seed
+    fail_on_anomaly =
   let jobs_result =
     if jobs < 0 then
       Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = auto-detect)" jobs)
@@ -304,6 +331,15 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
       Printf.eprintf "bisramgen: %s\n" e;
       1
   | Ok (cfg, jobs) -> (
+      let telemetry = trace <> None || metrics <> None || stats in
+      if telemetry then begin
+        Obs.set_enabled true;
+        Obs.reset ()
+      end;
+      let finish code =
+        if telemetry then export_telemetry ~trace ~metrics ~stats;
+        code
+      in
       match replay_seed with
       | Some rseed ->
           let t = Campaign.replay cfg ~seed:rseed in
@@ -320,15 +356,16 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
                   shrunk
               end)
             t.Campaign.t_anomalies;
-          if t.Campaign.t_anomalies = [] then 0 else 3
+          finish (if t.Campaign.t_anomalies = [] then 0 else 3)
       | None ->
           let r = Campaign.run ~jobs cfg in
           print_string (Campaign.pretty_json_string r);
-          if
-            fail_on_anomaly
-            && (r.Campaign.escapes <> [] || r.Campaign.divergences <> [])
-          then 3
-          else 0)
+          finish
+            (if
+               fail_on_anomaly
+               && (r.Campaign.escapes <> [] || r.Campaign.divergences <> [])
+             then 3
+             else 0))
 
 let campaign_cmd =
   (* the campaign simulates every trial word-by-word, so its defaults
@@ -411,6 +448,36 @@ let campaign_cmd =
              count).  The report is byte-identical at any $(docv) for the \
              same config and seed.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON with per-trial phase spans \
+             (inject, march, oracle, repair, escape-sweep, shrink) and \
+             per-march-element BIST sections to $(docv); load it in \
+             Perfetto or chrome://tracing.  Enables telemetry.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a flat metrics JSON (fast/legacy hit counters, \
+             per-worker busy/idle time, deterministic histograms) to \
+             $(docv).  Enables telemetry.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a human-readable phase/counter table to stderr after the \
+             run (stdout still carries the byte-identical JSON report).  \
+             Enables telemetry.")
+  in
   let replay_arg =
     Arg.(
       value
@@ -432,7 +499,7 @@ let campaign_cmd =
       const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
       $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
       $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
-      $ replay_arg $ fail_arg)
+      $ trace_arg $ metrics_arg $ stats_arg $ replay_arg $ fail_arg)
   in
   Cmd.v
     (Cmd.info "campaign"

@@ -1,6 +1,7 @@
 module Model = Bisram_sram.Model
 module Org = Bisram_sram.Org
 module Word = Bisram_sram.Word
+module Obs = Bisram_obs.Obs
 
 type failure = {
   background : Word.t;
@@ -41,8 +42,8 @@ let iter_addresses n order f =
 let run_general ram test ~backgrounds ~stop_at_first =
   let failures = ref [] in
   (try
-     List.iter
-       (fun bg ->
+     List.iteri
+       (fun bg_idx bg ->
          (* hoisted out of the address loop: [lnot_] allocates, and the
             complemented background is needed on every ~r/~w op of every
             address — the engine's hottest allocation site *)
@@ -50,7 +51,15 @@ let run_general ram test ~backgrounds ~stop_at_first =
          List.iteri
            (fun item_idx item ->
              match item with
-             | March.Wait -> ram.retention_wait ()
+             | March.Wait ->
+                 if Obs.enabled () then begin
+                   Obs.incr "engine.waits";
+                   Obs.span ~cat:"bist"
+                     (Printf.sprintf "%s.bg%d.wait%d" test.March.name bg_idx
+                        item_idx)
+                     ram.retention_wait
+                 end
+                 else ram.retention_wait ()
              | March.Elem { order; ops } ->
                  (* per-element op table, resolved against the current
                     background once: the address loop walks a flat array
@@ -68,28 +77,41 @@ let run_general ram test ~backgrounds ~stop_at_first =
                      | March.R compl ->
                          if compl then op_word.(i) <- bg_compl)
                    ops;
-                 iter_addresses ram.words order (fun addr ->
-                     for op_idx = 0 to n_ops - 1 do
-                       let w = Array.unsafe_get op_word op_idx in
-                       if Array.unsafe_get is_write op_idx then
-                         ram.write addr w
-                       else begin
-                         let got = ram.read addr in
-                         (* packed words: an int compare *)
-                         if not (Word.equal w got) then begin
-                           failures :=
-                             { background = bg
-                             ; item = item_idx
-                             ; op = op_idx
-                             ; addr
-                             ; expected = w
-                             ; got
-                             }
-                             :: !failures;
-                           if stop_at_first then raise Stop
+                 let exec () =
+                   iter_addresses ram.words order (fun addr ->
+                       for op_idx = 0 to n_ops - 1 do
+                         let w = Array.unsafe_get op_word op_idx in
+                         if Array.unsafe_get is_write op_idx then
+                           ram.write addr w
+                         else begin
+                           let got = ram.read addr in
+                           (* packed words: an int compare *)
+                           if not (Word.equal w got) then begin
+                             failures :=
+                               { background = bg
+                               ; item = item_idx
+                               ; op = op_idx
+                               ; addr
+                               ; expected = w
+                               ; got
+                               }
+                               :: !failures;
+                             if stop_at_first then raise Stop
+                           end
                          end
-                       end
-                     done))
+                       done)
+                 in
+                 (* per-element telemetry: one enabled check per march
+                    element keeps the per-op loop untouched when off *)
+                 if Obs.enabled () then begin
+                   Obs.incr "engine.elements";
+                   Obs.add "engine.ops" (n_ops * ram.words);
+                   Obs.span ~cat:"bist"
+                     (Printf.sprintf "%s.bg%d.elem%d" test.March.name bg_idx
+                        item_idx)
+                     exec
+                 end
+                 else exec ())
            test.March.items)
        backgrounds
    with Stop -> ());

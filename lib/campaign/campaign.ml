@@ -7,6 +7,7 @@ module Injection = Bisram_faults.Injection
 module Repair = Bisram_bisr.Repair
 module Tlb = Bisram_bisr.Tlb
 module Repairable = Bisram_yield.Repairable
+module Obs = Bisram_obs.Obs
 module J = Report
 
 (* ------------------------------------------------------------------ *)
@@ -114,17 +115,40 @@ type verdicts = {
   cycles : int;
 }
 
+(* Flush the per-model access-regime counters into the telemetry
+   registry; summed over the three per-trial models (and over trials by
+   the registry merge), they give the campaign-wide fast/legacy hit
+   ratios.  Deterministic values, so the merged counters are identical
+   at every job count. *)
+let flush_model_stats m =
+  let s = Model.stats m in
+  Obs.add "model.reads" s.Model.s_reads;
+  Obs.add "model.writes" s.Model.s_writes;
+  Obs.add "model.fast_reads" s.Model.s_fast_reads;
+  Obs.add "model.fast_writes" s.Model.s_fast_writes;
+  Obs.add "model.legacy_reads" (s.Model.s_reads - s.Model.s_fast_reads);
+  Obs.add "model.legacy_writes" (s.Model.s_writes - s.Model.s_fast_writes);
+  Obs.add "model.rows_migrated" s.Model.s_rows_migrated;
+  Obs.add "model.rows_cleared" s.Model.s_rows_cleared
+
 let run_faults cfg faults =
   let bgs = backgrounds cfg in
   (* fresh model per flow: each run mutates array contents and remap *)
   let mc = model_with cfg faults in
-  let controller, report, c_tlb = Repair.run mc cfg.march ~backgrounds:bgs in
+  let controller, report, c_tlb =
+    Obs.span ~cat:"campaign" "march" (fun () ->
+        Repair.run mc cfg.march ~backgrounds:bgs)
+  in
   let mr = model_with cfg faults in
-  let reference, r_tlb = Repair.run_reference mr cfg.march ~backgrounds:bgs in
+  let reference, r_tlb =
+    Obs.span ~cat:"campaign" "oracle" (fun () ->
+        Repair.run_reference mr cfg.march ~backgrounds:bgs)
+  in
   let mi = model_with cfg faults in
   let it =
-    Repair.run_iterated_result ~max_rounds:cfg.max_rounds mi cfg.march
-      ~backgrounds:bgs
+    Obs.span ~cat:"campaign" "repair" (fun () ->
+        Repair.run_iterated_result ~max_rounds:cfg.max_rounds mi cfg.march
+          ~backgrounds:bgs)
   in
   let anomalies = ref [] in
   let push a = anomalies := a :: !anomalies in
@@ -150,14 +174,22 @@ let run_faults cfg faults =
          });
   (* silent escapes: the array disagrees with a passing verdict *)
   if success controller then begin
-    match Sweep.run mc with
+    match Obs.span ~cat:"campaign" "escape-sweep" (fun () -> Sweep.run mc) with
     | [] -> ()
     | mismatches -> push (Escape { flow = Two_pass; mismatches })
   end;
   if success it.Repair.i_outcome then begin
-    match Sweep.run mi with
+    match Obs.span ~cat:"campaign" "escape-sweep" (fun () -> Sweep.run mi) with
     | [] -> ()
     | mismatches -> push (Escape { flow = Iterated; mismatches })
+  end;
+  if Obs.enabled () then begin
+    flush_model_stats mc;
+    flush_model_stats mr;
+    flush_model_stats mi;
+    Obs.observe "campaign.cycles"
+      report.Bisram_bist.Controller.cycles;
+    Obs.observe "campaign.repair_rounds" it.Repair.i_rounds
   end;
   ( { controller
     ; reference
@@ -176,14 +208,21 @@ type trial = {
 }
 
 let run_seeded cfg ~index ~seed =
-  let faults = draw_faults cfg (rng_of_seed seed) in
-  let verdicts, anomalies = run_faults cfg faults in
-  { t_index = index
-  ; t_seed = seed
-  ; t_faults = faults
-  ; t_verdicts = verdicts
-  ; t_anomalies = anomalies
-  }
+  Obs.span ~cat:"campaign" ~arg:("trial", index) "trial" (fun () ->
+      let faults =
+        Obs.span ~cat:"campaign" "inject" (fun () ->
+            draw_faults cfg (rng_of_seed seed))
+      in
+      let verdicts, anomalies = run_faults cfg faults in
+      Obs.incr "campaign.trials";
+      Obs.add "campaign.faults_injected" (List.length faults);
+      Obs.observe "campaign.faults_per_trial" (List.length faults);
+      { t_index = index
+      ; t_seed = seed
+      ; t_faults = faults
+      ; t_verdicts = verdicts
+      ; t_anomalies = anomalies
+      })
 
 let run_trial cfg ~index = run_seeded cfg ~index ~seed:(trial_seed cfg index)
 let replay cfg ~seed = run_seeded cfg ~index:(-1) ~seed
@@ -304,13 +343,18 @@ let failure_of_anomaly cfg trial anomaly =
             first )
     | Divergence { detail } -> ("divergence", "oracle", detail)
   in
+  (match anomaly with
+  | Escape _ -> Obs.incr "campaign.escapes"
+  | Divergence _ -> Obs.incr "campaign.divergences");
   { f_trial = trial.t_index
   ; f_seed = trial.t_seed
   ; f_kind
   ; f_flow
   ; f_detail
   ; f_faults = trial.t_faults
-  ; f_shrunk = shrink_anomaly cfg anomaly trial.t_faults
+  ; f_shrunk =
+      Obs.span ~cat:"campaign" ~arg:("trial", trial.t_index) "shrink"
+        (fun () -> shrink_anomaly cfg anomaly trial.t_faults)
   }
 
 let run ?now ?(jobs = 1) cfg =
@@ -343,8 +387,24 @@ let run ?now ?(jobs = 1) cfg =
     in
     (trial, failures)
   in
+  (* per-domain utilization lands in worker-indexed counters; the probe
+     runs on each worker's own domain, so it writes that domain's
+     telemetry shard without contention *)
+  let probe =
+    if not (Obs.enabled ()) then None
+    else
+      Some
+        (fun ~worker ~busy_ns ~total_ns ~chunks ~items ->
+          let p = Printf.sprintf "pool.worker%d." worker in
+          Obs.add (p ^ "busy_ns") (Int64.to_int busy_ns);
+          Obs.add (p ^ "idle_ns")
+            (Int64.to_int (Int64.sub total_ns busy_ns));
+          Obs.add (p ^ "chunks") chunks;
+          Obs.add (p ^ "items") items)
+  in
   let completed =
-    Bisram_parallel.Pool.map ~jobs ~should_stop:over_budget cfg.trials work
+    Bisram_parallel.Pool.map ~jobs ~should_stop:over_budget ?probe cfg.trials
+      work
   in
   (* Under a budget, workers past the one that tripped the stop may have
      completed trials beyond the first unfinished index, leaving holes.

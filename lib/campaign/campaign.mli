@@ -16,7 +16,17 @@
     delta debugging ({!Shrink}) to minimal reproducers before they are
     reported.  The whole campaign is deterministic: the same config
     yields a byte-identical JSON report, at any [jobs] count — trials
-    are fanned out over domains but merged in trial-index order. *)
+    are fanned out over domains but merged in trial-index order.
+
+    Telemetry: when {!Bisram_obs.Obs.set_enabled} is on, every trial
+    records phase spans (["trial"] > ["inject"] / ["march"] /
+    ["oracle"] / ["repair"] / ["escape-sweep"], plus ["shrink"] per
+    failure), deterministic counters and histograms
+    ([campaign.trials], [campaign.escapes], [model.fast_reads] …,
+    [campaign.cycles]) and per-worker pool utilization
+    ([pool.workerN.busy_ns] …).  Telemetry is strictly write-only side
+    channel state: nothing it records feeds {!to_json}, so reports are
+    byte-identical with telemetry on or off. *)
 
 type mode =
   | Uniform of int  (** exactly n faults per trial *)

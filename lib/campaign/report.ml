@@ -1,98 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let add_escaped buf s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s
-
-let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.9g" f
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> Buffer.add_string buf (float_repr f)
-  | String s ->
-      Buffer.add_char buf '"';
-      add_escaped buf s;
-      Buffer.add_char buf '"'
-  | List l ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_char buf ',';
-          emit buf x)
-        l;
-      Buffer.add_char buf ']'
-  | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_char buf '"';
-          add_escaped buf k;
-          Buffer.add_string buf "\":";
-          emit buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 1024 in
-  emit buf j;
-  Buffer.contents buf
-
-let rec pp_indented buf ~indent = function
-  | Obj fields when fields <> [] ->
-      let pad = String.make indent ' ' in
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf pad;
-          Buffer.add_string buf "  \"";
-          add_escaped buf k;
-          Buffer.add_string buf "\": ";
-          pp_indented buf ~indent:(indent + 2) v)
-        fields;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf pad;
-      Buffer.add_char buf '}'
-  | List items when items <> [] ->
-      let pad = String.make indent ' ' in
-      Buffer.add_string buf "[\n";
-      List.iteri
-        (fun i x ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf pad;
-          Buffer.add_string buf "  ";
-          pp_indented buf ~indent:(indent + 2) x)
-        items;
-      Buffer.add_char buf '\n';
-      Buffer.add_string buf pad;
-      Buffer.add_char buf ']'
-  | j -> emit buf j
-
-let to_pretty_string j =
-  let buf = Buffer.create 4096 in
-  pp_indented buf ~indent:0 j;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
+(* The deterministic JSON representation moved to [Bisram_obs.Json] so
+   the telemetry exporters can share it; this alias keeps the campaign
+   API (and its byte-level output) unchanged. *)
+include Bisram_obs.Json

@@ -1,4 +1,5 @@
-(** A minimal deterministic JSON representation for campaign reports.
+(** A minimal deterministic JSON representation for campaign reports —
+    an alias of {!Bisram_obs.Json}, which the telemetry exporters share.
 
     Serialization is fully deterministic: object fields are emitted in
     the order given, floats through a fixed ["%.9g"] format (integral
@@ -6,7 +7,7 @@
     same bytes — the property the campaign's replay discipline relies
     on. *)
 
-type t =
+type t = Bisram_obs.Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -20,3 +21,9 @@ val to_string : t -> string
 
 (** Two-space-indented rendering, trailing newline (the CLI output). *)
 val to_pretty_string : t -> string
+
+(** See {!Bisram_obs.Json.of_string}. *)
+val of_string : string -> (t, string) result
+
+(** See {!Bisram_obs.Json.member}. *)
+val member : string -> t -> t option

@@ -1,0 +1,20 @@
+(** Exporters over {!Obs.snapshot}.  All output is deterministic in
+    structure: object keys appear in a fixed order and collections are
+    sorted, so two runs differ only where their measured numbers do. *)
+
+(** Flat metrics document, schema ["bisram-metrics/1"]:
+    [{"schema", "counters": {name: int, ...}, "histograms": {name:
+    {count, sum, min, max, mean, buckets: [{pow2, count}]}, ...}}] with
+    names sorted. *)
+val metrics_json : Obs.snapshot -> Json.t
+
+(** Chrome trace-event document (complete ["X"] events plus
+    [thread_name] metadata, pid 0, tid = shard id), loadable in
+    Perfetto or chrome://tracing.  Timestamps are rebased so the
+    earliest span starts at [ts = 0] and converted to microseconds. *)
+val chrome_trace_json : Obs.snapshot -> Json.t
+
+(** Human-readable summary: spans aggregated by name (count / total /
+    mean / min / max, by descending total time), then counters, then
+    histogram summaries. *)
+val stats_table : Obs.snapshot -> string

@@ -1,6 +1,10 @@
 let recommended_jobs () = Domain.recommended_domain_count ()
 
-let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) n f =
+type probe =
+  worker:int -> busy_ns:int64 -> total_ns:int64 -> chunks:int -> items:int ->
+  unit
+
+let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) ?probe n f =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
   if n < 0 then invalid_arg "Pool.map: negative length";
@@ -10,7 +14,12 @@ let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) n f =
   let error : (exn * Printexc.raw_backtrace) option Atomic.t =
     Atomic.make None
   in
-  let worker () =
+  let probing = probe <> None in
+  let worker widx () =
+    let t_start = if probing then Clock.now_ns () else 0L in
+    let busy = ref 0L in
+    let chunks = ref 0 in
+    let items = ref 0 in
     let continue = ref true in
     while !continue do
       if Atomic.get stopped then continue := false
@@ -18,6 +27,7 @@ let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) n f =
         let lo = Atomic.fetch_and_add next chunk in
         if lo >= n then continue := false
         else begin
+          incr chunks;
           let hi = min n (lo + chunk) in
           let i = ref lo in
           while !continue && !i < hi do
@@ -26,27 +36,40 @@ let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) n f =
               continue := false
             end
             else begin
+              let t0 = if probing then Clock.now_ns () else 0L in
               (match f !i with
-              | v -> results.(!i) <- Some v
+              | v ->
+                  results.(!i) <- Some v;
+                  incr items
               | exception e ->
                   let bt = Printexc.get_raw_backtrace () in
                   ignore (Atomic.compare_and_set error None (Some (e, bt)));
                   Atomic.set stopped true;
                   continue := false);
+              if probing then
+                busy := Int64.add !busy (Int64.sub (Clock.now_ns ()) t0);
               incr i
             end
           done
         end
       end
-    done
+    done;
+    match probe with
+    | None -> ()
+    | Some p ->
+        (* runs on the worker's own domain, before the join: a probe
+           writing to domain-local telemetry shards stays race-free *)
+        p ~worker:widx ~busy_ns:!busy
+          ~total_ns:(Int64.sub (Clock.now_ns ()) t_start)
+          ~chunks:!chunks ~items:!items
   in
   (* never spawn more helpers than there are items left to hand out *)
   let helpers =
     List.init
       (min (jobs - 1) (max 0 (n - 1)))
-      (fun _ -> Domain.spawn worker)
+      (fun i -> Domain.spawn (worker (i + 1)))
   in
-  worker ();
+  worker 0 ();
   List.iter Domain.join helpers;
   (match Atomic.get error with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -13,6 +13,17 @@
     machine ({!Domain.recommended_domain_count}). *)
 val recommended_jobs : unit -> int
 
+(** Per-worker utilization report, called once per worker (including
+    the caller, [worker = 0]) on that worker's own domain just before
+    it finishes: [busy_ns] is time spent inside [f], [total_ns] the
+    worker's whole lifetime (so [total_ns - busy_ns] is idle/scheduling
+    time), [chunks] the chunks claimed and [items] the items
+    completed.  Chunk assignment depends on scheduling, so only the
+    item/chunk {e totals} across workers are deterministic. *)
+type probe =
+  worker:int -> busy_ns:int64 -> total_ns:int64 -> chunks:int -> items:int ->
+  unit
+
 (** [map ~jobs ~chunk ~should_stop n f] computes [f i] for [i] in
     [0 .. n-1] on [jobs] workers ([jobs - 1] spawned domains plus the
     calling one) and returns the results in index order.
@@ -30,11 +41,15 @@ val recommended_jobs : unit -> int
     workers, and re-raises the first exception (with its backtrace) in
     the caller.
 
+    [probe] (default absent: the hot loop reads no clock) receives one
+    utilization report per worker.
+
     @raise Invalid_argument if [jobs < 1], [chunk < 1] or [n < 0]. *)
 val map :
   ?jobs:int ->
   ?chunk:int ->
   ?should_stop:(unit -> bool) ->
+  ?probe:probe ->
   int ->
   (int -> 'a) ->
   'a option array

@@ -31,6 +31,14 @@ type t = {
   mutable remap : (int -> int) option;
   mutable n_reads : int;
   mutable n_writes : int;
+  (* Access-regime telemetry: how many of the reads/writes took the
+     packed fast path, plus the row traffic of [set_fast_path]
+     migrations and [clear].  Plain unconditional increments adjacent
+     to the ones above — cheaper than any enabled-check would be. *)
+  mutable n_fast_reads : int;
+  mutable n_fast_writes : int;
+  mutable n_rows_migrated : int;
+  mutable n_rows_cleared : int;
   (* Fast-path bookkeeping.  [row_fault] marks every row on which any
      fault machinery is armed (fault site, coupling aggressor or
      victim); [row_written] marks rows whose data may differ from the
@@ -75,6 +83,10 @@ let create org =
   ; remap = None
   ; n_reads = 0
   ; n_writes = 0
+  ; n_fast_reads = 0
+  ; n_fast_writes = 0
+  ; n_rows_migrated = 0
+  ; n_rows_cleared = 0
   ; nfaults = 0
   ; nopens = 0
   ; row_fault = Bytes.make nrows '\000'
@@ -129,7 +141,8 @@ let set_fast_path t on =
        switch is observationally silent (fault-armed rows already live
        in the byte store on both sides) *)
     for row = 0 to t.nrows - 1 do
-      if not (row_is_faulty t row) then
+      if not (row_is_faulty t row) then begin
+        t.n_rows_migrated <- t.n_rows_migrated + 1;
         for col = 0 to t.bpc - 1 do
           let slot = (row * t.bpc) + col in
           let base = (row * t.cols) + col in
@@ -152,6 +165,7 @@ let set_fast_path t on =
             t.packed.(slot) <- 0
           end
         done
+      end
     done;
     t.fast <- on
   end
@@ -167,7 +181,8 @@ let clear t =
     then begin
       Bytes.fill t.cells (row * t.cols) t.cols '\000';
       Array.fill t.packed (row * t.bpc) t.bpc 0;
-      Bytes.unsafe_set t.row_written row '\000'
+      Bytes.unsafe_set t.row_written row '\000';
+      t.n_rows_cleared <- t.n_rows_cleared + 1
     end
   done;
   (* re-assert pinned cells; list order matches the pin-array contents
@@ -304,8 +319,10 @@ let write_phys t ~row ~col w =
   check_word t w;
   if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
   if col < 0 || col >= t.bpc then invalid_arg "Model: col out of range";
-  (if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then
-     Array.unsafe_set t.packed ((row * t.bpc) + col) (Word.to_int w)
+  (if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then begin
+     Array.unsafe_set t.packed ((row * t.bpc) + col) (Word.to_int w);
+     t.n_fast_writes <- t.n_fast_writes + 1
+   end
    else
      for bit = 0 to t.bpw - 1 do
        write_bit t ((row * t.cols) + (bit * t.bpc) + col) (Word.get w bit)
@@ -326,7 +343,10 @@ let read_phys t ~row ~col =
     if
       t.fast
       && (t.nfaults = 0 || (t.nopens = 0 && not (row_is_faulty t row)))
-    then Word.of_int ~width:t.bpw (Array.unsafe_get t.packed ((row * t.bpc) + col))
+    then begin
+      t.n_fast_reads <- t.n_fast_reads + 1;
+      Word.of_int ~width:t.bpw (Array.unsafe_get t.packed ((row * t.bpc) + col))
+    end
     else
       (* [Word.init] applies f in increasing bit order, preserving the
          per-I/O sense-residue update sequence of the legacy path *)
@@ -362,3 +382,21 @@ let retention_wait t =
 
 let reads t = t.n_reads
 let writes t = t.n_writes
+
+type stats = {
+  s_reads : int;
+  s_writes : int;
+  s_fast_reads : int;
+  s_fast_writes : int;
+  s_rows_migrated : int;
+  s_rows_cleared : int;
+}
+
+let stats t =
+  { s_reads = t.n_reads
+  ; s_writes = t.n_writes
+  ; s_fast_reads = t.n_fast_reads
+  ; s_fast_writes = t.n_fast_writes
+  ; s_rows_migrated = t.n_rows_migrated
+  ; s_rows_cleared = t.n_rows_cleared
+  }

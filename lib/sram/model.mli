@@ -52,6 +52,22 @@ val reads : t -> int
 
 val writes : t -> int
 
+type stats = {
+  s_reads : int;  (** word reads (= {!reads}) *)
+  s_writes : int;  (** word writes (= {!writes}) *)
+  s_fast_reads : int;  (** reads served by the packed fast path *)
+  s_fast_writes : int;  (** writes served by the packed fast path *)
+  s_rows_migrated : int;
+      (** clean rows moved between stores by {!set_fast_path} *)
+  s_rows_cleared : int;  (** dirty rows zeroed by {!clear} *)
+}
+
+(** Access-regime counters since creation.  Legacy-path traffic is
+    [s_reads - s_fast_reads] / [s_writes - s_fast_writes].  These are
+    plain per-model ints (no global telemetry involved); the campaign
+    flushes them into the {!Bisram_obs.Obs} registry per trial. *)
+val stats : t -> stats
+
 (** Forget all stored data (power-up state: zeros, pinned cells at their
     stuck value); counters and faults are preserved.  Only rows written
     since the previous clear (plus fault-armed rows) are touched. *)
