@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke trace-smoke ci clean
+.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke trace-smoke explore-smoke ci clean
 
 all: build
 
@@ -54,7 +54,23 @@ trace-smoke: build
 	rm -f .ci-trace-smoke.trace.json .ci-trace-smoke.metrics.json
 	@echo "trace-smoke: OK"
 
-ci: build test campaign-smoke campaign-determinism bench-smoke trace-smoke
+# Explore determinism + cache gate: the tiny example sweep must produce
+# byte-identical reports sequentially and in parallel, and a second run
+# resuming from the first run's cache must hit on every evaluation.
+explore-smoke: build
+	rm -rf .ci-explore-cache
+	dune exec bin/bisramgen.exe -- explore --spec examples/explore_smoke.spec \
+	  --jobs 1 --cache .ci-explore-cache > .ci-explore-jobs1.json
+	dune exec bin/bisramgen.exe -- explore --spec examples/explore_smoke.spec \
+	  --jobs 2 --cache .ci-explore-cache --resume \
+	  > .ci-explore-jobs2.json 2> .ci-explore-warm.err
+	diff .ci-explore-jobs1.json .ci-explore-jobs2.json
+	grep -q "(100.0% hit rate)" .ci-explore-warm.err
+	rm -rf .ci-explore-cache .ci-explore-jobs1.json .ci-explore-jobs2.json \
+	  .ci-explore-warm.err
+	@echo "explore-smoke: OK"
+
+ci: build test campaign-smoke campaign-determinism bench-smoke trace-smoke explore-smoke
 	@echo "ci: OK"
 
 clean:

@@ -1,9 +1,10 @@
 (* Machine-readable benchmark trajectory.
 
-   Times the Monte Carlo campaign at several --jobs levels and the core
-   simulation kernels (fast fault-free path vs the legacy per-cell
-   fault machinery), then writes BENCH_campaign.json at the repo root
-   so later PRs have a perf baseline to regress against.
+   Times the Monte Carlo campaign at several --jobs levels, a small
+   explore sweep cache-cold and cache-warm, and the core simulation
+   kernels (fast fault-free path vs the legacy per-cell fault
+   machinery), then writes BENCH_campaign.json at the repo root so
+   later PRs have a perf baseline to regress against.
 
    Every measurement is wall-clock via the monotonic clock; the
    machine's core count is recorded because parallel speedup is bounded
@@ -134,6 +135,82 @@ let campaign_runs ~trials ~jobs_levels =
     ; ("faults_per_trial", J.Int 0)
     ; ("reports_identical_across_jobs", J.Bool identical)
     ; ("runs", J.List (List.map run_json runs))
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* explore sweep: cold throughput and warm-cache hit behaviour *)
+
+module Spec = Bisram_explore.Spec
+module Explore = Bisram_explore.Explore
+
+let rm_rf_cache dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let explore_spec () =
+  let text =
+    if !smoke then
+      "words = 64\n\
+       bpw = 8\n\
+       bpc = 4\n\
+       spares = 0, 4\n\
+       mean_defects = 1\n\
+       evaluators = area, yield, cost, reliability\n"
+    else
+      "words = 64, 128\n\
+       bpw = 8\n\
+       bpc = 4\n\
+       spares = 0, 4, 8\n\
+       mean_defects = 1, 4\n\
+       evaluators = area, yield, cost, reliability\n"
+  in
+  match Spec.of_string text with
+  | Ok s -> s
+  | Error e ->
+      Printf.eprintf "bench_json: bad built-in explore spec: %s\n" e;
+      exit 1
+
+let explore_sweep () =
+  let spec = explore_spec () in
+  let dir = Filename.temp_file "bisram-bench-explore" ".cache" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let run_timed ~resume =
+    let res = ref None in
+    let seconds =
+      best_of 2 (fun () ->
+          res := Some (Explore.run ~jobs:1 ~cache_dir:dir ~resume spec))
+    in
+    (Option.get !res, seconds)
+  in
+  (* cold: resume off ignores existing entries, so repeats stay cold *)
+  let cold, cold_s = run_timed ~resume:false in
+  let warm, warm_s = run_timed ~resume:true in
+  let identical =
+    String.equal (Explore.json_string cold) (Explore.json_string warm)
+  in
+  rm_rf_cache dir;
+  let points = Array.length cold.Explore.points in
+  let evals = Explore.evaluations cold in
+  let rate hits = float_of_int hits /. float_of_int (max 1 evals) in
+  let run_json (r : Explore.result) seconds =
+    J.Obj
+      [ ("seconds", J.Float seconds)
+      ; ("points_per_sec", J.Float (float_of_int points /. seconds))
+      ; ("cache_hits", J.Int r.Explore.cache_hits)
+      ; ("cache_misses", J.Int r.Explore.cache_misses)
+      ; ("hit_rate", J.Float (rate r.Explore.cache_hits))
+      ]
+  in
+  J.Obj
+    [ ("points", J.Int points)
+    ; ("evaluations", J.Int evals)
+    ; ("cold", run_json cold cold_s)
+    ; ("warm", run_json warm warm_s)
+    ; ("warm_speedup", J.Float (cold_s /. warm_s))
+    ; ("reports_identical_cold_vs_warm", J.Bool identical)
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -365,12 +442,13 @@ let () =
   if !smoke then smoke_exporters ();
   let jobs_levels = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
   let campaign = campaign_runs ~trials:!trials ~jobs_levels in
+  let explore = explore_sweep () in
   let kernels, derived = kernels () in
   let telemetry = telemetry_overhead () in
   let model_hits = model_hit_ratios () in
   let doc =
     J.Obj
-      [ ("schema", J.String "bisram-bench/3")
+      [ ("schema", J.String "bisram-bench/4")
       ; ( "machine"
         , J.Obj
             [ ("cores", J.Int (Pool.recommended_jobs ()))
@@ -379,6 +457,7 @@ let () =
             ] )
       ; ("smoke", J.Bool !smoke)
       ; ("campaign", campaign)
+      ; ("explore", explore)
       ; ("kernels", kernels)
       ; ("derived", derived)
       ; ("telemetry", telemetry)

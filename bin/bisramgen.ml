@@ -4,6 +4,7 @@
      compile    generate a BISR RAM module: datasheet, floorplan, CIF
      selftest   inject faults into the generated RAM and run BIST/BISR
      campaign   randomized Monte Carlo test-and-repair campaign
+     explore    parallel design-space sweep with memoized evaluations
      processes  list the bundled CMOS processes
      marches    list the bundled march algorithms *)
 
@@ -76,6 +77,25 @@ let lookup_march s =
       match March.of_string ~name:"custom" s with
       | m -> Ok m
       | exception Invalid_argument e -> Error e)
+
+(* The --jobs contract is shared by every parallel subcommand (campaign,
+   explore): default 1 (fully sequential), 0 auto-detects the machine's
+   recommended domain count, negative is an error.  One arg + one
+   resolver, so the subcommands cannot drift. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains running work items concurrently (default 1, fully \
+           sequential; 0 auto-detects the machine's recommended domain \
+           count).  Reports are byte-identical at any $(docv).")
+
+let resolve_jobs jobs =
+  if jobs < 0 then
+    Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = auto-detect)" jobs)
+  else if jobs = 0 then Ok (Bisram_parallel.Pool.recommended_jobs ())
+  else Ok jobs
 
 let build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march =
   match (lookup_process process, lookup_march march) with
@@ -283,12 +303,7 @@ let export_telemetry ~trace ~metrics ~stats =
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     mix max_seconds no_shrink max_rounds jobs trace metrics stats replay_seed
     fail_on_anomaly =
-  let jobs_result =
-    if jobs < 0 then
-      Error (Printf.sprintf "--jobs must be >= 0 (got %d; 0 = auto-detect)" jobs)
-    else if jobs = 0 then Ok (Bisram_parallel.Pool.recommended_jobs ())
-    else Ok jobs
-  in
+  let jobs_result = resolve_jobs jobs in
   let mix_result =
     match mix with
     | "default" -> Ok I.default_mix
@@ -438,16 +453,6 @@ let campaign_cmd =
       value & opt int 8
       & info [ "max-rounds" ] ~doc:"Iterated (2k-pass) repair round bound.")
   in
-  let jobs_arg =
-    Arg.(
-      value & opt int 1
-      & info [ "j"; "jobs" ] ~docv:"N"
-          ~doc:
-            "Worker domains running trials concurrently (default 1, fully \
-             sequential; 0 auto-detects the machine's recommended domain \
-             count).  The report is byte-identical at any $(docv) for the \
-             same config and seed.")
-  in
   let trace_arg =
     Arg.(
       value
@@ -508,6 +513,133 @@ let campaign_cmd =
           controller-vs-reference differential oracle, independent \
           post-repair escape sweep, failure shrinking; emits a deterministic \
           JSON report.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* explore: parallel design-space sweep *)
+
+let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
+  let spec_result =
+    match read_file spec_file with
+    | exception Sys_error e -> Error e
+    | text -> (
+        match Bisram_explore.Spec.of_string text with
+        | Ok s -> Ok s
+        | Error e -> Error (spec_file ^ ": " ^ e))
+  in
+  match (spec_result, resolve_jobs jobs) with
+  | Error e, _ | _, Error e ->
+      Printf.eprintf "bisramgen: %s\n" e;
+      1
+  | Ok spec, Ok jobs -> (
+      let telemetry = trace <> None || metrics <> None || stats in
+      if telemetry then begin
+        Obs.set_enabled true;
+        Obs.reset ()
+      end;
+      match
+        Bisram_explore.Explore.run ~jobs ~cache_dir ~resume spec
+      with
+      | exception Invalid_argument e ->
+          Printf.eprintf "bisramgen: %s\n" e;
+          1
+      | r ->
+          (* stdout carries only the byte-identical report; cache
+             statistics and the --pareto table go to stderr *)
+          print_string (Bisram_explore.Explore.pretty_json_string r);
+          let module E = Bisram_explore.Explore in
+          let evals = E.evaluations r in
+          let rate =
+            if evals = 0 then 100.0
+            else 100.0 *. float_of_int r.E.cache_hits /. float_of_int evals
+          in
+          Printf.eprintf
+            "explore: %d point(s), %d evaluation(s): %d hit(s), %d miss(es) \
+             (%.1f%% hit rate)\n"
+            (Array.length r.E.points)
+            evals r.E.cache_hits r.E.cache_misses rate;
+          if pareto then prerr_string (E.summary_table r);
+          if telemetry then export_telemetry ~trace ~metrics ~stats;
+          0)
+
+let explore_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Sweep specification: a key = value file with comma-separated \
+             ranges over words/bpw/bpc/spares, mean_defects, alpha and \
+             lambda, plus shared process/march/drive/strap/chip scalars, an \
+             optional evaluator list and a campaign_trials budget.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt string ".bisram-explore.cache"
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed evaluation cache directory (created if \
+             missing).  Entries are always written; they are only read back \
+             with $(b,--resume).")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Reuse cache entries from earlier runs: interrupted or repeated \
+             sweeps recompute only what is missing.  The report is \
+             byte-identical to a cache-cold run.")
+  in
+  let pareto_arg =
+    Arg.(
+      value & flag
+      & info [ "pareto" ]
+          ~doc:
+            "Print the Pareto frontier and best-spares tables human-readably \
+             to stderr (stdout still carries the JSON report).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON with per-point and \
+             per-evaluator spans to $(docv).  Enables telemetry.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a flat metrics JSON (point counters, cache hit/miss, \
+             per-worker busy/idle) to $(docv).  Enables telemetry.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a phase/counter table to stderr after the sweep.  \
+             Enables telemetry.")
+  in
+  let term =
+    Term.(
+      const do_explore $ spec_arg $ jobs_arg $ cache_arg $ resume_arg
+      $ pareto_arg $ trace_arg $ metrics_arg $ stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Design-space exploration: expand a declarative sweep spec into \
+          the config lattice, evaluate every point (area, yield, cost, \
+          reliability, optional campaign) across worker domains with \
+          on-disk memoization, and report the grid, its Pareto frontier \
+          and the best spare count per organization as deterministic JSON.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -605,6 +737,7 @@ let () =
           [ compile_cmd
           ; selftest_cmd
           ; campaign_cmd
+          ; explore_cmd
           ; analyze_cmd
           ; processes_cmd
           ; marches_cmd

@@ -11,6 +11,20 @@ type bisr_params = {
 let default_bisr =
   { spares = 4; cache_rows = 1024; area_overhead = 0.066; alpha = 2.0 }
 
+(* every BISR cost path funnels through [cache_geometry], so params are
+   validated once here; the range tests are written positively because
+   NaN compares false against any bound *)
+let validate_params p =
+  if p.spares < 0 then invalid_arg "Mpr: spares must be >= 0";
+  if p.cache_rows <= 0 then invalid_arg "Mpr: cache_rows must be > 0";
+  if not (Float.is_finite p.area_overhead && p.area_overhead >= 0.0) then
+    invalid_arg
+      (Printf.sprintf "Mpr: area_overhead must be finite and >= 0 (got %g)"
+         p.area_overhead);
+  if not (Float.is_finite p.alpha && p.alpha > 0.0) then
+    invalid_arg
+      (Printf.sprintf "Mpr: alpha must be finite and > 0 (got %g)" p.alpha)
+
 type die_costs = {
   die_area_mm2 : float;
   dies_per_wafer : int;
@@ -31,6 +45,7 @@ let die_plain c = mk_die_costs c ~area:c.Chips.die_mm2 ~yield:c.Chips.die_yield
 let ram_yield c = c.Chips.die_yield ** c.Chips.cache_fraction
 
 let cache_geometry p =
+  validate_params p;
   (* logic is roughly a third of the BISR overhead; the rest is spare
      rows and routing, all folded into the growth factor *)
   Repairable.make ~regular_rows:p.cache_rows ~spares:p.spares

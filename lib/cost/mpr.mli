@@ -20,6 +20,11 @@ type bisr_params = {
     achieves, alpha = 2. *)
 val default_bisr : bisr_params
 
+(** Raises [Invalid_argument] on degenerate parameters: negative spares,
+    non-positive cache_rows, non-finite or negative area_overhead,
+    non-finite or non-positive alpha.  Called by every BISR cost path. *)
+val validate_params : bisr_params -> unit
+
 type die_costs = {
   die_area_mm2 : float;
   dies_per_wafer : int;

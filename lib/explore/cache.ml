@@ -1,0 +1,90 @@
+module J = Bisram_obs.Json
+
+let version = "bisram-explore-cache/1"
+
+type t = {
+  dir : string option;
+  resume : bool;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?dir ~resume () =
+  (match dir with
+  | None -> ()
+  | Some d ->
+      if Sys.file_exists d then begin
+        if not (Sys.is_directory d) then
+          raise (Sys_error (d ^ ": not a directory"))
+      end
+      else Sys.mkdir d 0o755);
+  { dir; resume; hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let full_key key = version ^ "|" ^ key
+
+let path_of t key =
+  match t.dir with
+  | None -> None
+  | Some d ->
+      Some (Filename.concat d (Digest.to_hex (Digest.string (full_key key)) ^ ".json"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The entry document: the full key travels with the value so a digest
+   collision or stale format is detected on read instead of silently
+   returning the wrong result. *)
+let entry_string key value =
+  J.to_string (J.Obj [ ("key", J.String (full_key key)); ("value", value) ])
+
+let parse_entry key s =
+  match J.of_string s with
+  | Error _ -> None
+  | Ok doc -> (
+      match (J.member "key" doc, J.member "value" doc) with
+      | Some (J.String k), Some v when String.equal k (full_key key) -> Some v
+      | _ -> None)
+
+let lookup t key =
+  if not t.resume then None
+  else
+    match path_of t key with
+    | None -> None
+    | Some path -> (
+        match read_file path with
+        | exception Sys_error _ -> None
+        | s -> parse_entry key s)
+
+(* serialize + re-parse: the value every caller sees is exactly the
+   value a later warm run will parse back from the entry's bytes *)
+let normalize key s =
+  match parse_entry key s with
+  | Some v -> v
+  | None -> invalid_arg "Cache.memo: evaluator result does not round-trip"
+
+let store t key s =
+  match path_of t key with
+  | None -> ()
+  | Some path ->
+      let dir = Option.get t.dir in
+      let tmp, oc = Filename.open_temp_file ~temp_dir:dir ".cache-" ".tmp" in
+      output_string oc s;
+      close_out oc;
+      Sys.rename tmp path
+
+let memo t ~key compute =
+  match lookup t key with
+  | Some v ->
+      Atomic.incr t.hits;
+      v
+  | None ->
+      Atomic.incr t.misses;
+      let s = entry_string key (compute ()) in
+      store t key s;
+      normalize key s
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

@@ -1,0 +1,57 @@
+(* Pareto-frontier extraction over heterogeneous objectives.
+
+   An objective is a direction plus a partial extractor: points that
+   lack a value for any active objective (e.g. the cost model declined
+   the chip, or the evaluator was not requested) cannot be compared and
+   are excluded from the frontier rather than guessed at.  The frontier
+   preserves input order, so it is as deterministic as its input. *)
+
+type direction = Minimize | Maximize
+
+type 'a objective = {
+  obj_name : string;
+  direction : direction;
+  value : 'a -> float option;
+}
+
+let objective ~name ~direction value = { obj_name = name; direction; value }
+
+(* orient every objective so that larger is better *)
+let score o x = match o.direction with Minimize -> -.x | Maximize -> x
+
+let dominates va vb =
+  let ge = ref true and gt = ref false in
+  for i = 0 to Array.length va - 1 do
+    if va.(i) < vb.(i) then ge := false
+    else if va.(i) > vb.(i) then gt := true
+  done;
+  !ge && !gt
+
+let frontier ~objectives items =
+  let scored =
+    items
+    |> List.filter_map (fun item ->
+           let vals =
+             List.map (fun o -> Option.map (score o) (o.value item)) objectives
+           in
+           if List.exists Option.is_none vals then None
+           else Some (item, Array.of_list (List.map Option.get vals)))
+    |> Array.of_list
+  in
+  let n = Array.length scored in
+  let keep = ref [] in
+  for i = n - 1 downto 0 do
+    let _, vi = scored.(i) in
+    let dominated = ref false in
+    for j = 0 to n - 1 do
+      if (not !dominated) && j <> i then begin
+        let _, vj = scored.(j) in
+        (* strict domination only: ties survive together *)
+        if dominates vj vi then dominated := true
+      end
+    done;
+    if not !dominated then keep := fst scored.(i) :: !keep
+  done;
+  !keep
+
+let name o = o.obj_name

@@ -1,0 +1,23 @@
+(** Pareto-frontier extraction over a list of evaluated points.
+
+    Objectives are directions plus partial extractors; a point missing
+    a value for any objective is excluded from the frontier (it cannot
+    be compared), never treated as best or worst.  Input order is
+    preserved, so deterministic input gives a deterministic frontier. *)
+
+type direction = Minimize | Maximize
+
+type 'a objective
+
+val objective :
+  name:string -> direction:direction -> ('a -> float option) -> 'a objective
+
+val name : 'a objective -> string
+
+(** [dominates a b] on pre-extracted score vectors (already oriented so
+    that larger is better): [a] at least as good everywhere and
+    strictly better somewhere. *)
+val dominates : float array -> float array -> bool
+
+(** The non-dominated subset, in input order. *)
+val frontier : objectives:'a objective list -> 'a list -> 'a list

@@ -3,6 +3,10 @@ module Org = Bisram_sram.Org
 type config = { words : int; bpw : int; spare_words : int; lambda : float }
 
 let of_org org ~lambda =
+  if not (Float.is_finite lambda && lambda > 0.0) then
+    invalid_arg
+      (Printf.sprintf
+         "Reliability.of_org: lambda must be finite and > 0 (got %g)" lambda);
   { words = org.Org.words
   ; bpw = org.Org.bpw
   ; spare_words = Org.spare_words org

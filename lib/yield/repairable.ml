@@ -10,9 +10,12 @@ type geometry = {
 let make ~regular_rows ~spares ~logic_fraction ~growth_factor =
   if regular_rows <= 0 then invalid_arg "Repairable.make: rows";
   if spares < 0 then invalid_arg "Repairable.make: spares";
-  if logic_fraction < 0.0 || logic_fraction >= 1.0 then
-    invalid_arg "Repairable.make: logic_fraction";
-  if growth_factor < 1.0 then invalid_arg "Repairable.make: growth_factor";
+  (* NaN compares false against every bound, so test for the valid range
+     instead of the invalid one *)
+  if not (logic_fraction >= 0.0 && logic_fraction < 1.0) then
+    invalid_arg "Repairable.make: logic_fraction must be in [0, 1)";
+  if not (Float.is_finite growth_factor && growth_factor >= 1.0) then
+    invalid_arg "Repairable.make: growth_factor must be finite and >= 1";
   { regular_rows; spares; logic_fraction; growth_factor }
 
 let bare ~regular_rows =
@@ -71,18 +74,32 @@ let mixture g ~mean ~pmf =
     !acc
   end
 
+let check_mean ctx mean_defects =
+  if not (Float.is_finite mean_defects && mean_defects >= 0.0) then
+    invalid_arg
+      (Printf.sprintf "%s: mean_defects must be finite and >= 0 (got %g)" ctx
+         mean_defects)
+
+let check_alpha ctx alpha =
+  if not (Float.is_finite alpha && alpha > 0.0) then
+    invalid_arg
+      (Printf.sprintf "%s: alpha must be finite and > 0 (got %g)" ctx alpha)
+
 let yield g ~mean_defects ~alpha =
-  assert (mean_defects >= 0.0 && alpha > 0.0);
+  check_mean "Repairable.yield" mean_defects;
+  check_alpha "Repairable.yield" alpha;
   let mean = mean_defects *. g.growth_factor in
   mixture g ~mean ~pmf:(fun n -> D.negative_binomial_pmf ~mean ~alpha n)
 
 let yield_poisson g ~mean_defects =
-  assert (mean_defects >= 0.0);
+  check_mean "Repairable.yield_poisson" mean_defects;
   let mean = mean_defects *. g.growth_factor in
   mixture g ~mean ~pmf:(fun n -> D.poisson_pmf ~mean n)
 
 let yield_monte_carlo rng g ~mean_defects ~alpha ~trials =
-  assert (trials > 0);
+  check_mean "Repairable.yield_monte_carlo" mean_defects;
+  check_alpha "Repairable.yield_monte_carlo" alpha;
+  if trials <= 0 then invalid_arg "Repairable.yield_monte_carlo: trials";
   let mean = mean_defects *. g.growth_factor in
   let total_rows = g.regular_rows + g.spares in
   let good = ref 0 in

@@ -21,6 +21,9 @@ type geometry = {
 (** Geometry of a bare array (no spares, no logic, growth 1). *)
 val bare : regular_rows:int -> geometry
 
+(** Raises [Invalid_argument] on degenerate geometry: non-positive rows,
+    negative spares, logic_fraction outside [0, 1) (including NaN), or a
+    non-finite growth_factor below 1. *)
 val make :
   regular_rows:int -> spares:int -> logic_fraction:float ->
   growth_factor:float -> geometry
@@ -36,7 +39,9 @@ val p_distinct_rows_at_most : rows:int -> spares:int -> int -> float
 
 (** [yield g ~mean_defects ~alpha] — module yield: the negative-binomial
     mixture of [p_repairable] over the fault count, with the mean
-    already scaled by the growth factor internally. *)
+    already scaled by the growth factor internally.  Raises
+    [Invalid_argument] if [mean_defects] is negative or either argument
+    is non-finite or [alpha] is not positive. *)
 val yield : geometry -> mean_defects:float -> alpha:float -> float
 
 (** Same under the pure Poisson count model. *)

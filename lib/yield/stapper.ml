@@ -1,18 +1,46 @@
+(* Degenerate inputs (negative means, alpha <= 0, NaN/infinity) would
+   silently propagate NaN through every analysis layer stacked on these
+   formulas — the sweep engine hammers them with user-supplied spec
+   values, so they reject loudly instead. *)
+
+let check_finite ctx name v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "%s: %s must be finite (got %g)" ctx name v)
+
+let check_alpha ctx alpha =
+  check_finite ctx "alpha" alpha;
+  if alpha <= 0.0 then
+    invalid_arg (Printf.sprintf "%s: alpha must be > 0 (got %g)" ctx alpha)
+
+let check_nonneg ctx name v =
+  check_finite ctx name v;
+  if v < 0.0 then
+    invalid_arg (Printf.sprintf "%s: %s must be >= 0 (got %g)" ctx name v)
+
 let poisson_cell_yield ~lambda =
-  assert (lambda >= 0.0);
+  check_nonneg "Stapper.poisson_cell_yield" "lambda" lambda;
   exp (-.lambda)
 
 let stapper_yield ~mean_defects ~alpha =
-  assert (mean_defects >= 0.0 && alpha > 0.0);
+  check_nonneg "Stapper.stapper_yield" "mean_defects" mean_defects;
+  check_alpha "Stapper.stapper_yield" alpha;
   (1.0 +. (mean_defects /. alpha)) ** -.alpha
 
 let stapper_yield_da ~defect_density ~area ~alpha =
+  check_nonneg "Stapper.stapper_yield_da" "defect_density" defect_density;
+  check_nonneg "Stapper.stapper_yield_da" "area" area;
   stapper_yield ~mean_defects:(defect_density *. area) ~alpha
 
 let mean_defects_of_yield ~yield ~alpha =
-  assert (yield > 0.0 && yield <= 1.0 && alpha > 0.0);
+  check_finite "Stapper.mean_defects_of_yield" "yield" yield;
+  if yield <= 0.0 || yield > 1.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Stapper.mean_defects_of_yield: yield must be in (0, 1] (got %g)"
+         yield);
+  check_alpha "Stapper.mean_defects_of_yield" alpha;
   alpha *. ((yield ** (-1.0 /. alpha)) -. 1.0)
 
 let poisson_yield ~mean_defects =
-  assert (mean_defects >= 0.0);
+  check_nonneg "Stapper.poisson_yield" "mean_defects" mean_defects;
   exp (-.mean_defects)

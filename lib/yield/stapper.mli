@@ -3,7 +3,11 @@
     The per-cell Poisson yield is Yc = exp(-lambda); Stapper's clustered
     yield for a die of area A and defect density D with clustering
     factor alpha is Y = (1 + D A / alpha)^(-alpha).  The mean defect
-    count n = D A is the x-axis of the paper's Fig. 4. *)
+    count n = D A is the x-axis of the paper's Fig. 4.
+
+    All functions raise [Invalid_argument] on degenerate inputs
+    (non-finite values, negative means/densities/areas, alpha <= 0,
+    yields outside (0, 1]) instead of returning NaN. *)
 
 (** Poisson single-cell yield: exp(-lambda). *)
 val poisson_cell_yield : lambda:float -> float

@@ -119,6 +119,36 @@ let test_totals_components () =
   Alcotest.(check bool) "all positive" true
     (t.M.die > 0.0 && t.M.test_assembly > 0.0 && t.M.package > 0.0)
 
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_params_rejected () =
+  let p = M.default_bisr in
+  expect_invalid "negative spares" (fun () ->
+      M.validate_params { p with M.spares = -1 });
+  expect_invalid "zero cache_rows" (fun () ->
+      M.validate_params { p with M.cache_rows = 0 });
+  expect_invalid "nan overhead" (fun () ->
+      M.validate_params { p with M.area_overhead = Float.nan });
+  expect_invalid "negative overhead" (fun () ->
+      M.validate_params { p with M.area_overhead = -0.1 });
+  expect_invalid "zero alpha" (fun () ->
+      M.validate_params { p with M.alpha = 0.0 });
+  expect_invalid "nan alpha" (fun () ->
+      M.validate_params { p with M.alpha = Float.nan });
+  (* the checks fire from the cost paths themselves, not only when
+     callers remember to validate *)
+  let chip = List.hd C.bisr_capable in
+  expect_invalid "die_bisr rejects" (fun () ->
+      M.die_bisr chip { p with M.alpha = Float.nan });
+  expect_invalid "totals_bisr rejects" (fun () ->
+      M.totals_bisr chip { p with M.cache_rows = -4 });
+  M.validate_params p (* defaults pass *)
+
 let () =
   Alcotest.run "cost"
     [ ( "wafer",
@@ -138,5 +168,7 @@ let () =
             test_superSPARC_die_cost_halves
         ; Alcotest.test_case "ram yield" `Quick test_ram_yield_model
         ; Alcotest.test_case "totals" `Quick test_totals_components
+        ; Alcotest.test_case "degenerate params rejected" `Quick
+            test_params_rejected
         ] )
     ]

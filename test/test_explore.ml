@@ -1,0 +1,227 @@
+(* Tests for the design-space exploration engine (spec parsing, lattice
+   expansion, cache + jobs determinism, report well-formedness, Pareto
+   extraction). *)
+
+module Spec = Bisram_explore.Spec
+module Explore = Bisram_explore.Explore
+module Pareto = Bisram_explore.Pareto
+module J = Bisram_obs.Json
+
+(* small enough to compile its designs in well under a second: one
+   organization at two spare levels, two defect means *)
+let tiny_spec_text =
+  "words = 64\n\
+   bpw = 8\n\
+   bpc = 4\n\
+   spares = 0, 4\n\
+   mean_defects = 1, 4\n\
+   evaluators = area, yield, cost, reliability\n"
+
+let tiny_spec () =
+  match Spec.of_string tiny_spec_text with
+  | Ok s -> s
+  | Error e -> Alcotest.fail ("tiny spec rejected: " ^ e)
+
+let temp_cache_dir () =
+  let path = Filename.temp_file "bisram-test-explore" ".cache" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* spec parsing *)
+
+let test_spec_parses () =
+  let s = tiny_spec () in
+  Alcotest.(check (list int)) "words" [ 64 ] s.Spec.words;
+  Alcotest.(check (list int)) "spares" [ 0; 4 ] s.Spec.spares;
+  Alcotest.(check (list string))
+    "evaluators in fixed order"
+    [ "area"; "yield"; "cost"; "reliability" ]
+    s.Spec.evaluators
+
+let test_spec_defaults () =
+  match Spec.of_string "" with
+  | Error e -> Alcotest.fail ("empty spec rejected: " ^ e)
+  | Ok s ->
+      Alcotest.(check (list int)) "fig4 spares" [ 0; 4; 8; 16 ] s.Spec.spares;
+      Alcotest.(check bool) "campaign off by default" false
+        (List.mem "campaign" s.Spec.evaluators)
+
+let expect_error name text =
+  match Spec.of_string text with
+  | Ok _ -> Alcotest.fail (name ^ ": expected a parse error")
+  | Error _ -> ()
+
+let test_spec_rejects () =
+  expect_error "unknown key" "wordz = 64\n";
+  expect_error "unknown evaluator" "evaluators = area, vibes\n";
+  expect_error "bad int" "words = sixty-four\n";
+  expect_error "negative mean" "mean_defects = -1\n";
+  expect_error "zero alpha" "alpha = 0\n";
+  expect_error "non-finite" "alpha = inf\n";
+  expect_error "missing equals" "words 64\n";
+  expect_error "campaign without trials" "evaluators = campaign\n";
+  expect_error "unknown process" "process = unobtainium\n"
+
+let test_expand_counts () =
+  let s = tiny_spec () in
+  let points, skipped = Spec.expand s in
+  Alcotest.(check int) "2 spares x 2 means" 4 (Array.length points);
+  Alcotest.(check int) "nothing skipped" 0 skipped;
+  (* an invalid organization (words not a multiple of bpc) is skipped,
+     dropping every point it would have generated *)
+  match
+    Spec.of_string
+      "words = 64, 66\n\
+       bpw = 8\n\
+       bpc = 4\n\
+       spares = 0, 4\n\
+       mean_defects = 1, 4\n\
+       evaluators = area, yield\n"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok s2 ->
+      let points2, skipped2 = Spec.expand s2 in
+      Alcotest.(check int) "valid points survive" 4 (Array.length points2);
+      Alcotest.(check int) "invalid combos counted" 2 skipped2
+
+(* ------------------------------------------------------------------ *)
+(* determinism: jobs count and cache temperature never change bytes *)
+
+let test_determinism () =
+  let s = tiny_spec () in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cold1 = Explore.run ~jobs:1 ~cache_dir:dir s in
+      let cold2 = Explore.run ~jobs:2 ~cache_dir:dir s in
+      let warm = Explore.run ~jobs:2 ~cache_dir:dir ~resume:true s in
+      let b1 = Explore.json_string cold1 in
+      Alcotest.(check string) "jobs 1 = jobs 2 (cold)" b1
+        (Explore.json_string cold2);
+      Alcotest.(check string) "cold = warm" b1 (Explore.json_string warm);
+      Alcotest.(check int) "cold run never hits" 0 cold1.Explore.cache_hits;
+      Alcotest.(check int) "warm run always hits"
+        (Explore.evaluations warm)
+        warm.Explore.cache_hits;
+      Alcotest.(check int) "warm run never misses" 0 warm.Explore.cache_misses)
+
+let test_diskless_run () =
+  (* no cache_dir: everything is a miss, bytes still identical *)
+  let s = tiny_spec () in
+  let r = Explore.run ~jobs:1 s in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cached = Explore.run ~jobs:1 ~cache_dir:dir s in
+      Alcotest.(check string) "diskless = cached bytes"
+        (Explore.json_string r)
+        (Explore.json_string cached);
+      Alcotest.(check int) "diskless misses everything"
+        (Explore.evaluations r)
+        r.Explore.cache_misses)
+
+(* ------------------------------------------------------------------ *)
+(* report shape *)
+
+let test_report_roundtrip () =
+  let r = Explore.run ~jobs:1 (tiny_spec ()) in
+  let text = Explore.pretty_json_string r in
+  match J.of_string text with
+  | Error e -> Alcotest.fail ("report does not re-parse: " ^ e)
+  | Ok doc ->
+      let member name =
+        match J.member name doc with
+        | Some v -> v
+        | None -> Alcotest.fail ("report lacks " ^ name)
+      in
+      (match member "schema" with
+      | J.String s -> Alcotest.(check string) "schema" "bisram-explore/1" s
+      | _ -> Alcotest.fail "schema not a string");
+      (match member "points" with
+      | J.List l -> Alcotest.(check int) "4 points" 4 (List.length l)
+      | _ -> Alcotest.fail "points not a list");
+      (match member "points_total" with
+      | J.Int n -> Alcotest.(check int) "points_total" 4 n
+      | _ -> Alcotest.fail "points_total not an int");
+      (match member "pareto" with
+      | J.List l ->
+          Alcotest.(check bool) "pareto non-empty" true (List.length l > 0)
+      | _ -> Alcotest.fail "pareto not a list");
+      (match member "best_spares" with
+      | J.List l ->
+          (* one group per defect mean (spares is the ranked variable) *)
+          Alcotest.(check int) "2 groups" 2 (List.length l)
+      | _ -> Alcotest.fail "best_spares not a list");
+      (* compact and pretty renderings carry the same document *)
+      match J.of_string (Explore.json_string r) with
+      | Ok compact ->
+          Alcotest.(check bool) "pretty = compact document" true (compact = doc)
+      | Error e -> Alcotest.fail ("compact form does not re-parse: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* pareto frontier *)
+
+let xy_objectives =
+  [ Pareto.objective ~name:"x" ~direction:Pareto.Minimize (fun (x, _) ->
+        Some x)
+  ; Pareto.objective ~name:"y" ~direction:Pareto.Maximize (fun (_, y) -> y)
+  ]
+
+let test_pareto_frontier () =
+  (* (1,9) and (3,12) are efficient; (2,5) is dominated by (1,9);
+     (4,1) by everything; the point missing y is excluded *)
+  let items =
+    [ (1.0, Some 9.0); (2.0, Some 5.0); (3.0, Some 12.0); (4.0, Some 1.0)
+    ; (0.0, None)
+    ]
+  in
+  let front = Pareto.frontier ~objectives:xy_objectives items in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "efficient set in input order"
+    [ (1.0, 9.0); (3.0, 12.0) ]
+    (List.map (fun (x, y) -> (x, Option.get y)) front)
+
+let prop_pareto_nondominated =
+  QCheck.Test.make ~name:"frontier members never dominate each other"
+    ~count:100
+    QCheck.(small_list (pair (float_range 0.0 10.0) (float_range 0.0 10.0)))
+    (fun pts ->
+      let items = List.map (fun (x, y) -> (x, Some y)) pts in
+      let front = Pareto.frontier ~objectives:xy_objectives items in
+      let score (x, y) = [| x; -.Option.get y |] in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b -> not (Pareto.dominates (score a) (score b)))
+            front)
+        front)
+
+let () =
+  Alcotest.run "explore"
+    [ ( "spec",
+        [ Alcotest.test_case "parses" `Quick test_spec_parses
+        ; Alcotest.test_case "defaults" `Quick test_spec_defaults
+        ; Alcotest.test_case "rejects" `Quick test_spec_rejects
+        ; Alcotest.test_case "expand counts" `Quick test_expand_counts
+        ] )
+    ; ( "engine",
+        [ Alcotest.test_case "jobs + cache determinism" `Quick
+            test_determinism
+        ; Alcotest.test_case "diskless run" `Quick test_diskless_run
+        ; Alcotest.test_case "report round-trip" `Quick test_report_roundtrip
+        ] )
+    ; ( "pareto",
+        [ Alcotest.test_case "frontier" `Quick test_pareto_frontier
+        ; QCheck_alcotest.to_alcotest prop_pareto_nondominated
+        ] )
+    ]

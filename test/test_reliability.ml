@@ -69,6 +69,36 @@ let test_failure_pdf_nonnegative () =
         (Rel.failure_pdf c t >= -1e-9))
     [ 1e3; 1e4; 1e5; 5e5 ]
 
+let test_lambda_rejected () =
+  let expect name l =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Rel.of_org (org 4) ~lambda:l);
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect "zero lambda" 0.0;
+  expect "negative lambda" (-1e-9);
+  expect "nan lambda" Float.nan;
+  expect "infinite lambda" Float.infinity
+
+(* MTTF is strictly decreasing in the per-bit failure rate: scaling
+   lambda up by any factor >= 1.5 must strictly shorten the expected
+   life.  A small org keeps the Simpson integration cheap. *)
+let prop_mttf_decreasing_in_lambda =
+  QCheck.Test.make ~name:"mttf strictly decreasing in lambda" ~count:25
+    QCheck.(
+      triple
+        (float_range (-9.0) (-6.0))
+        (float_range 1.5 10.0) (int_range 0 2))
+    (fun (log_l, factor, si) ->
+      let s = List.nth [ 0; 4; 8 ] si in
+      let small = Org.make ~words:64 ~bpw:4 ~bpc:4 ~spares:s () in
+      let l = 10.0 ** log_l in
+      let m1 = Rel.mttf (Rel.of_org small ~lambda:l) in
+      let m2 = Rel.mttf (Rel.of_org small ~lambda:(l *. factor)) in
+      m2 < m1)
+
 let prop_reliability_unit_interval =
   QCheck.Test.make ~name:"R(t) in [0,1]" ~count:200
     QCheck.(pair (float_range 0.0 1e6) (int_range 0 2))
@@ -91,6 +121,9 @@ let () =
         ; Alcotest.test_case "mttf scaling" `Slow
             test_mttf_scales_inversely_with_lambda
         ; Alcotest.test_case "pdf nonnegative" `Quick test_failure_pdf_nonnegative
+        ; Alcotest.test_case "degenerate lambda rejected" `Quick
+            test_lambda_rejected
         ; QCheck_alcotest.to_alcotest prop_reliability_unit_interval
+        ; QCheck_alcotest.to_alcotest prop_mttf_decreasing_in_lambda
         ] )
     ]

@@ -116,6 +116,96 @@ let prop_yield_in_unit_interval =
       let y = Rp.yield (fig4_geom s) ~mean_defects:n ~alpha:2.0 in
       y >= 0.0 && y <= 1.0)
 
+(* --- input hardening: degenerate inputs raise instead of yielding NaN --- *)
+
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_stapper_rejects_degenerate () =
+  expect_invalid "negative mean" (fun () ->
+      S.stapper_yield ~mean_defects:(-1.0) ~alpha:2.0);
+  expect_invalid "nan mean" (fun () ->
+      S.stapper_yield ~mean_defects:Float.nan ~alpha:2.0);
+  expect_invalid "zero alpha" (fun () ->
+      S.stapper_yield ~mean_defects:1.0 ~alpha:0.0);
+  expect_invalid "negative alpha" (fun () ->
+      S.stapper_yield ~mean_defects:1.0 ~alpha:(-2.0));
+  expect_invalid "infinite alpha" (fun () ->
+      S.stapper_yield ~mean_defects:1.0 ~alpha:Float.infinity);
+  expect_invalid "negative density" (fun () ->
+      S.stapper_yield_da ~defect_density:(-0.1) ~area:1.0 ~alpha:2.0);
+  expect_invalid "negative area" (fun () ->
+      S.stapper_yield_da ~defect_density:0.1 ~area:(-1.0) ~alpha:2.0);
+  expect_invalid "yield 0" (fun () ->
+      S.mean_defects_of_yield ~yield:0.0 ~alpha:2.0);
+  expect_invalid "yield > 1" (fun () ->
+      S.mean_defects_of_yield ~yield:1.5 ~alpha:2.0);
+  expect_invalid "nan yield" (fun () ->
+      S.mean_defects_of_yield ~yield:Float.nan ~alpha:2.0);
+  expect_invalid "negative poisson mean" (fun () ->
+      S.poisson_yield ~mean_defects:(-0.5));
+  expect_invalid "negative lambda" (fun () ->
+      S.poisson_cell_yield ~lambda:(-1e-9))
+
+let test_repairable_rejects_degenerate () =
+  expect_invalid "nan logic_fraction" (fun () ->
+      Rp.make ~regular_rows:16 ~spares:2 ~logic_fraction:Float.nan
+        ~growth_factor:1.0);
+  expect_invalid "logic_fraction 1" (fun () ->
+      Rp.make ~regular_rows:16 ~spares:2 ~logic_fraction:1.0
+        ~growth_factor:1.0);
+  expect_invalid "nan growth" (fun () ->
+      Rp.make ~regular_rows:16 ~spares:2 ~logic_fraction:0.0
+        ~growth_factor:Float.nan);
+  expect_invalid "growth < 1" (fun () ->
+      Rp.make ~regular_rows:16 ~spares:2 ~logic_fraction:0.0
+        ~growth_factor:0.5);
+  let g = fig4_geom 4 in
+  expect_invalid "negative mean" (fun () ->
+      Rp.yield g ~mean_defects:(-1.0) ~alpha:2.0);
+  expect_invalid "nan mean" (fun () ->
+      Rp.yield g ~mean_defects:Float.nan ~alpha:2.0);
+  expect_invalid "zero alpha" (fun () ->
+      Rp.yield g ~mean_defects:1.0 ~alpha:0.0);
+  expect_invalid "poisson negative mean" (fun () ->
+      Rp.yield_poisson g ~mean_defects:(-1.0));
+  expect_invalid "mc zero trials" (fun () ->
+      Rp.yield_monte_carlo
+        (Random.State.make [| 1 |])
+        g ~mean_defects:1.0 ~alpha:2.0 ~trials:0)
+
+(* MC simulation agrees with the analytic mixture on *random* geometries,
+   not just the Fig. 4 one — the two paths share no code beyond the
+   geometry record, so agreement cross-checks both *)
+let prop_mc_matches_analytic =
+  QCheck.Test.make ~name:"monte carlo ~ analytic on random geometries"
+    ~count:15
+    QCheck.(
+      quad (int_range 32 512) (int_range 0 3)
+        (pair (float_range 0.0 0.1) (float_range 0.0 8.0))
+        (float_range 0.5 4.0))
+    (fun (rows, si, (logic, mean), alpha) ->
+      let spares = [| 0; 2; 4; 8 |].(si) in
+      let g =
+        Rp.make ~regular_rows:rows ~spares ~logic_fraction:logic
+          ~growth_factor:1.05
+      in
+      let rng =
+        Random.State.make
+          [| 73; rows; spares; int_of_float (mean *. 1000.0)
+           ; int_of_float (alpha *. 1000.0)
+          |]
+      in
+      let a = Rp.yield g ~mean_defects:mean ~alpha in
+      let m =
+        Rp.yield_monte_carlo rng g ~mean_defects:mean ~alpha ~trials:20_000
+      in
+      abs_float (a -. m) < 0.03)
+
 let prop_occupancy_monotone_in_spares =
   QCheck.Test.make ~name:"occupancy CDF monotone in spares" ~count:200
     QCheck.(pair (int_range 1 40) (int_range 2 64))
@@ -147,5 +237,12 @@ let () =
             test_poisson_vs_clustered_repairable
         ; QCheck_alcotest.to_alcotest prop_yield_in_unit_interval
         ; QCheck_alcotest.to_alcotest prop_occupancy_monotone_in_spares
+        ; QCheck_alcotest.to_alcotest prop_mc_matches_analytic
+        ] )
+    ; ( "hardening",
+        [ Alcotest.test_case "stapper rejects degenerate" `Quick
+            test_stapper_rejects_degenerate
+        ; Alcotest.test_case "repairable rejects degenerate" `Quick
+            test_repairable_rejects_degenerate
         ] )
     ]
