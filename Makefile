@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke trace-smoke explore-smoke ci clean
+.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke trace-smoke explore-smoke chaos-smoke resume-determinism ci clean
 
 all: build
 
@@ -70,7 +70,53 @@ explore-smoke: build
 	  .ci-explore-warm.err
 	@echo "explore-smoke: OK"
 
-ci: build test campaign-smoke campaign-determinism bench-smoke trace-smoke explore-smoke
+# Fault-injection gate: with deterministic chaos armed, transient job
+# failures must be absorbed by the pool's retry and injected cache
+# corruption must quarantine-and-recompute — both byte-identical to the
+# clean run (the whole point of the fault-tolerant execution layer).
+chaos-smoke: build
+	dune exec bin/bisramgen.exe -- campaign --trials 40 --seed 7 \
+	  --mix stuck-at --jobs 2 > .ci-chaos-clean.json
+	BISRAM_CHAOS_SEED=11 BISRAM_CHAOS_JOB=0.2 \
+	  dune exec bin/bisramgen.exe -- campaign --trials 40 --seed 7 \
+	  --mix stuck-at --jobs 2 > .ci-chaos-faulted.json
+	diff .ci-chaos-clean.json .ci-chaos-faulted.json
+	rm -rf .ci-chaos-cache
+	dune exec bin/bisramgen.exe -- explore --spec examples/explore_smoke.spec \
+	  --jobs 1 --cache .ci-chaos-cache > .ci-chaos-explore-cold.json
+	BISRAM_CHAOS_SEED=3 BISRAM_CHAOS_CACHE_READ=0.5 \
+	  dune exec bin/bisramgen.exe -- explore \
+	  --spec examples/explore_smoke.spec --jobs 2 --cache .ci-chaos-cache \
+	  --resume > .ci-chaos-explore-heal.json 2> .ci-chaos-explore.err
+	diff .ci-chaos-explore-cold.json .ci-chaos-explore-heal.json
+	grep -q "cache self-heal" .ci-chaos-explore.err
+	rm -rf .ci-chaos-cache .ci-chaos-clean.json .ci-chaos-faulted.json \
+	  .ci-chaos-explore-cold.json .ci-chaos-explore-heal.json \
+	  .ci-chaos-explore.err
+	@echo "chaos-smoke: OK"
+
+# Crash-recovery gate: a campaign killed mid-run (injected exit 137 at
+# trial 25) leaves a checkpoint from which --resume reproduces the
+# uninterrupted report byte-for-byte.
+resume-determinism: build
+	rm -f .ci-resume.ckpt.json
+	dune exec bin/bisramgen.exe -- campaign --trials 60 --seed 7 \
+	  --mix stuck-at --jobs 2 > .ci-resume-full.json
+	BISRAM_CHAOS_KILL_TRIAL=25 dune exec bin/bisramgen.exe -- campaign \
+	  --trials 60 --seed 7 --mix stuck-at --jobs 2 \
+	  --checkpoint .ci-resume.ckpt.json --checkpoint-every 5 \
+	  > /dev/null; test $$? -eq 137
+	test -s .ci-resume.ckpt.json
+	dune exec bin/bisramgen.exe -- campaign --trials 60 --seed 7 \
+	  --mix stuck-at --jobs 2 --checkpoint .ci-resume.ckpt.json --resume \
+	  > .ci-resume-resumed.json 2> .ci-resume.err
+	grep -q "resumed" .ci-resume.err
+	diff .ci-resume-full.json .ci-resume-resumed.json
+	rm -f .ci-resume-full.json .ci-resume-resumed.json .ci-resume.ckpt.json \
+	  .ci-resume.err
+	@echo "resume-determinism: OK"
+
+ci: build test campaign-smoke campaign-determinism bench-smoke trace-smoke explore-smoke chaos-smoke resume-determinism
 	@echo "ci: OK"
 
 clean:

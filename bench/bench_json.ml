@@ -363,6 +363,112 @@ let model_hit_ratios () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* resilience: the price of fault tolerance when nothing goes wrong
+   (checkpointing a healthy campaign) and when everything does (healing
+   a fully corrupted explore cache).  The acceptance line is that
+   checkpointing must stay within 2% of the uncheckpointed run — the
+   snapshot serializes the whole completed prefix, so this is the
+   figure that catches an accidentally quadratic writer. *)
+
+let checkpoint_overhead () =
+  let trials = if !smoke then 20 else 400 in
+  let cfg =
+    C.make_config ~mode:(C.Uniform 0) ~trials ~seed:1999 ~shrink:false ()
+  in
+  let ckpt = Filename.temp_file "bisram-bench" ".ckpt.json" in
+  let once every =
+    match every with
+    | 0 -> ignore (C.run ~jobs:1 cfg)
+    | every ->
+        ignore
+          (C.run ~jobs:1 ~checkpoint:(C.checkpoint ~path:ckpt ~every ()) cfg)
+  in
+  (* interleave the configurations within each rep so a noise burst on
+     a shared box penalizes every configuration alike instead of
+     landing on one and reading as overhead (or as a speedup) *)
+  let everys = [ 0; 100; 1000 ] in
+  let best = Hashtbl.create 4 in
+  List.iter (fun e -> Hashtbl.replace best e infinity) everys;
+  ignore (C.run ~jobs:1 cfg) (* warm-up: page in code and heap *);
+  let reps = if !smoke then 1 else 5 in
+  for _ = 1 to reps do
+    List.iter
+      (fun e ->
+        let _, s = time (fun () -> once e) in
+        if s < Hashtbl.find best e then Hashtbl.replace best e s)
+      everys
+  done;
+  let base = Hashtbl.find best 0 in
+  let level every =
+    let s = Hashtbl.find best every in
+    let pct = (s -. base) /. base *. 100.0 in
+    J.Obj
+      [ ("every", J.Int every)
+      ; ("seconds", J.Float s)
+      ; ("overhead_pct", J.Float pct)
+      ; ("within_acceptance", J.Bool (pct <= 2.0))
+      ]
+  in
+  let levels = List.map level [ 100; 1000 ] in
+  (try Sys.remove ckpt with Sys_error _ -> ());
+  J.Obj
+    [ ("trials", J.Int trials)
+    ; ("baseline_seconds", J.Float base)
+    ; ("acceptance_overhead_pct", J.Float 2.0)
+    ; ("levels", J.List levels)
+    ]
+
+let corrupt_entries dir =
+  Array.fold_left
+    (fun n name ->
+      if Filename.check_suffix name ".json" then begin
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc "{ damaged";
+        close_out oc;
+        n + 1
+      end
+      else n)
+    0 (Sys.readdir dir)
+
+let self_heal_cost () =
+  let spec = explore_spec () in
+  let dir = Filename.temp_file "bisram-bench-heal" ".cache" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  ignore (Explore.run ~jobs:1 ~cache_dir:dir spec) (* populate *);
+  let warm_s =
+    best_of 2 (fun () ->
+        ignore (Explore.run ~jobs:1 ~cache_dir:dir ~resume:true spec))
+  in
+  (* healing is one-shot by nature — the first pass repairs the cache —
+     so it is a single sample, not a best-of *)
+  let entries = corrupt_entries dir in
+  let healed = ref None in
+  let _, heal_s =
+    time (fun () ->
+        healed := Some (Explore.run ~jobs:1 ~cache_dir:dir ~resume:true spec))
+  in
+  let quarantined =
+    match !healed with
+    | Some r -> r.Explore.cache_stats.Bisram_explore.Cache.st_quarantined
+    | None -> 0
+  in
+  rm_rf_cache dir;
+  J.Obj
+    [ ("entries_corrupted", J.Int entries)
+    ; ("entries_quarantined", J.Int quarantined)
+    ; ("warm_seconds", J.Float warm_s)
+    ; ("heal_seconds", J.Float heal_s)
+    ; ("heal_over_warm", J.Float (heal_s /. warm_s))
+    ]
+
+let resilience () =
+  J.Obj
+    [ ("checkpoint", checkpoint_overhead ())
+    ; ("cache_self_heal", self_heal_cost ())
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* --smoke: exercise the exporters end to end (write, re-read, parse,
    check required keys) so `make bench-smoke` catches exporter bit-rot *)
 
@@ -446,9 +552,10 @@ let () =
   let kernels, derived = kernels () in
   let telemetry = telemetry_overhead () in
   let model_hits = model_hit_ratios () in
+  let resilience = resilience () in
   let doc =
     J.Obj
-      [ ("schema", J.String "bisram-bench/4")
+      [ ("schema", J.String "bisram-bench/5")
       ; ( "machine"
         , J.Obj
             [ ("cores", J.Int (Pool.recommended_jobs ()))
@@ -462,6 +569,7 @@ let () =
       ; ("derived", derived)
       ; ("telemetry", telemetry)
       ; ("model_hits", model_hits)
+      ; ("resilience", resilience)
       ]
   in
   let oc = open_out !out in

@@ -302,7 +302,7 @@ let export_telemetry ~trace ~metrics ~stats =
 
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     mix max_seconds no_shrink max_rounds jobs trace metrics stats replay_seed
-    fail_on_anomaly =
+    fail_on_anomaly checkpoint_path checkpoint_every resume trial_deadline =
   let jobs_result = resolve_jobs jobs in
   let mix_result =
     match mix with
@@ -332,20 +332,36 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     | Ok m, Ok mix, Ok mode, Ok jobs -> (
         match
           let org = Org.make ~spares ~words ~bpw ~bpc () in
-          Campaign.make_config ~org ~march:m ~mix ~mode ~trials ~seed
-            ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
+          let cfg =
+            Campaign.make_config ~org ~march:m ~mix ~mode ~trials ~seed
+              ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
+          in
+          (match trial_deadline with
+          | Some s when s <= 0.0 ->
+              invalid_arg "--trial-deadline must be positive"
+          | _ -> ());
+          let ck =
+            if checkpoint_every > 0 || resume then
+              Some
+                (Campaign.checkpoint ~path:checkpoint_path
+                   ~every:checkpoint_every ~resume ())
+            else None
+          in
+          (cfg, ck)
         with
         (* the resolved job count stays out of the config: the report
            must not depend on the machine the campaign happened to
            run on *)
-        | cfg -> Ok (cfg, jobs)
+        | cfg, ck -> Ok (cfg, jobs, ck)
         | exception Invalid_argument e -> Error e)
   in
   match cfg_result with
   | Error e ->
-      Printf.eprintf "bisramgen: %s\n" e;
-      1
-  | Ok (cfg, jobs) -> (
+      (* one-line diagnostic, never a backtrace; exit 2 = invalid
+         configuration (distinct from 1 = runtime error, 3 = anomaly) *)
+      Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
+      2
+  | Ok (cfg, jobs, ck) -> (
       let telemetry = trace <> None || metrics <> None || stats in
       if telemetry then begin
         Obs.set_enabled true;
@@ -373,14 +389,51 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
             t.Campaign.t_anomalies;
           finish (if t.Campaign.t_anomalies = [] then 0 else 3)
       | None ->
-          let r = Campaign.run ~jobs cfg in
+          (* SIGINT drains instead of killing: the flag is polled by
+             every worker before each trial (an Atomic.get, so it is
+             domain-safe), in-flight trials finish, and the maximal
+             contiguous prefix is still reported — exactly the
+             wall-clock-budget truncation semantics.  A second SIGINT
+             falls through to the restored default handler. *)
+          let sigint = Atomic.make false in
+          let prev_sigint =
+            try
+              Some
+                (Sys.signal Sys.sigint
+                   (Sys.Signal_handle (fun _ -> Atomic.set sigint true)))
+            with Invalid_argument _ | Sys_error _ -> None
+          in
+          let r =
+            Fun.protect
+              ~finally:(fun () ->
+                match prev_sigint with
+                | Some h -> Sys.set_signal Sys.sigint h
+                | None -> ())
+              (fun () ->
+                Campaign.run ~jobs
+                  ~should_stop:(fun () -> Atomic.get sigint)
+                  ?checkpoint:ck ?trial_deadline cfg)
+          in
           print_string (Campaign.pretty_json_string r);
-          finish
-            (if
-               fail_on_anomaly
-               && (r.Campaign.escapes <> [] || r.Campaign.divergences <> [])
-             then 3
-             else 0))
+          if r.Campaign.resumed_trials > 0 then
+            Printf.eprintf "bisramgen: resumed %d trial(s) from checkpoint\n"
+              r.Campaign.resumed_trials;
+          if r.Campaign.tool_errors <> [] then
+            Printf.eprintf "bisramgen: %d trial(s) recorded as tool errors\n"
+              (List.length r.Campaign.tool_errors);
+          if Atomic.get sigint then begin
+            Printf.eprintf
+              "bisramgen: interrupted; report covers the first %d trial(s)\n"
+              r.Campaign.trials_run;
+            finish 130
+          end
+          else
+            finish
+              (if
+                 fail_on_anomaly
+                 && (r.Campaign.escapes <> [] || r.Campaign.divergences <> [])
+               then 3
+               else 0))
 
 let campaign_cmd =
   (* the campaign simulates every trial word-by-word, so its defaults
@@ -499,12 +552,51 @@ let campaign_cmd =
       & info [ "fail-on-anomaly" ]
           ~doc:"Exit 3 when the campaign found any escape or divergence.")
   in
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt string ".bisram-campaign.ckpt.json"
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint snapshot file (atomic temp + rename).  Only used \
+             when $(b,--checkpoint-every) or $(b,--resume) is given.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Snapshot the completed-trial prefix every $(docv) trials (and \
+             once at the end).  0 (the default) disables checkpoint writing.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Load the checkpoint first and serve its trials from memory \
+             instead of recomputing them.  The report is byte-identical to \
+             an uninterrupted run; a missing or damaged checkpoint silently \
+             degrades to recomputation.")
+  in
+  let trial_deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "trial-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Cooperative per-trial deadline: a trial exceeding it is \
+             recorded as a tool error in the report and the campaign \
+             continues.")
+  in
   let term =
     Term.(
       const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
       $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
       $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
-      $ trace_arg $ metrics_arg $ stats_arg $ replay_arg $ fail_arg)
+      $ trace_arg $ metrics_arg $ stats_arg $ replay_arg $ fail_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+      $ trial_deadline_arg)
   in
   Cmd.v
     (Cmd.info "campaign"
@@ -521,16 +613,22 @@ let campaign_cmd =
 let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
   let spec_result =
     match read_file spec_file with
-    | exception Sys_error e -> Error e
+    | exception Sys_error e -> Error (`Io e)
     | text -> (
         match Bisram_explore.Spec.of_string text with
         | Ok s -> Ok s
-        | Error e -> Error (spec_file ^ ": " ^ e))
+        | Error e -> Error (`Config (spec_file ^ ": " ^ e)))
   in
-  match (spec_result, resolve_jobs jobs) with
-  | Error e, _ | _, Error e ->
+  let jobs_result =
+    Result.map_error (fun e -> `Config e) (resolve_jobs jobs)
+  in
+  match (spec_result, jobs_result) with
+  | Error (`Io e), _ ->
       Printf.eprintf "bisramgen: %s\n" e;
       1
+  | Error (`Config e), _ | _, Error (`Config e) ->
+      Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
+      2
   | Ok spec, Ok jobs -> (
       let telemetry = trace <> None || metrics <> None || stats in
       if telemetry then begin
@@ -541,8 +639,8 @@ let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
         Bisram_explore.Explore.run ~jobs ~cache_dir ~resume spec
       with
       | exception Invalid_argument e ->
-          Printf.eprintf "bisramgen: %s\n" e;
-          1
+          Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
+          2
       | r ->
           (* stdout carries only the byte-identical report; cache
              statistics and the --pareto table go to stderr *)
@@ -558,6 +656,16 @@ let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
              (%.1f%% hit rate)\n"
             (Array.length r.E.points)
             evals r.E.cache_hits r.E.cache_misses rate;
+          (let cs = r.E.cache_stats in
+           let module C = Bisram_explore.Cache in
+           if
+             cs.C.st_quarantined > 0 || cs.C.st_reaped_tmp > 0
+             || cs.C.st_io_errors > 0
+           then
+             Printf.eprintf
+               "explore: cache self-heal: %d quarantined, %d tmp reaped, %d \
+                io error(s)\n"
+               cs.C.st_quarantined cs.C.st_reaped_tmp cs.C.st_io_errors);
           if pareto then prerr_string (E.summary_table r);
           if telemetry then export_telemetry ~trace ~metrics ~stats;
           0)
@@ -727,6 +835,10 @@ let marches_cmd =
     Term.(const run $ const ())
 
 let () =
+  (* chaos harness: armed only when BISRAM_CHAOS_* variables are set in
+     the environment; a production invocation costs one getenv here and
+     disarmed Atomic.gets at the seams *)
+  Bisram_chaos.Chaos.arm_from_env ();
   let info =
     Cmd.info "bisramgen" ~version:"1.0.0"
       ~doc:"Physical design tool for built-in self-repairable static RAMs"

@@ -8,6 +8,8 @@ module Repair = Bisram_bisr.Repair
 module Tlb = Bisram_bisr.Tlb
 module Repairable = Bisram_yield.Repairable
 module Obs = Bisram_obs.Obs
+module Pool = Bisram_parallel.Pool
+module Chaos = Bisram_chaos.Chaos
 module J = Report
 
 (* ------------------------------------------------------------------ *)
@@ -40,6 +42,7 @@ let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
   if not (Org.simulable org) then
     invalid_arg "Campaign.make_config: organization is not simulable (bpw too wide)";
   if trials < 0 then invalid_arg "Campaign.make_config: trials";
+  if max_rounds < 1 then invalid_arg "Campaign.make_config: max_rounds";
   (match mode with
   | Uniform n when n < 0 -> invalid_arg "Campaign.make_config: faults"
   | Poisson m when m < 0.0 -> invalid_arg "Campaign.make_config: mean"
@@ -139,17 +142,22 @@ let run_faults cfg faults =
     Obs.span ~cat:"campaign" "march" (fun () ->
         Repair.run mc cfg.march ~backgrounds:bgs)
   in
+  (* between flows: the cooperative per-trial deadline (a no-op unless
+     the caller set one on the pool) *)
+  Pool.check_deadline ();
   let mr = model_with cfg faults in
   let reference, r_tlb =
     Obs.span ~cat:"campaign" "oracle" (fun () ->
         Repair.run_reference mr cfg.march ~backgrounds:bgs)
   in
+  Pool.check_deadline ();
   let mi = model_with cfg faults in
   let it =
     Obs.span ~cat:"campaign" "repair" (fun () ->
         Repair.run_iterated_result ~max_rounds:cfg.max_rounds mi cfg.march
           ~backgrounds:bgs)
   in
+  Pool.check_deadline ();
   let anomalies = ref [] in
   let push a = anomalies := a :: !anomalies in
   (* oracle divergence: microprogrammed controller vs functional engine *)
@@ -283,13 +291,32 @@ let empty_histogram =
   ; fault_in_second_pass = 0
   }
 
-let count_outcome h = function
-  | Repair.Passed_clean -> { h with passed_clean = h.passed_clean + 1 }
-  | Repair.Repaired _ -> { h with repaired = h.repaired + 1 }
+(* Outcome classes travel as strings because they are exactly what the
+   report histograms and the checkpoint records need — the full
+   [Repair.outcome] payload (the repaired row list) never reaches the
+   report, so serializing it would only widen the checkpoint format. *)
+let outcome_class = function
+  | Repair.Passed_clean -> "passed_clean"
+  | Repair.Repaired _ -> "repaired"
   | Repair.Repair_unsuccessful Repair.Too_many_faulty_rows ->
-      { h with too_many_faulty_rows = h.too_many_faulty_rows + 1 }
+      "too_many_faulty_rows"
   | Repair.Repair_unsuccessful Repair.Fault_in_second_pass ->
+      "fault_in_second_pass"
+
+let class_known = function
+  | "passed_clean" | "repaired" | "too_many_faulty_rows"
+  | "fault_in_second_pass" ->
+      true
+  | _ -> false
+
+let count_class h = function
+  | "passed_clean" -> { h with passed_clean = h.passed_clean + 1 }
+  | "repaired" -> { h with repaired = h.repaired + 1 }
+  | "too_many_faulty_rows" ->
+      { h with too_many_faulty_rows = h.too_many_faulty_rows + 1 }
+  | "fault_in_second_pass" ->
       { h with fault_in_second_pass = h.fault_in_second_pass + 1 }
+  | c -> invalid_arg ("Campaign: unknown outcome class " ^ c)
 
 type failure = {
   f_trial : int;
@@ -301,15 +328,23 @@ type failure = {
   f_shrunk : Fault.t list;
 }
 
+type tool_error = {
+  te_trial : int;
+  te_seed : int;
+  te_error : string;
+}
+
 type result = {
   config : config;
   trials_run : int;
   truncated : bool;
+  resumed_trials : int;
   two_pass : histogram;
   iterated : histogram;
   rounds : (int * int) list;  (** (verify rounds, trial count), sorted *)
   escapes : failure list;
   divergences : failure list;
+  tool_errors : tool_error list;
   observed_yield_two_pass : float;
   observed_yield_iterated : float;
   analytic_yield : float;
@@ -357,110 +392,8 @@ let failure_of_anomaly cfg trial anomaly =
         (fun () -> shrink_anomaly cfg anomaly trial.t_faults)
   }
 
-let run ?now ?(jobs = 1) cfg =
-  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
-  let now =
-    match now with Some f -> f | None -> Bisram_parallel.Clock.now
-  in
-  let start = now () in
-  let caller = Domain.self () in
-  let over_budget () =
-    (* only the calling domain consults [now]; helper domains see the
-       pool's shared stop flag instead, so an impure [now] (e.g. a test
-       stub advancing a ref) never races across domains *)
-    Domain.self () = caller
-    && (match cfg.max_seconds with
-       | None -> false
-       | Some s -> now () -. start >= s)
-  in
-  (* Every trial already owns its derived seed, so trials are
-     independent and can run on any worker.  Shrinking runs inside the
-     worker too (it dominates the cost of a failing trial) and is a
-     deterministic function of the trial.  The merge below walks the
-     positional results in trial order, which keeps the report
-     byte-identical at every job count (budgeted runs excepted: where
-     the budget fires depends on timing at any job count). *)
-  let work index =
-    let trial = run_trial cfg ~index in
-    let failures =
-      List.map (fun a -> (a, failure_of_anomaly cfg trial a)) trial.t_anomalies
-    in
-    (trial, failures)
-  in
-  (* per-domain utilization lands in worker-indexed counters; the probe
-     runs on each worker's own domain, so it writes that domain's
-     telemetry shard without contention *)
-  let probe =
-    if not (Obs.enabled ()) then None
-    else
-      Some
-        (fun ~worker ~busy_ns ~total_ns ~chunks ~items ->
-          let p = Printf.sprintf "pool.worker%d." worker in
-          Obs.add (p ^ "busy_ns") (Int64.to_int busy_ns);
-          Obs.add (p ^ "idle_ns")
-            (Int64.to_int (Int64.sub total_ns busy_ns));
-          Obs.add (p ^ "chunks") chunks;
-          Obs.add (p ^ "items") items)
-  in
-  let completed =
-    Bisram_parallel.Pool.map ~jobs ~should_stop:over_budget ?probe cfg.trials
-      work
-  in
-  (* Under a budget, workers past the one that tripped the stop may have
-     completed trials beyond the first unfinished index, leaving holes.
-     Aggregate only the maximal contiguous prefix so a truncated report
-     means the same thing at every job count: exactly the trials
-     [0 .. trials_run - 1], as the sequential loop would produce. *)
-  let trials_run =
-    let n = Array.length completed in
-    let i = ref 0 in
-    while !i < n && Option.is_some completed.(!i) do
-      incr i
-    done;
-    !i
-  in
-  let two_pass = ref empty_histogram in
-  let iterated = ref empty_histogram in
-  let rounds : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let escapes = ref [] in
-  let divergences = ref [] in
-  for i = 0 to trials_run - 1 do
-    match completed.(i) with
-    | None -> assert false (* inside the contiguous prefix *)
-    | Some (trial, failures) ->
-        let v = trial.t_verdicts in
-        two_pass := count_outcome !two_pass v.controller;
-        iterated := count_outcome !iterated v.iterated;
-        Hashtbl.replace rounds v.rounds
-          (1 + Option.value ~default:0 (Hashtbl.find_opt rounds v.rounds));
-        List.iter
-          (fun (anomaly, f) ->
-            match anomaly with
-            | Escape _ -> escapes := f :: !escapes
-            | Divergence _ -> divergences := f :: !divergences)
-          failures
-  done;
-  let frac h =
-    if trials_run = 0 then 0.0
-    else float_of_int (h.passed_clean + h.repaired) /. float_of_int trials_run
-  in
-  { config = cfg
-  ; trials_run
-  ; truncated = trials_run < cfg.trials
-  ; two_pass = !two_pass
-  ; iterated = !iterated
-  ; rounds =
-      Hashtbl.fold (fun r c acc -> (r, c) :: acc) rounds []
-      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-  ; escapes = List.rev !escapes
-  ; divergences = List.rev !divergences
-  ; observed_yield_two_pass = frac !two_pass
-  ; observed_yield_iterated = frac !iterated
-  ; analytic_yield = analytic_yield cfg
-  }
-
 (* ------------------------------------------------------------------ *)
-(* JSON report *)
+(* JSON rendering (also the checkpoint wire format) *)
 
 let cell_json (c : Fault.cell) =
   J.Obj [ ("row", J.Int c.Fault.row); ("col", J.Int c.Fault.col) ]
@@ -564,9 +497,501 @@ let failure_json f =
     ; ("shrunk", J.List (List.map fault_json f.f_shrunk))
     ]
 
+let tool_error_json e =
+  J.Obj
+    [ ("trial", J.Int e.te_trial)
+    ; ("seed", J.Int e.te_seed)
+    ; ("error", J.String e.te_error)
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing (checkpoint resume)
+
+   Exact inverses of the renderers above: a record that round-trips
+   through parse + re-render yields the same bytes, which is what makes
+   a resumed report byte-identical to an uninterrupted run.  Parsers
+   are total — any unexpected shape is [None], never an exception — so
+   a corrupt checkpoint degrades to recomputation. *)
+
+let ( let* ) = Option.bind
+
+let field_int k j =
+  match J.member k j with Some (J.Int i) -> Some i | _ -> None
+
+let field_str k j =
+  match J.member k j with Some (J.String s) -> Some s | _ -> None
+
+let field_bool k j =
+  match J.member k j with Some (J.Bool b) -> Some b | _ -> None
+
+let field_list k j =
+  match J.member k j with Some (J.List l) -> Some l | _ -> None
+
+let all_opt f l =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* y = f x in
+      Some (y :: acc))
+    l (Some [])
+
+let cell_of_json j =
+  let* row = field_int "row" j in
+  let* col = field_int "col" j in
+  Some { Fault.row; col }
+
+let field_cell k j =
+  let* c = J.member k j in
+  cell_of_json c
+
+let fault_of_json j =
+  let* cls = field_str "class" j in
+  match cls with
+  | "SAF" ->
+      let* c = field_cell "cell" j in
+      let* v = field_bool "value" j in
+      Some (Fault.Stuck_at (c, v))
+  | "TF" ->
+      let* c = field_cell "cell" j in
+      let* up = field_bool "rising" j in
+      Some (Fault.Transition (c, up))
+  | "SOF" ->
+      let* c = field_cell "cell" j in
+      Some (Fault.Stuck_open c)
+  | "CFin" ->
+      let* aggressor = field_cell "aggressor" j in
+      let* victim = field_cell "victim" j in
+      Some (Fault.Coupling_inversion { aggressor; victim })
+  | "CFid" ->
+      let* aggressor = field_cell "aggressor" j in
+      let* rising = field_bool "rising" j in
+      let* victim = field_cell "victim" j in
+      let* forces = field_bool "forces" j in
+      Some (Fault.Coupling_idempotent { aggressor; rising; victim; forces })
+  | "CFst" ->
+      let* aggressor = field_cell "aggressor" j in
+      let* when_state = field_bool "when_state" j in
+      let* victim = field_cell "victim" j in
+      let* reads_as = field_bool "reads_as" j in
+      Some (Fault.State_coupling { aggressor; when_state; victim; reads_as })
+  | "DRF" ->
+      let* c = field_cell "cell" j in
+      let* v = field_bool "decays_to" j in
+      Some (Fault.Data_retention (c, v))
+  | _ -> None
+
+let failure_of_json j =
+  let* f_trial = field_int "trial" j in
+  let* f_seed = field_int "seed" j in
+  let* f_kind = field_str "kind" j in
+  let* f_flow = field_str "flow" j in
+  let* f_detail = field_str "detail" j in
+  let* faults = field_list "faults" j in
+  let* shrunk = field_list "shrunk" j in
+  let* f_faults = all_opt fault_of_json faults in
+  let* f_shrunk = all_opt fault_of_json shrunk in
+  Some { f_trial; f_seed; f_kind; f_flow; f_detail; f_faults; f_shrunk }
+
+(* ------------------------------------------------------------------ *)
+(* trial records: the unit of aggregation and checkpointing
+
+   A record is everything the final report consumes from one trial —
+   outcome classes, repair rounds, failure records — or the recorded
+   tool error when the trial itself crashed.  [compute_record] is a
+   deterministic function of (config, index), so records parsed back
+   from a checkpoint are indistinguishable from recomputed ones. *)
+
+type trial_record = {
+  rc_index : int;
+  rc_seed : int;
+  rc_body : rc_body;
+}
+
+and rc_body =
+  | Rc_ok of {
+      rc_two_pass : string;
+      rc_iterated : string;
+      rc_rounds : int;
+      rc_failures : failure list;  (** per-trial, anomaly order *)
+    }
+  | Rc_error of string
+
+let record_json r =
+  let common = [ ("trial", J.Int r.rc_index); ("seed", J.Int r.rc_seed) ] in
+  match r.rc_body with
+  | Rc_ok o ->
+      J.Obj
+        (common
+        @ [ ("two_pass", J.String o.rc_two_pass)
+          ; ("iterated", J.String o.rc_iterated)
+          ; ("rounds", J.Int o.rc_rounds)
+          ; ("failures", J.List (List.map failure_json o.rc_failures))
+          ])
+  | Rc_error e -> J.Obj (common @ [ ("error", J.String e) ])
+
+let record_of_json j =
+  let* rc_index = field_int "trial" j in
+  let* rc_seed = field_int "seed" j in
+  match field_str "error" j with
+  | Some e -> Some { rc_index; rc_seed; rc_body = Rc_error e }
+  | None ->
+      let* rc_two_pass = field_str "two_pass" j in
+      let* rc_iterated = field_str "iterated" j in
+      if not (class_known rc_two_pass && class_known rc_iterated) then None
+      else
+        let* rc_rounds = field_int "rounds" j in
+        let* failures = field_list "failures" j in
+        let* rc_failures = all_opt failure_of_json failures in
+        Some
+          { rc_index
+          ; rc_seed
+          ; rc_body = Rc_ok { rc_two_pass; rc_iterated; rc_rounds; rc_failures }
+          }
+
+let compute_record cfg ~index =
+  let trial = run_trial cfg ~index in
+  let rc_failures =
+    List.map (fun a -> failure_of_anomaly cfg trial a) trial.t_anomalies
+  in
+  { rc_index = index
+  ; rc_seed = trial.t_seed
+  ; rc_body =
+      Rc_ok
+        { rc_two_pass = outcome_class trial.t_verdicts.controller
+        ; rc_iterated = outcome_class trial.t_verdicts.iterated
+        ; rc_rounds = trial.t_verdicts.rounds
+        ; rc_failures
+        }
+  }
+
+(* A crashed trial becomes a recorded outcome, not a crash of the
+   campaign.  Only the exception's rendering enters the record (the
+   backtrace depends on build flags and would break cross-jobs
+   byte-identity); the full backtrace is still available to the caller
+   through the pool's structured failure if it wants to log it. *)
+let record_of_pool_failure cfg ~index (f : Pool.failure) =
+  { rc_index = index
+  ; rc_seed = trial_seed cfg index
+  ; rc_body = Rc_error (Printexc.to_string f.Pool.f_exn)
+  }
+
+(* ------------------------------------------------------------------ *)
+(* checkpoints *)
+
+type checkpoint = {
+  ck_path : string;
+  ck_every : int;
+  ck_resume : bool;
+}
+
+let checkpoint ~path ?(every = 0) ?(resume = false) () =
+  if every < 0 then invalid_arg "Campaign.checkpoint: every must be >= 0";
+  { ck_path = path; ck_every = every; ck_resume = resume }
+
+let checkpoint_schema = "bisram-campaign-checkpoint/1"
+
+(* The trial count and wall-clock budget may legitimately differ
+   between the interrupted and the resuming invocation (a resume
+   completes what a budget or kill cut short); everything that shapes a
+   trial's outcome must match exactly. *)
+let compat_json cfg = config_json { cfg with trials = 0; max_seconds = None }
+
+let checkpoint_string cfg records =
+  J.to_string
+    (J.Obj
+       [ ("schema", J.String checkpoint_schema)
+       ; ("config", compat_json cfg)
+       ; ("records", J.List (List.map record_json records))
+       ])
+
+(* Atomic temp + rename in the checkpoint's own directory: a kill at
+   any instant leaves either the previous complete snapshot or the new
+   one, never a torn file.  Write failures degrade to "no new
+   checkpoint" — the campaign itself must never die to checkpointing. *)
+let write_checkpoint cfg path records =
+  match
+    let dir = Filename.dirname path in
+    let tmp, oc = Filename.open_temp_file ~temp_dir:dir ".ckpt-" ".tmp" in
+    (try output_string oc (checkpoint_string cfg records)
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> Obs.incr "campaign.checkpoints"
+  | exception Sys_error _ -> Obs.incr "campaign.checkpoint_write_failed"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Load the maximal valid contiguous prefix of a checkpoint.  Any
+   defect — unreadable file, parse error, schema or config mismatch, a
+   record that is out of place or carries the wrong derived seed —
+   degrades to a shorter prefix (or a cold start), never to an error:
+   resuming from a damaged checkpoint just recomputes more. *)
+let load_checkpoint cfg path =
+  let reject () =
+    Obs.incr "campaign.checkpoint_rejected";
+    [||]
+  in
+  if not (Sys.file_exists path) then [||]
+  else
+    match read_file path with
+    | exception Sys_error _ -> reject ()
+    | text -> (
+        match J.of_string text with
+        | Error _ -> reject ()
+        | Ok doc -> (
+            let schema_ok =
+              match J.member "schema" doc with
+              | Some (J.String s) -> String.equal s checkpoint_schema
+              | _ -> false
+            in
+            let config_ok =
+              match J.member "config" doc with
+              | Some c -> String.equal (J.to_string c) (J.to_string (compat_json cfg))
+              | None -> false
+            in
+            if not (schema_ok && config_ok) then reject ()
+            else
+              match J.member "records" doc with
+              | Some (J.List l) ->
+                  let prefix = ref [] in
+                  let expect = ref 0 in
+                  let ok = ref true in
+                  List.iter
+                    (fun rj ->
+                      if !ok then
+                        match record_of_json rj with
+                        | Some r
+                          when r.rc_index = !expect
+                               && r.rc_seed = trial_seed cfg r.rc_index ->
+                            prefix := r :: !prefix;
+                            incr expect
+                        | _ -> ok := false)
+                    l;
+                  Array.of_list (List.rev !prefix)
+              | _ -> reject ()))
+
+(* ------------------------------------------------------------------ *)
+(* the campaign run *)
+
+let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
+    ?trial_deadline cfg =
+  if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+  let now =
+    match now with Some f -> f | None -> Bisram_parallel.Clock.now
+  in
+  let start = now () in
+  let caller = Domain.self () in
+  let over_budget () =
+    (* only the calling domain consults [now]; helper domains see the
+       pool's shared stop flag instead, so an impure [now] (e.g. a test
+       stub advancing a ref) never races across domains.  The caller's
+       [should_stop] (the SIGINT drain flag in the CLI) must be safe to
+       poll from any domain — an [Atomic.get] is. *)
+    should_stop ()
+    || (Domain.self () = caller
+       && (match cfg.max_seconds with
+          | None -> false
+          | Some s -> now () -. start >= s))
+  in
+  (* resume: the checkpoint contributes a contiguous prefix of already
+     computed records; those trial indices are served from memory and
+     everything else is recomputed.  Records are deterministic per
+     (config, index), so the merged report cannot depend on which side
+     a trial came from. *)
+  let resumed =
+    match checkpoint with
+    | Some ck when ck.ck_resume -> load_checkpoint cfg ck.ck_path
+    | _ -> [||]
+  in
+  let nresumed = min (Array.length resumed) cfg.trials in
+  if Obs.enabled () && nresumed > 0 then
+    Obs.add "campaign.resumed_trials" nresumed;
+  (* Every trial already owns its derived seed, so trials are
+     independent and can run on any worker.  Shrinking runs inside the
+     worker too (it dominates the cost of a failing trial) and is a
+     deterministic function of the trial.  The merge below walks the
+     positional results in trial order, which keeps the report
+     byte-identical at every job count (budgeted runs excepted: where
+     the budget fires depends on timing at any job count). *)
+  let work index =
+    if index < nresumed then resumed.(index)
+    else begin
+      (match Chaos.kill_at_trial () with
+      | Some k when k = index -> Chaos.kill_now ()
+      | _ -> ());
+      if
+        Chaos.job_fails
+          ~key:(Printf.sprintf "%d.%d" index (Pool.current_attempt ()))
+      then
+        raise
+          (Pool.Transient
+             (Chaos.Injected
+                (Printf.sprintf "chaos: injected transient fault (trial %d)"
+                   index)));
+      compute_record cfg ~index
+    end
+  in
+  (* per-domain utilization lands in worker-indexed counters; the probe
+     runs on each worker's own domain, so it writes that domain's
+     telemetry shard without contention *)
+  let probe =
+    if not (Obs.enabled ()) then None
+    else
+      Some
+        (fun ~worker ~busy_ns ~total_ns ~chunks ~items ->
+          let p = Printf.sprintf "pool.worker%d." worker in
+          Obs.add (p ^ "busy_ns") (Int64.to_int busy_ns);
+          Obs.add (p ^ "idle_ns")
+            (Int64.to_int (Int64.sub total_ns busy_ns));
+          Obs.add (p ^ "chunks") chunks;
+          Obs.add (p ^ "items") items)
+  in
+  (* checkpoint writer: completions stream into a mutex-guarded table
+     on the completing worker's own domain; whenever the contiguous
+     prefix has grown by [ck_every] the whole prefix is snapshotted
+     atomically.  Everything under the mutex, so no cross-domain read
+     of the pool's result slots is ever needed. *)
+  let ck_write =
+    match checkpoint with
+    | Some ck when ck.ck_every > 0 -> Some ck
+    | _ -> None
+  in
+  let ck_mutex = Mutex.create () in
+  let ck_table : (int, trial_record) Hashtbl.t =
+    Hashtbl.create (max 16 (2 * nresumed))
+  in
+  let ck_prefix = ref 0 in
+  let ck_last_written = ref nresumed in
+  Array.iteri
+    (fun i r -> if i < nresumed then Hashtbl.replace ck_table i r)
+    resumed;
+  ck_prefix := nresumed;
+  let record_of_job index (r : trial_record Pool.job_result) =
+    match r.Pool.outcome with
+    | Ok rc -> rc
+    | Error f -> record_of_pool_failure cfg ~index f
+  in
+  let on_result =
+    match ck_write with
+    | None -> None
+    | Some ck ->
+        Some
+          (fun index r ->
+            let rc = record_of_job index r in
+            Mutex.lock ck_mutex;
+            Hashtbl.replace ck_table index rc;
+            while Hashtbl.mem ck_table !ck_prefix do
+              incr ck_prefix
+            done;
+            if !ck_prefix - !ck_last_written >= ck.ck_every then begin
+              let records =
+                List.init !ck_prefix (fun i -> Hashtbl.find ck_table i)
+              in
+              write_checkpoint cfg ck.ck_path records;
+              ck_last_written := !ck_prefix
+            end;
+            Mutex.unlock ck_mutex)
+  in
+  let deadline_ns =
+    Option.map (fun s -> Int64.of_float (s *. 1e9)) trial_deadline
+  in
+  let completed =
+    Pool.map_result ~jobs ~should_stop:over_budget ?probe ?deadline_ns
+      ?on_result cfg.trials work
+  in
+  (* final snapshot: a graceful drain (budget or SIGINT) leaves the
+     freshest contiguous prefix on disk for the next --resume *)
+  (match ck_write with
+  | Some ck when !ck_prefix > !ck_last_written ->
+      write_checkpoint cfg ck.ck_path
+        (List.init !ck_prefix (fun i -> Hashtbl.find ck_table i))
+  | _ -> ());
+  (* Under a budget, workers past the one that tripped the stop may have
+     completed trials beyond the first unfinished index, leaving holes.
+     Aggregate only the maximal contiguous prefix so a truncated report
+     means the same thing at every job count: exactly the trials
+     [0 .. trials_run - 1], as the sequential loop would produce. *)
+  let trials_run =
+    let n = Array.length completed in
+    let i = ref 0 in
+    while !i < n && Option.is_some completed.(!i) do
+      incr i
+    done;
+    !i
+  in
+  if Obs.enabled () then begin
+    let retries = ref 0 in
+    Array.iter
+      (function
+        | Some (r : trial_record Pool.job_result) ->
+            retries := !retries + (r.Pool.attempts - 1)
+        | None -> ())
+      completed;
+    if !retries > 0 then Obs.add "pool.retries" !retries
+  end;
+  let two_pass = ref empty_histogram in
+  let iterated = ref empty_histogram in
+  let rounds : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let escapes = ref [] in
+  let divergences = ref [] in
+  let tool_errors = ref [] in
+  for i = 0 to trials_run - 1 do
+    match completed.(i) with
+    | None -> assert false (* inside the contiguous prefix *)
+    | Some job -> (
+        match (record_of_job i job).rc_body with
+        | Rc_ok o ->
+            two_pass := count_class !two_pass o.rc_two_pass;
+            iterated := count_class !iterated o.rc_iterated;
+            Hashtbl.replace rounds o.rc_rounds
+              (1
+              + Option.value ~default:0 (Hashtbl.find_opt rounds o.rc_rounds));
+            List.iter
+              (fun f ->
+                if String.equal f.f_kind "escape" then escapes := f :: !escapes
+                else divergences := f :: !divergences)
+              o.rc_failures
+        | Rc_error e ->
+            Obs.incr "campaign.tool_errors";
+            tool_errors :=
+              { te_trial = i; te_seed = trial_seed cfg i; te_error = e }
+              :: !tool_errors)
+  done;
+  let frac h =
+    if trials_run = 0 then 0.0
+    else float_of_int (h.passed_clean + h.repaired) /. float_of_int trials_run
+  in
+  { config = cfg
+  ; trials_run
+  ; truncated = trials_run < cfg.trials
+  ; resumed_trials = nresumed
+  ; two_pass = !two_pass
+  ; iterated = !iterated
+  ; rounds =
+      Hashtbl.fold (fun r c acc -> (r, c) :: acc) rounds []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  ; escapes = List.rev !escapes
+  ; divergences = List.rev !divergences
+  ; tool_errors = List.rev !tool_errors
+  ; observed_yield_two_pass = frac !two_pass
+  ; observed_yield_iterated = frac !iterated
+  ; analytic_yield = analytic_yield cfg
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON report *)
+
 let to_json r =
   J.Obj
-    [ ("schema", J.String "bisram-campaign/1")
+    [ ("schema", J.String "bisram-campaign/2")
     ; ("config", config_json r.config)
     ; ("trials_run", J.Int r.trials_run)
     ; ("truncated", J.Bool r.truncated)
@@ -583,6 +1008,7 @@ let to_json r =
              r.rounds) )
     ; ("escapes", J.List (List.map failure_json r.escapes))
     ; ("divergences", J.List (List.map failure_json r.divergences))
+    ; ("tool_errors", J.List (List.map tool_error_json r.tool_errors))
     ; ( "yield"
       , J.Obj
           [ ("observed_two_pass", J.Float r.observed_yield_two_pass)

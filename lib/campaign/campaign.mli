@@ -126,15 +126,31 @@ type failure = {
   f_shrunk : Bisram_faults.Fault.t list;
 }
 
+(** A trial whose own machinery crashed (an exception escaped the
+    trial, distinct from a detected escape/divergence in the design
+    under test): recorded as an outcome in the report instead of
+    aborting the campaign. *)
+type tool_error = {
+  te_trial : int;
+  te_seed : int;
+  te_error : string;  (** [Printexc.to_string] of the final exception *)
+}
+
 type result = {
   config : config;
   trials_run : int;
-  truncated : bool;  (** stopped early on the wall-clock budget *)
+  truncated : bool;  (** stopped early (wall-clock budget or SIGINT) *)
+  resumed_trials : int;
+      (** trials served from a resumed checkpoint (not serialized —
+          a resumed report stays byte-identical to a cold one) *)
   two_pass : histogram;
   iterated : histogram;
   rounds : (int * int) list;  (** (verify rounds, trial count), sorted *)
   escapes : failure list;
   divergences : failure list;
+  tool_errors : tool_error list;
+      (** crashed trials, in trial order; they count against the
+          observed yields (a trial that crashed did not pass) *)
   observed_yield_two_pass : float;
   observed_yield_iterated : float;
   analytic_yield : float;
@@ -143,6 +159,29 @@ type result = {
           growth 1) *)
 }
 
+(** Checkpoint policy for {!run}: where to snapshot, how often, and
+    whether to load an existing snapshot first. *)
+type checkpoint
+
+(** [checkpoint ~path ?every ?resume ()] — snapshot the contiguous
+    prefix of completed trials to [path] (atomic temp + rename in the
+    same directory) every [every] completed trials (default [0]:
+    never write), plus once at the end of the run.  With [resume]
+    (default [false]) an existing snapshot at [path] is loaded first
+    and its trials are served from memory instead of recomputed.
+
+    A damaged snapshot (truncated file, invalid JSON, schema or config
+    mismatch, out-of-order or wrong-seed records) silently degrades:
+    the maximal valid contiguous prefix is used, down to a cold start.
+    Trial records are deterministic per (config, index), so a resumed
+    report is byte-identical to an uninterrupted run's.  The trial
+    count and time budget may differ between the interrupted and the
+    resuming config; everything else must match or the snapshot is
+    rejected.
+
+    @raise Invalid_argument if [every < 0]. *)
+val checkpoint : path:string -> ?every:int -> ?resume:bool -> unit -> checkpoint
+
 (** Run the campaign.  [now] (default {!Bisram_parallel.Clock.now}, a
     monotonic clock immune to wall-time jumps) is only consulted for
     the wall-clock budget; with [max_seconds = None] the run is fully
@@ -150,6 +189,13 @@ type result = {
     when [jobs > 1], so it need not be safe to share across domains
     (worker domains observe the stop through the pool's internal flag).
     Partial results under a budget are valid and flagged [truncated].
+
+    [should_stop] (default [fun () -> false]) is a caller-supplied
+    early-stop predicate polled before every trial from {e every}
+    worker domain (so it must be domain-safe — an [Atomic.get] is);
+    the CLI routes its SIGINT flag through it.  A stop drains exactly
+    like the budget: the report aggregates the maximal contiguous
+    prefix of completed trials.
 
     [jobs] (default 1: fully sequential, no domain spawned) fans the
     trials out over that many domains via {!Bisram_parallel.Pool};
@@ -162,8 +208,23 @@ type result = {
     a truncated report at [jobs = n] equals an unbudgeted sequential
     run over its first [trials_run] trials.
 
+    Fault tolerance: a trial that raises is retried (bounded, for
+    {!Bisram_parallel.Pool.Transient}-flagged raises such as injected
+    chaos faults) and otherwise recorded as a {!tool_error} outcome —
+    the campaign never aborts on a crashing trial.  [trial_deadline]
+    (seconds, default none) arms a cooperative per-trial deadline:
+    trials poll it between flows and a trial that exceeds it is
+    recorded as a tool error ([Pool.Deadline_exceeded]).
+
     @raise Invalid_argument if [jobs < 1]. *)
-val run : ?now:(unit -> float) -> ?jobs:int -> config -> result
+val run :
+  ?now:(unit -> float) ->
+  ?jobs:int ->
+  ?should_stop:(unit -> bool) ->
+  ?checkpoint:checkpoint ->
+  ?trial_deadline:float ->
+  config ->
+  result
 
 val analytic_yield : config -> float
 val to_json : result -> Report.t

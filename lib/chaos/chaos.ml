@@ -1,0 +1,150 @@
+exception Injected of string
+
+type config = {
+  seed : int;
+  cache_read_corrupt : float;
+  cache_write_fail : float;
+  job_fail : float;
+  kill_at_trial : int option;
+  clock_skew_ns : int64;
+}
+
+let off =
+  { seed = 0
+  ; cache_read_corrupt = 0.0
+  ; cache_write_fail = 0.0
+  ; job_fail = 0.0
+  ; kill_at_trial = None
+  ; clock_skew_ns = 0L
+  }
+
+(* Disarmed is the common case: every probe starts with one Atomic.get
+   and returns immediately.  [None] rather than a config with zero
+   rates, so "armed with all rates zero" still counts as active (the
+   kill/skew knobs have no rate). *)
+let state : config option Atomic.t = Atomic.make None
+
+let active () = Atomic.get state <> None
+let configure c = Atomic.set state (Some c)
+let disarm () = Atomic.set state None
+let current () = Option.value ~default:off (Atomic.get state)
+
+(* ------------------------------------------------------------------ *)
+(* environment knobs *)
+
+let parse_with parse v = match parse v with x -> Some x | exception _ -> None
+
+let config_of_env getenv =
+  let get parse name =
+    Option.bind (getenv name) (fun v -> parse_with parse v)
+  in
+  let any = ref false in
+  let knob parse name default =
+    match get parse name with
+    | Some v ->
+        any := true;
+        v
+    | None -> default
+  in
+  let c =
+    { seed = knob int_of_string "BISRAM_CHAOS_SEED" off.seed
+    ; cache_read_corrupt =
+        knob float_of_string "BISRAM_CHAOS_CACHE_READ" off.cache_read_corrupt
+    ; cache_write_fail =
+        knob float_of_string "BISRAM_CHAOS_CACHE_WRITE" off.cache_write_fail
+    ; job_fail = knob float_of_string "BISRAM_CHAOS_JOB" off.job_fail
+    ; kill_at_trial =
+        (match get int_of_string "BISRAM_CHAOS_KILL_TRIAL" with
+        | Some _ as k ->
+            any := true;
+            k
+        | None -> None)
+    ; clock_skew_ns =
+        knob Int64.of_string "BISRAM_CHAOS_CLOCK_SKEW_NS" off.clock_skew_ns
+    }
+  in
+  if !any then Some c else None
+
+let arm_from_env () =
+  match config_of_env Sys.getenv_opt with
+  | Some c -> configure c
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* decision hash *)
+
+(* Avalanching mix over (seed, site, key): the decision for a probe
+   point is a pure function of its identity, so it is independent of
+   call order, scheduling and job count. *)
+let mix x =
+  let x = x land max_int in
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x735A2D97 land max_int in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1B873593 land max_int in
+  x lxor (x lsr 32)
+
+let hash ~seed ~site ~key =
+  let h = ref (mix (seed lxor 0x9E3779B9)) in
+  let feed s =
+    String.iter (fun c -> h := mix ((!h * 31) + Char.code c)) s;
+    h := mix (!h lxor String.length s)
+  in
+  feed site;
+  feed key;
+  !h
+
+(* 24 uniform bits against the rate: plenty of resolution for CI-scale
+   fault rates, and portable across word sizes *)
+let fires ~site ~key rate =
+  match Atomic.get state with
+  | None -> false
+  | Some c ->
+      rate > 0.0
+      && (rate >= 1.0
+         ||
+         let u =
+           float_of_int (hash ~seed:c.seed ~site ~key land 0xFFFFFF)
+           /. 16777216.0
+         in
+         u < rate)
+
+(* ------------------------------------------------------------------ *)
+(* seams *)
+
+let corrupt ~key s =
+  match Atomic.get state with
+  | None -> None
+  | Some c ->
+      if not (fires ~site:"cache.read" ~key c.cache_read_corrupt) then None
+      else
+        let h = hash ~seed:c.seed ~site:"cache.read.shape" ~key in
+        let n = String.length s in
+        Some
+          (if n = 0 then "{"
+           else
+             match h mod 3 with
+             | 0 ->
+                 (* flip one byte *)
+                 let b = Bytes.of_string s in
+                 let i = h / 3 mod n in
+                 Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x55));
+                 Bytes.to_string b
+             | 1 -> String.sub s 0 (n / 2) (* truncation: a torn write *)
+             | _ -> "" (* zero-length file: out of space mid-create *))
+
+let write_fails ~key =
+  fires ~site:"cache.write" ~key (current ()).cache_write_fail
+
+let job_fails ~key = fires ~site:"pool.job" ~key (current ()).job_fail
+
+let kill_at_trial () =
+  match Atomic.get state with None -> None | Some c -> c.kill_at_trial
+
+let kill_now () =
+  (* exits 137 (the shell's code for a SIGKILLed child) mid-run: the
+     report is never reached, so recovery has only the checkpoint *)
+  Stdlib.exit 137
+
+let clock_skew_ns () =
+  match Atomic.get state with None -> 0L | Some c -> c.clock_skew_ns

@@ -1,0 +1,93 @@
+(** Deterministic chaos injection for the tool's own execution seams.
+
+    The fault-tolerance layer (supervised pool, campaign checkpoints,
+    self-healing explore cache) is only trustworthy if its recovery
+    paths are exercised, so this module lets CI inject faults — cache
+    corruption, write failures, transient job exceptions, mid-campaign
+    kills, clock skew — into the tool itself.
+
+    Determinism contract: every injection decision is a pure hash of
+    [(seed, site, key)] — no hidden RNG state, no dependence on call
+    order, scheduling or job count.  A chaos run at [--jobs 4] injects
+    exactly the faults a [--jobs 1] run injects, which is what lets the
+    chaos CI gates assert that final reports stay {e byte-identical}
+    under injected faults: every fault either heals (cache quarantine +
+    re-evaluation, transient retry) or is recorded deterministically
+    (tool_error outcomes).
+
+    Chaos is disarmed by default and costs one [Atomic.get] per probe
+    when off.  Production code never behaves differently unless a
+    config is armed explicitly ({!configure}) or through the
+    environment ({!arm_from_env}, called once by the CLI driver). *)
+
+(** The exception injected into job seams (recognizable in diagnostics;
+    carries the site it fired at). *)
+exception Injected of string
+
+type config = {
+  seed : int;  (** perturbs every decision hash *)
+  cache_read_corrupt : float;
+      (** probability a cache entry read returns corrupted bytes *)
+  cache_write_fail : float;
+      (** probability a cache store raises a disk-full style error *)
+  job_fail : float;
+      (** probability a pool job attempt raises a transient fault *)
+  kill_at_trial : int option;
+      (** hard-exit the process (code 137, as after SIGKILL) when the
+          campaign computes this trial index *)
+  clock_skew_ns : int64;  (** constant skew added to the monotonic clock *)
+}
+
+(** All rates zero, no kill, no skew. *)
+val off : config
+
+(** Whether a config is armed. *)
+val active : unit -> bool
+
+val configure : config -> unit
+
+(** Back to the disarmed default. *)
+val disarm : unit -> unit
+
+(** The armed config ({!off} when disarmed). *)
+val current : unit -> config
+
+(** Parse a config from an environment lookup function (pure, for
+    tests): [BISRAM_CHAOS_SEED], [BISRAM_CHAOS_CACHE_READ],
+    [BISRAM_CHAOS_CACHE_WRITE], [BISRAM_CHAOS_JOB],
+    [BISRAM_CHAOS_KILL_TRIAL], [BISRAM_CHAOS_CLOCK_SKEW_NS].  [None]
+    when no knob is set; unparseable values are ignored. *)
+val config_of_env : (string -> string option) -> config option
+
+(** [configure] from [Sys.getenv_opt]; leaves chaos disarmed when no
+    knob is set.  Called once by the CLI driver at startup. *)
+val arm_from_env : unit -> unit
+
+(** [fires ~site ~key rate] — the deterministic injection decision for
+    one probe point.  Always [false] when disarmed or [rate <= 0];
+    always [true] at [rate >= 1]. *)
+val fires : site:string -> key:string -> float -> bool
+
+(** [corrupt ~key s] — [Some s'] with deterministically corrupted bytes
+    (byte flip, truncation or emptying, chosen by the hash) when the
+    cache-read probe fires for [key], [None] otherwise.  [s'] is never
+    equal to [s] unless [s] defeats all three corruptions (it cannot:
+    non-empty strings change, and empty strings never parse as cache
+    entries anyway). *)
+val corrupt : key:string -> string -> string option
+
+(** The cache-write probe: when it fires the store should raise a
+    [Sys_error] as if the disk were full. *)
+val write_fails : key:string -> bool
+
+(** The pool-job probe, keyed by item and attempt so a retry re-rolls
+    the decision. *)
+val job_fails : key:string -> bool
+
+val kill_at_trial : unit -> int option
+
+(** Exit the process abruptly with code 137 (the wait status of a
+    SIGKILLed process), as a crash would. *)
+val kill_now : unit -> 'a
+
+val clock_skew_ns : unit -> int64

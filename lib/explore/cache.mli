@@ -4,9 +4,10 @@
     the hex digest of its key; the key itself embeds the cache-format
     {!version} and the evaluator's canonical input rendering
     ({!Spec.cache_key}), so a format bump or an input change can never
-    alias an old entry.  The stored document carries the full key and
-    is verified on read — a digest collision or a truncated file is
-    treated as a miss, never as data.
+    alias an old entry.  The stored document carries the full key and a
+    content digest of the value's serialization, both verified on read
+    — a filename-digest collision, a truncated file or a flipped byte
+    anywhere in the entry is treated as a miss, never as data.
 
     Determinism contract: {!memo} always returns the {e parsed} JSON of
     the entry's on-disk bytes — also on a miss, where the freshly
@@ -19,15 +20,36 @@
     concurrent workers and interrupted runs leave either a complete
     entry or none.  Workers never write the same key twice in one run,
     and identical keys produce identical bytes, so a rename race is
-    harmless. *)
+    harmless.
+
+    Self-healing: the cache treats its own disk state as untrusted.
+    Orphaned temp files (a kill between write and rename) are reaped at
+    {!create}; an entry that exists but fails verification is moved
+    aside to [<entry>.quarantine] and recomputed; a read or write error
+    (EIO, ENOSPC, permissions) degrades that evaluation to uncached.
+    None of this changes any value {!memo} returns — a damaged cache
+    only costs recomputation, so reports stay byte-identical.  Every
+    event is counted in {!stats} and mirrored to {!Bisram_obs.Obs}
+    counters ([cache.quarantined], [cache.reaped_tmp],
+    [cache.io_errors]) when telemetry is on. *)
 
 type t
 
 (** The cache-format version baked into every key. *)
 val version : string
 
+(** Lifetime event counters for one cache instance. *)
+type stats = {
+  st_hits : int;
+  st_misses : int;
+  st_quarantined : int;  (** entries failing verification, moved aside *)
+  st_reaped_tmp : int;  (** orphaned temp files removed at open *)
+  st_io_errors : int;  (** reads/writes that degraded to uncached *)
+}
+
 (** [create ?dir ~resume ()] — a cache rooted at [dir] (created if
-    missing).  Without [dir] nothing touches the disk: every lookup is
+    missing; orphaned [.cache-*.tmp] files from killed runs are reaped
+    on open).  Without [dir] nothing touches the disk: every lookup is
     a miss and results are only normalized (serialize + re-parse).
     With [resume = false] existing entries are ignored (and
     overwritten), so the run is cache-cold by construction; hits can
@@ -37,9 +59,11 @@ val create : ?dir:string -> resume:bool -> unit -> t
 
 (** [memo t ~key compute] — the normalized cached value for [key],
     computing (and storing) it on a miss.  Safe to call from pool
-    workers: the hit/miss counters are atomic and writes go through
-    unique temp files. *)
+    workers: the counters are atomic and writes go through unique temp
+    files.  Never raises on cache damage or disk errors — those
+    degrade to recomputation (see self-healing above). *)
 val memo : t -> key:string -> (unit -> Bisram_obs.Json.t) -> Bisram_obs.Json.t
 
 val hits : t -> int
 val misses : t -> int
+val stats : t -> stats

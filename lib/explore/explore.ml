@@ -17,6 +17,7 @@ type result = {
   skipped : int;
   cache_hits : int;
   cache_misses : int;
+  cache_stats : Cache.stats;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -204,6 +205,7 @@ let run ?(jobs = 1) ?cache_dir ?(resume = false) spec =
   { spec; points; evals; skipped
   ; cache_hits = Cache.hits cache
   ; cache_misses = Cache.misses cache
+  ; cache_stats = Cache.stats cache
   }
 
 let evaluations r =

@@ -38,6 +38,9 @@ type result = {
   skipped : int;  (** invalid lattice combinations *)
   cache_hits : int;
   cache_misses : int;
+  cache_stats : Cache.stats;
+      (** full self-heal counters (quarantines, reaped temp files, IO
+          errors) for the run's cache instance *)
 }
 
 (** Run the sweep.  [jobs] (default 1) fans points over that many

@@ -1,2 +1,6 @@
-let now_ns () = Monotonic_clock.now ()
+(* The chaos skew is a constant added on top of the monotonic counter:
+   monotonicity is preserved, but budget/deadline math sees a shifted
+   clock — the seam the chaos harness uses to provoke time-dependent
+   paths.  Disarmed chaos costs one Atomic.get per reading. *)
+let now_ns () = Int64.add (Monotonic_clock.now ()) (Bisram_chaos.Chaos.clock_skew_ns ())
 let now () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,6 +1,10 @@
 (** Monotonic time, immune to wall-clock jumps (NTP steps, DST,
     manual resets).  Backed by [CLOCK_MONOTONIC] via the
-    bechamel.monotonic_clock stub already used by the benchmarks. *)
+    bechamel.monotonic_clock stub already used by the benchmarks.
+
+    Chaos seam: when {!Bisram_chaos.Chaos} is armed with a clock skew,
+    both readings are shifted by that constant — still monotonic, but
+    time-budget and deadline paths see a perturbed clock. *)
 
 (** Seconds since an arbitrary fixed origin; strictly non-decreasing
     within a process.  Only differences are meaningful. *)

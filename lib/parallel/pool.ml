@@ -4,10 +4,75 @@ type probe =
   worker:int -> busy_ns:int64 -> total_ns:int64 -> chunks:int -> items:int ->
   unit
 
-let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) ?probe n f =
-  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
-  if chunk < 1 then invalid_arg "Pool.map: chunk must be >= 1";
-  if n < 0 then invalid_arg "Pool.map: negative length";
+exception Transient of exn
+exception Deadline_exceeded
+
+type failure = {
+  f_exn : exn;
+  f_backtrace : Printexc.raw_backtrace;
+  f_transient : bool;
+}
+
+type 'a job_result = { outcome : ('a, failure) result; attempts : int }
+
+(* ------------------------------------------------------------------ *)
+(* per-worker job context: the running attempt number and the current
+   item's cooperative deadline, both domain-local so concurrently
+   running items never observe each other's context *)
+
+let attempt_key = Domain.DLS.new_key (fun () -> 1)
+let deadline_key : int64 option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_attempt () = Domain.DLS.get attempt_key
+
+let check_deadline () =
+  match Domain.DLS.get deadline_key with
+  | Some d when Clock.now_ns () > d -> raise Deadline_exceeded
+  | _ -> ()
+
+(* bounded spin between retry attempts; the clock is monotonic, so this
+   terminates even under chaos skew.  Exponential in the attempt number
+   and capped so a misconfigured backoff cannot stall a worker. *)
+let backoff_cap_ns = 100_000_000L (* 100 ms *)
+
+let backoff ~base_ns ~attempt =
+  if base_ns > 0L then begin
+    let scale = Int64.shift_left 1L (min 16 (attempt - 1)) in
+    let wait =
+      let w = Int64.mul base_ns scale in
+      if Int64.compare w backoff_cap_ns > 0 || Int64.compare w 0L < 0 then
+        backoff_cap_ns
+      else w
+    in
+    let until = Int64.add (Clock.now_ns ()) wait in
+    while Int64.compare (Clock.now_ns ()) until < 0 do
+      Domain.cpu_relax ()
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the shared engine
+
+   [mode] decides what a raising item does to the rest of the run:
+
+   - [`Abort]: legacy [map] semantics — record the first exception,
+     stop handing out work, and re-raise in the caller after the join.
+   - [`Supervise]: fault-tolerant [map_result] semantics — the failure
+     is captured (with backtrace and attempt count) into the item's own
+     slot after bounded retries of [Transient]-flagged raises, and
+     every other chunk keeps running.
+
+   Either way every spawned domain is joined before returning, so a
+   raising worker can never deadlock the pool or leak a domain. *)
+
+type 'a supervise_opts = {
+  retries : int;
+  backoff_ns : int64;
+  deadline_ns : int64 option;
+  on_result : (int -> 'a job_result -> unit) option;
+}
+
+let run_pool ~jobs ~chunk ~should_stop ~probe ~mode n f_item =
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let stopped = Atomic.make false in
@@ -37,15 +102,54 @@ let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) ?probe n f =
             end
             else begin
               let t0 = if probing then Clock.now_ns () else 0L in
-              (match f !i with
-              | v ->
-                  results.(!i) <- Some v;
-                  incr items
-              | exception e ->
-                  let bt = Printexc.get_raw_backtrace () in
-                  ignore (Atomic.compare_and_set error None (Some (e, bt)));
-                  Atomic.set stopped true;
-                  continue := false);
+              (match mode with
+              | `Abort -> (
+                  match f_item !i with
+                  | v ->
+                      results.(!i) <- Some { outcome = Ok v; attempts = 1 };
+                      incr items
+                  | exception e ->
+                      let bt = Printexc.get_raw_backtrace () in
+                      ignore
+                        (Atomic.compare_and_set error None (Some (e, bt)));
+                      Atomic.set stopped true;
+                      continue := false)
+              | `Supervise o ->
+                  let rec attempt k =
+                    Domain.DLS.set attempt_key k;
+                    (match o.deadline_ns with
+                    | None -> ()
+                    | Some d ->
+                        Domain.DLS.set deadline_key
+                          (Some (Int64.add (Clock.now_ns ()) d)));
+                    match f_item !i with
+                    | v -> { outcome = Ok v; attempts = k }
+                    | exception Transient _ when k <= o.retries ->
+                        backoff ~base_ns:o.backoff_ns ~attempt:k;
+                        attempt (k + 1)
+                    | exception e ->
+                        let f_backtrace = Printexc.get_raw_backtrace () in
+                        let f_transient, f_exn =
+                          match e with
+                          | Transient e' -> (true, e')
+                          | e -> (false, e)
+                        in
+                        { outcome = Error { f_exn; f_backtrace; f_transient }
+                        ; attempts = k
+                        }
+                  in
+                  let r = attempt 1 in
+                  Domain.DLS.set attempt_key 1;
+                  Domain.DLS.set deadline_key None;
+                  results.(!i) <- Some r;
+                  incr items;
+                  (* runs on the completing worker with the result it
+                     just produced (no cross-domain read): the
+                     campaign's checkpoint hook feeds a mutex-guarded
+                     table from here *)
+                  (match o.on_result with
+                  | None -> ()
+                  | Some h -> h !i r));
               if probing then
                 busy := Int64.add !busy (Int64.sub (Clock.now_ns ()) t0);
               incr i
@@ -75,3 +179,24 @@ let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) ?probe n f =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ());
   results
+
+let validate ~fn ~jobs ~chunk n =
+  if jobs < 1 then invalid_arg (fn ^ ": jobs must be >= 1");
+  if chunk < 1 then invalid_arg (fn ^ ": chunk must be >= 1");
+  if n < 0 then invalid_arg (fn ^ ": negative length")
+
+let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) ?probe n f =
+  validate ~fn:"Pool.map" ~jobs ~chunk n;
+  run_pool ~jobs ~chunk ~should_stop ~probe ~mode:`Abort n f
+  |> Array.map (function
+       | Some { outcome = Ok v; _ } -> Some v
+       | Some { outcome = Error _; _ } -> assert false (* `Abort re-raises *)
+       | None -> None)
+
+let map_result ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false)
+    ?probe ?(retries = 2) ?(backoff_ns = 0L) ?deadline_ns ?on_result n f =
+  validate ~fn:"Pool.map_result" ~jobs ~chunk n;
+  if retries < 0 then invalid_arg "Pool.map_result: retries must be >= 0";
+  run_pool ~jobs ~chunk ~should_stop ~probe
+    ~mode:(`Supervise { retries; backoff_ns; deadline_ns; on_result })
+    n f

@@ -7,7 +7,20 @@
     is (with [chunk = 1] and one worker) an exact prefix.  Results are
     returned positionally, which lets the caller merge them in input
     order — the property the campaign relies on for byte-identical
-    reports at any job count. *)
+    reports at any job count.
+
+    Two entry points share one engine:
+
+    - {!map} — legacy fail-fast semantics: the first exception stops
+      the pool and re-raises in the caller.
+    - {!map_result} — supervised semantics: a raising item is captured
+      (with its backtrace and attempt count) into a structured
+      {!job_result} in its own slot, [Transient]-flagged raises are
+      retried with bounded backoff, and every other chunk keeps
+      running.
+
+    Both join every spawned domain before returning — a raising worker
+    can never deadlock the pool or leak a domain (unit-tested). *)
 
 (** Upper bound the runtime considers useful for [jobs] on this
     machine ({!Domain.recommended_domain_count}). *)
@@ -23,6 +36,43 @@ val recommended_jobs : unit -> int
 type probe =
   worker:int -> busy_ns:int64 -> total_ns:int64 -> chunks:int -> items:int ->
   unit
+
+(** Wrap an exception in [Transient] before raising to flag the
+    failure as retryable: {!map_result} re-runs the item (up to
+    [retries] times) instead of recording it.  The wrapper is stripped
+    in the recorded {!failure} when retries are exhausted. *)
+exception Transient of exn
+
+(** Raised by {!check_deadline} once the running item's cooperative
+    deadline has passed.  Deadlines are {e cooperative}: a domain
+    cannot be preempted, so long-running items must poll
+    {!check_deadline} at convenient points; the pool records the raise
+    as a non-transient {!failure}. *)
+exception Deadline_exceeded
+
+type failure = {
+  f_exn : exn;  (** the original exception ([Transient] stripped) *)
+  f_backtrace : Printexc.raw_backtrace;
+  f_transient : bool;
+      (** the final raise was [Transient]-flagged (retries exhausted) *)
+}
+
+type 'a job_result = {
+  outcome : ('a, failure) result;
+  attempts : int;  (** total attempts made, >= 1 *)
+}
+
+(** The attempt number of the item currently running on this domain
+    (1 on the first try; only [> 1] inside {!map_result} retries).
+    Lets deterministic fault injection key its decision on the attempt
+    so a retry re-rolls it. *)
+val current_attempt : unit -> int
+
+(** Poll the running item's cooperative deadline; raises
+    {!Deadline_exceeded} when [deadline_ns] was given to {!map_result}
+    and has elapsed for this item.  A no-op (cheap domain-local read)
+    when no deadline is set, so library code can poll unconditionally. *)
+val check_deadline : unit -> unit
 
 (** [map ~jobs ~chunk ~should_stop n f] computes [f i] for [i] in
     [0 .. n-1] on [jobs] workers ([jobs - 1] spawned domains plus the
@@ -53,3 +103,46 @@ val map :
   int ->
   (int -> 'a) ->
   'a option array
+
+(** [map_result ~jobs ~chunk ~should_stop ~probe ~retries ~backoff_ns
+    ~deadline_ns ~on_result n f] — like {!map}, but supervised: each
+    slot holds a {!job_result} instead of a bare value, and an item
+    that raises fails {e alone}.
+
+    Retry: an item raising [Transient e] is re-run on the same worker,
+    up to [retries] (default [2]) extra attempts, sleeping
+    [backoff_ns * 2^(attempt-1)] (default [0], capped at 100 ms)
+    between attempts.  A non-[Transient] raise, or a [Transient] one
+    with retries exhausted, is recorded as [Error failure] in the
+    item's slot; every other item still runs.
+
+    Deadline: with [deadline_ns] each attempt gets a fresh cooperative
+    deadline; {!check_deadline} polled inside [f] raises
+    {!Deadline_exceeded} past it, recorded like any non-transient
+    failure.
+
+    [on_result] (default absent) runs on the completing worker's
+    domain right after the item's slot is filled, receiving the index
+    and the result it just produced — the seam the campaign uses to
+    feed its checkpoint writer without cross-domain reads.  It must be
+    safe to call concurrently from every worker.
+
+    Determinism: with a deterministic [f] (per index and attempt), the
+    returned array is identical at every [jobs]/[chunk] combination —
+    failures land in their own slots, so no result depends on
+    scheduling.
+
+    @raise Invalid_argument if [jobs < 1], [chunk < 1], [n < 0] or
+    [retries < 0]. *)
+val map_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?should_stop:(unit -> bool) ->
+  ?probe:probe ->
+  ?retries:int ->
+  ?backoff_ns:int64 ->
+  ?deadline_ns:int64 ->
+  ?on_result:(int -> 'a job_result -> unit) ->
+  int ->
+  (int -> 'a) ->
+  'a job_result option array

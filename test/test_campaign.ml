@@ -280,6 +280,175 @@ let test_yield_brackets_analytic () =
     (r.C.observed_yield_iterated >= r.C.observed_yield_two_pass)
 
 (* ------------------------------------------------------------------ *)
+(* resilience: checkpoints, resume, tool errors, chaos, drain *)
+
+module Chaos = Bisram_chaos.Chaos
+module Pool = Bisram_parallel.Pool
+
+let with_temp_ckpt f =
+  let path = Filename.temp_file "bisram-ckpt" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let prop_kill_resume_byte_identical =
+  (* the ISSUE acceptance gate, in-process: interrupt the campaign after
+     a random number of trials (exactly what a kill after the last
+     snapshot leaves on disk), resume to completion, and require the
+     report byte-identical to an uninterrupted run — at jobs 1 and 4 *)
+  QCheck.Test.make ~name:"kill at random trial + resume is byte-identical"
+    ~count:10
+    QCheck.(triple (int_range 0 24) (int_range 1 6) bool)
+    (fun (k, every, par) ->
+      let jobs = if par then 4 else 1 in
+      let cfg = C.make_config ~trials:25 ~seed:17 () in
+      let full = C.json_string (C.run ~jobs cfg) in
+      with_temp_ckpt (fun path ->
+          ignore
+            (C.run ~jobs
+               ~checkpoint:(C.checkpoint ~path ~every ())
+               { cfg with C.trials = k });
+          let r =
+            C.run ~jobs
+              ~checkpoint:(C.checkpoint ~path ~every ~resume:true ())
+              cfg
+          in
+          r.C.resumed_trials = k && C.json_string r = full))
+
+let test_checkpoint_config_mismatch_rejected () =
+  with_temp_ckpt (fun path ->
+      let cfg1 = C.make_config ~trials:8 ~seed:1 () in
+      ignore (C.run ~checkpoint:(C.checkpoint ~path ~every:2 ()) cfg1);
+      (* a different campaign seed changes every trial: the snapshot
+         must be rejected, not blended in *)
+      let cfg2 = C.make_config ~trials:8 ~seed:2 () in
+      let cold = C.json_string (C.run cfg2) in
+      let r =
+        C.run ~checkpoint:(C.checkpoint ~path ~every:2 ~resume:true ()) cfg2
+      in
+      Alcotest.(check int) "nothing resumed" 0 r.C.resumed_trials;
+      Alcotest.(check string) "cold-start report" cold (C.json_string r))
+
+let test_checkpoint_corruption_degrades () =
+  with_temp_ckpt (fun path ->
+      let cfg = C.make_config ~trials:10 ~seed:23 () in
+      let full = C.json_string (C.run cfg) in
+      ignore
+        (C.run
+           ~checkpoint:(C.checkpoint ~path ~every:2 ())
+           { cfg with C.trials = 6 });
+      (* truncate the snapshot mid-record: the resume must fall back to
+         recomputation, never crash or mis-aggregate *)
+      let s = In_channel.with_open_bin path In_channel.input_all in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (String.sub s 0 (String.length s / 2)));
+      let r =
+        C.run ~checkpoint:(C.checkpoint ~path ~every:2 ~resume:true ()) cfg
+      in
+      Alcotest.(check string) "byte-identical despite corrupt checkpoint" full
+        (C.json_string r))
+
+let test_resume_missing_checkpoint_is_cold () =
+  let cfg = C.make_config ~trials:6 ~seed:29 () in
+  let cold = C.json_string (C.run cfg) in
+  let r =
+    C.run
+      ~checkpoint:
+        (C.checkpoint ~path:"/nonexistent-dir/nope.ckpt" ~resume:true ())
+      cfg
+  in
+  Alcotest.(check int) "nothing resumed" 0 r.C.resumed_trials;
+  Alcotest.(check string) "cold-start report" cold (C.json_string r)
+
+let test_chaos_transients_absorbed () =
+  (* injected transient job faults at a moderate rate are fully
+     absorbed by the pool's retries: the report is byte-identical to a
+     chaos-free run, at any job count (rate/seed verified to never
+     exhaust the 3 attempts for these trial indices) *)
+  let cfg = C.make_config ~trials:30 ~seed:19 () in
+  let clean = C.json_string (C.run cfg) in
+  Chaos.configure { Chaos.off with Chaos.seed = 11; Chaos.job_fail = 0.2 };
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      Alcotest.(check string) "absorbed at jobs 1" clean
+        (C.json_string (C.run ~jobs:1 cfg));
+      Alcotest.(check string) "absorbed at jobs 4" clean
+        (C.json_string (C.run ~jobs:4 cfg)))
+
+let test_chaos_tool_errors_recorded () =
+  (* at rate 1 every attempt fails: each trial becomes a recorded
+     tool_error outcome instead of aborting the campaign, and the
+     report is still jobs-invariant *)
+  let cfg = C.make_config ~trials:10 ~seed:19 () in
+  Chaos.configure { Chaos.off with Chaos.seed = 1; Chaos.job_fail = 1.0 };
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      let a = C.run ~jobs:1 cfg in
+      Alcotest.(check int) "every trial a tool error" 10
+        (List.length a.C.tool_errors);
+      Alcotest.(check int) "all trials still accounted" 10 a.C.trials_run;
+      Alcotest.(check int) "no outcome counted" 0
+        (a.C.two_pass.C.passed_clean + a.C.two_pass.C.repaired
+        + a.C.two_pass.C.too_many_faulty_rows
+        + a.C.two_pass.C.fault_in_second_pass);
+      List.iteri
+        (fun i te ->
+          Alcotest.(check int) "trial order" i te.C.te_trial;
+          Alcotest.(check bool) "diagnostic names chaos" true
+            (String.length te.C.te_error > 0))
+        a.C.tool_errors;
+      let b = C.run ~jobs:4 cfg in
+      Alcotest.(check string) "jobs-invariant" (C.json_string a)
+        (C.json_string b))
+
+let test_should_stop_drains_prefix () =
+  (* the SIGINT path: a caller stop flag drains exactly like the
+     budget, leaving the maximal contiguous prefix *)
+  let polls = ref 0 in
+  let stop () =
+    incr polls;
+    !polls > 5
+  in
+  let cfg = C.make_config ~trials:50 ~seed:3 () in
+  let r = C.run ~should_stop:stop cfg in
+  Alcotest.(check bool) "truncated" true r.C.truncated;
+  Alcotest.(check int) "five-trial prefix" 5 r.C.trials_run;
+  Alcotest.(check bool) "report renders" true
+    (String.length (C.json_string r) > 0)
+
+let test_trial_deadline_records_tool_errors () =
+  (* a 1 ns per-trial deadline: the first cooperative poll (between the
+     march and oracle flows) raises, and every trial lands in the
+     report as a deadline tool error *)
+  let cfg = C.make_config ~trials:4 ~seed:5 () in
+  let r = C.run ~trial_deadline:1e-9 cfg in
+  Alcotest.(check int) "every trial deadlined" 4
+    (List.length r.C.tool_errors);
+  List.iter
+    (fun te ->
+      Alcotest.(check string) "deadline diagnostic"
+        (Printexc.to_string Pool.Deadline_exceeded)
+        te.C.te_error)
+    r.C.tool_errors
+
+let test_tool_errors_in_schema () =
+  (* schema /2: the field is always present, also when empty *)
+  let r = C.run (C.make_config ~trials:3 ~seed:1 ()) in
+  let j = C.json_string r in
+  Alcotest.(check bool) "schema bumped" true
+    (let sub = "bisram-campaign/2" in
+     let rec find i =
+       i + String.length sub <= String.length j
+       && (String.sub j i (String.length sub) = sub || find (i + 1))
+     in
+     find 0);
+  Alcotest.(check bool) "tool_errors always present" true
+    (let sub = "\"tool_errors\":[]" in
+     let rec find i =
+       i + String.length sub <= String.length j
+       && (String.sub j i (String.length sub) = sub || find (i + 1))
+     in
+     find 0)
+
+(* ------------------------------------------------------------------ *)
 (* properties: differential oracle and no silent escapes *)
 
 let prop_oracle_agreement =
@@ -381,6 +550,25 @@ let () =
         ; Alcotest.test_case "jobs validation" `Quick test_jobs_validation
         ; Alcotest.test_case "observed yield brackets analytic" `Slow
             test_yield_brackets_analytic
+        ] )
+    ; ( "resilience"
+      , [ QCheck_alcotest.to_alcotest prop_kill_resume_byte_identical
+        ; Alcotest.test_case "config mismatch rejects checkpoint" `Quick
+            test_checkpoint_config_mismatch_rejected
+        ; Alcotest.test_case "corrupt checkpoint degrades" `Quick
+            test_checkpoint_corruption_degrades
+        ; Alcotest.test_case "missing checkpoint is a cold start" `Quick
+            test_resume_missing_checkpoint_is_cold
+        ; Alcotest.test_case "chaos transients absorbed by retries" `Quick
+            test_chaos_transients_absorbed
+        ; Alcotest.test_case "crashing trials become tool errors" `Quick
+            test_chaos_tool_errors_recorded
+        ; Alcotest.test_case "should_stop drains the prefix" `Quick
+            test_should_stop_drains_prefix
+        ; Alcotest.test_case "trial deadline records tool errors" `Quick
+            test_trial_deadline_records_tool_errors
+        ; Alcotest.test_case "tool_errors field in schema" `Quick
+            test_tool_errors_in_schema
         ] )
     ; ( "properties"
       , [ QCheck_alcotest.to_alcotest prop_oracle_agreement

@@ -1,0 +1,210 @@
+(* Tests for the deterministic chaos injector. *)
+
+module Chaos = Bisram_chaos.Chaos
+
+let with_config cfg f =
+  Chaos.configure cfg;
+  Fun.protect ~finally:Chaos.disarm f
+
+let armed rate = { Chaos.off with Chaos.seed = 11; job_fail = rate }
+
+(* ------------------------------------------------------------------ *)
+(* arming *)
+
+let test_disarmed_by_default () =
+  Chaos.disarm ();
+  Alcotest.(check bool) "inactive" false (Chaos.active ());
+  Alcotest.(check bool) "never fires" false
+    (Chaos.fires ~site:"pool.job" ~key:"0.1" 1.0);
+  Alcotest.(check bool) "no corruption" true
+    (Chaos.corrupt ~key:"k" "payload" = None);
+  Alcotest.(check bool) "no write failure" false (Chaos.write_fails ~key:"k");
+  Alcotest.(check bool) "no job failure" false (Chaos.job_fails ~key:"0.1");
+  Alcotest.(check bool) "no kill" true (Chaos.kill_at_trial () = None);
+  Alcotest.(check int) "no skew" 0 (Int64.to_int (Chaos.clock_skew_ns ()))
+
+let test_configure_disarm_roundtrip () =
+  with_config (armed 0.5) (fun () ->
+      Alcotest.(check bool) "active" true (Chaos.active ());
+      Alcotest.(check bool) "config visible" true
+        ((Chaos.current ()).Chaos.job_fail = 0.5));
+  Alcotest.(check bool) "disarmed after" false (Chaos.active ())
+
+(* ------------------------------------------------------------------ *)
+(* env parsing *)
+
+let env_of_list l k = List.assoc_opt k l
+
+let test_env_none () =
+  Alcotest.(check bool) "no knobs -> no config" true
+    (Chaos.config_of_env (fun _ -> None) = None)
+
+let test_env_full () =
+  let env =
+    env_of_list
+      [ ("BISRAM_CHAOS_SEED", "7")
+      ; ("BISRAM_CHAOS_CACHE_READ", "0.25")
+      ; ("BISRAM_CHAOS_CACHE_WRITE", "0.5")
+      ; ("BISRAM_CHAOS_JOB", "0.125")
+      ; ("BISRAM_CHAOS_KILL_TRIAL", "42")
+      ; ("BISRAM_CHAOS_CLOCK_SKEW_NS", "1000")
+      ]
+  in
+  match Chaos.config_of_env env with
+  | None -> Alcotest.fail "expected a config"
+  | Some c ->
+      Alcotest.(check int) "seed" 7 c.Chaos.seed;
+      Alcotest.(check (float 0.0)) "read" 0.25 c.Chaos.cache_read_corrupt;
+      Alcotest.(check (float 0.0)) "write" 0.5 c.Chaos.cache_write_fail;
+      Alcotest.(check (float 0.0)) "job" 0.125 c.Chaos.job_fail;
+      Alcotest.(check (option int)) "kill" (Some 42) c.Chaos.kill_at_trial;
+      Alcotest.(check int) "skew" 1000 (Int64.to_int c.Chaos.clock_skew_ns)
+
+let test_env_partial_and_garbage () =
+  (* one valid knob arms; unparseable values fall back to off *)
+  let env =
+    env_of_list
+      [ ("BISRAM_CHAOS_JOB", "0.5"); ("BISRAM_CHAOS_SEED", "banana") ]
+  in
+  match Chaos.config_of_env env with
+  | None -> Alcotest.fail "one valid knob should arm"
+  | Some c ->
+      Alcotest.(check (float 0.0)) "job parsed" 0.5 c.Chaos.job_fail;
+      Alcotest.(check int) "garbage seed ignored" Chaos.off.Chaos.seed
+        c.Chaos.seed
+
+(* ------------------------------------------------------------------ *)
+(* determinism *)
+
+let test_fires_deterministic () =
+  with_config (armed 0.5) (fun () ->
+      let keys = List.init 200 (fun i -> Printf.sprintf "%d.1" i) in
+      let roll () =
+        List.map (fun k -> Chaos.fires ~site:"pool.job" ~key:k 0.5) keys
+      in
+      let a = roll () in
+      (* same decisions on a second pass and in reverse order *)
+      Alcotest.(check bool) "stable across calls" true (roll () = a);
+      let rev =
+        List.rev_map (fun k -> Chaos.fires ~site:"pool.job" ~key:k 0.5)
+          (List.rev keys)
+      in
+      Alcotest.(check bool) "independent of call order" true (rev = a);
+      (* a 0.5 rate on 200 keys fires somewhere strictly between the
+         extremes — i.e. the hash actually varies with the key *)
+      let n = List.length (List.filter Fun.id a) in
+      Alcotest.(check bool) "some fire" true (n > 0);
+      Alcotest.(check bool) "some do not" true (n < 200))
+
+let test_fires_extremes () =
+  with_config (armed 0.5) (fun () ->
+      Alcotest.(check bool) "rate 0 never" false
+        (Chaos.fires ~site:"s" ~key:"k" 0.0);
+      Alcotest.(check bool) "rate 1 always" true
+        (Chaos.fires ~site:"s" ~key:"k" 1.0))
+
+let test_sites_independent () =
+  (* the same key hashes differently at different sites: 64 keys all
+     agreeing across two sites would be a 2^-64 coincidence *)
+  with_config (armed 0.5) (fun () ->
+      let differs =
+        List.exists
+          (fun i ->
+            let k = string_of_int i in
+            Chaos.fires ~site:"cache.read" ~key:k 0.5
+            <> Chaos.fires ~site:"cache.write" ~key:k 0.5)
+          (List.init 64 Fun.id)
+      in
+      Alcotest.(check bool) "site enters the hash" true differs)
+
+let test_seed_changes_decisions () =
+  let roll seed =
+    with_config { (armed 0.5) with Chaos.seed } (fun () ->
+        List.init 64 (fun i ->
+            Chaos.fires ~site:"pool.job" ~key:(string_of_int i) 0.5))
+  in
+  Alcotest.(check bool) "seed enters the hash" true (roll 1 <> roll 2)
+
+(* ------------------------------------------------------------------ *)
+(* corruption shapes *)
+
+let test_corrupt_deterministic_and_damaging () =
+  with_config
+    { Chaos.off with Chaos.seed = 3; cache_read_corrupt = 1.0 }
+    (fun () ->
+      let s = "{\"key\":\"k\",\"value\":1}" in
+      match Chaos.corrupt ~key:"k" s with
+      | None -> Alcotest.fail "rate 1 must corrupt"
+      | Some c ->
+          Alcotest.(check bool) "actually damaged" true (c <> s);
+          Alcotest.(check bool) "stable" true (Chaos.corrupt ~key:"k" s = Some c))
+
+let test_corrupt_shapes_vary () =
+  (* across many keys all three corruption shapes (flip, truncate,
+     empty) appear: lengths equal, shorter-non-empty and zero *)
+  with_config
+    { Chaos.off with Chaos.seed = 5; cache_read_corrupt = 1.0 }
+    (fun () ->
+      let s = String.make 64 'x' in
+      let lens =
+        List.init 64 (fun i ->
+            match Chaos.corrupt ~key:(string_of_int i) s with
+            | Some c -> String.length c
+            | None -> -1)
+      in
+      Alcotest.(check bool) "byte flip" true (List.mem 64 lens);
+      Alcotest.(check bool) "truncation" true
+        (List.exists (fun l -> l > 0 && l < 64) lens);
+      Alcotest.(check bool) "emptied" true (List.mem 0 lens))
+
+(* ------------------------------------------------------------------ *)
+(* clock skew *)
+
+let test_clock_skew_applied () =
+  let module Clock = Bisram_parallel.Clock in
+  let before = Clock.now_ns () in
+  with_config
+    { Chaos.off with Chaos.seed = 1; clock_skew_ns = 1_000_000_000_000L }
+    (fun () ->
+      let skewed = Clock.now_ns () in
+      (* a 1000 s skew dwarfs any real elapsed time *)
+      Alcotest.(check bool) "skew visible" true
+        (Int64.sub skewed before > 500_000_000_000L));
+  let after = Clock.now_ns () in
+  Alcotest.(check bool) "skew gone after disarm" true
+    (Int64.sub after before < 500_000_000_000L)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "arming"
+      , [ Alcotest.test_case "disarmed by default" `Quick
+            test_disarmed_by_default
+        ; Alcotest.test_case "configure/disarm" `Quick
+            test_configure_disarm_roundtrip
+        ] )
+    ; ( "env"
+      , [ Alcotest.test_case "no knobs" `Quick test_env_none
+        ; Alcotest.test_case "all knobs" `Quick test_env_full
+        ; Alcotest.test_case "partial + garbage" `Quick
+            test_env_partial_and_garbage
+        ] )
+    ; ( "determinism"
+      , [ Alcotest.test_case "fires is a pure hash" `Quick
+            test_fires_deterministic
+        ; Alcotest.test_case "rate extremes" `Quick test_fires_extremes
+        ; Alcotest.test_case "sites independent" `Quick test_sites_independent
+        ; Alcotest.test_case "seed matters" `Quick test_seed_changes_decisions
+        ] )
+    ; ( "corruption"
+      , [ Alcotest.test_case "deterministic and damaging" `Quick
+            test_corrupt_deterministic_and_damaging
+        ; Alcotest.test_case "all shapes appear" `Quick
+            test_corrupt_shapes_vary
+        ] )
+    ; ( "clock"
+      , [ Alcotest.test_case "skew applied and removed" `Quick
+            test_clock_skew_applied
+        ] )
+    ]

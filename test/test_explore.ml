@@ -131,6 +131,114 @@ let test_diskless_run () =
         r.Explore.cache_misses)
 
 (* ------------------------------------------------------------------ *)
+(* cache self-healing *)
+
+module Cache = Bisram_explore.Cache
+module Chaos = Bisram_chaos.Chaos
+
+let corrupt_every_entry dir =
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".json" then begin
+        let path = Filename.concat dir name in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc "{ not json")
+      end)
+    (Sys.readdir dir)
+
+let count_suffix dir suffix =
+  Array.fold_left
+    (fun n name -> if Filename.check_suffix name suffix then n + 1 else n)
+    0 (Sys.readdir dir)
+
+let test_corrupt_entries_quarantined () =
+  let s = tiny_spec () in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cold = Explore.run ~jobs:1 ~cache_dir:dir s in
+      (* distinct entries < evaluations: evaluators whose keys ignore
+         some axes (area does not depend on mean_defects) share files *)
+      let entries = count_suffix dir ".json" in
+      corrupt_every_entry dir;
+      (* jobs:1 keeps the counters deterministic: with workers, two
+         points racing on a shared corrupt entry may quarantine twice *)
+      let healed = Explore.run ~jobs:1 ~cache_dir:dir ~resume:true s in
+      Alcotest.(check string) "report byte-identical after healing"
+        (Explore.json_string cold)
+        (Explore.json_string healed);
+      Alcotest.(check int) "every entry quarantined" entries
+        healed.Explore.cache_stats.Cache.st_quarantined;
+      (* a quarantined entry is recomputed and re-stored, so only the
+         first lookup of each shared key misses *)
+      Alcotest.(check int) "one miss per entry" entries
+        healed.Explore.cache_misses;
+      Alcotest.(check int) "quarantine files on disk" entries
+        (count_suffix dir ".quarantine");
+      (* the healed entries are good again: a third run hits everything *)
+      let warm = Explore.run ~jobs:1 ~cache_dir:dir ~resume:true s in
+      Alcotest.(check int) "healed cache hits everything"
+        (Explore.evaluations warm)
+        warm.Explore.cache_hits)
+
+let test_orphan_tmp_reaped () =
+  let s = tiny_spec () in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let orphan = Filename.concat dir ".cache-orphan.tmp" in
+      Out_channel.with_open_bin orphan (fun oc ->
+          Out_channel.output_string oc "torn write");
+      let r = Explore.run ~jobs:1 ~cache_dir:dir s in
+      Alcotest.(check int) "orphan counted" 1
+        r.Explore.cache_stats.Cache.st_reaped_tmp;
+      Alcotest.(check bool) "orphan gone" false (Sys.file_exists orphan))
+
+let test_chaos_cache_corruption_heals () =
+  (* the injector corrupts reads instead of the test mangling files:
+     entries quarantine, re-evaluate, and the report stays identical *)
+  let s = tiny_spec () in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let cold = Explore.run ~jobs:1 ~cache_dir:dir s in
+      Chaos.configure
+        { Chaos.off with Chaos.seed = 3; Chaos.cache_read_corrupt = 0.5 };
+      let healed =
+        Fun.protect ~finally:Chaos.disarm (fun () ->
+            Explore.run ~jobs:2 ~cache_dir:dir ~resume:true s)
+      in
+      Alcotest.(check string) "byte-identical under injected corruption"
+        (Explore.json_string cold)
+        (Explore.json_string healed);
+      Alcotest.(check bool) "the injector actually fired" true
+        (healed.Explore.cache_stats.Cache.st_quarantined > 0))
+
+let test_chaos_write_failure_degrades () =
+  (* every store fails (disk-full style): the sweep completes uncached
+     with identical bytes and an empty cache directory *)
+  let s = tiny_spec () in
+  let baseline = Explore.json_string (Explore.run ~jobs:1 s) in
+  let dir = temp_cache_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      Chaos.configure
+        { Chaos.off with Chaos.seed = 5; Chaos.cache_write_fail = 1.0 };
+      let r =
+        Fun.protect ~finally:Chaos.disarm (fun () ->
+            Explore.run ~jobs:1 ~cache_dir:dir s)
+      in
+      Alcotest.(check string) "byte-identical uncached" baseline
+        (Explore.json_string r);
+      Alcotest.(check int) "every store degraded" (Explore.evaluations r)
+        r.Explore.cache_stats.Cache.st_io_errors;
+      Alcotest.(check int) "no entry written" 0 (count_suffix dir ".json"))
+
+(* ------------------------------------------------------------------ *)
 (* report shape *)
 
 let test_report_roundtrip () =
@@ -219,6 +327,15 @@ let () =
             test_determinism
         ; Alcotest.test_case "diskless run" `Quick test_diskless_run
         ; Alcotest.test_case "report round-trip" `Quick test_report_roundtrip
+        ] )
+    ; ( "self-heal",
+        [ Alcotest.test_case "corrupt entries quarantined" `Quick
+            test_corrupt_entries_quarantined
+        ; Alcotest.test_case "orphan tmp reaped" `Quick test_orphan_tmp_reaped
+        ; Alcotest.test_case "injected corruption heals" `Quick
+            test_chaos_cache_corruption_heals
+        ; Alcotest.test_case "write failure degrades to uncached" `Quick
+            test_chaos_write_failure_degrades
         ] )
     ; ( "pareto",
         [ Alcotest.test_case "frontier" `Quick test_pareto_frontier

@@ -99,6 +99,151 @@ let prop_pool_positional =
       && List.for_all (fun i -> r.(i) = Some (i * 3)) (List.init n Fun.id))
 
 (* ------------------------------------------------------------------ *)
+(* supervised pool *)
+
+let test_supervised_captures_failure () =
+  List.iter
+    (fun jobs ->
+      let r =
+        Pool.map_result ~jobs ~chunk:2 20 (fun i ->
+            if i = 13 then raise (Boom i) else i)
+      in
+      (* no deadlock, every other chunk completed *)
+      Alcotest.(check int) "every slot filled" 20
+        (Array.length (Array.to_list r |> List.filter Option.is_some |> Array.of_list));
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> Alcotest.fail "unexpected empty slot"
+          | Some jr -> (
+              match (i, jr.Pool.outcome) with
+              | 13, Error f ->
+                  Alcotest.(check bool) "original exception" true
+                    (f.Pool.f_exn = Boom 13);
+                  Alcotest.(check bool) "not transient" false f.Pool.f_transient;
+                  Alcotest.(check int) "single attempt" 1 jr.Pool.attempts
+              | 13, Ok _ -> Alcotest.fail "index 13 should have failed"
+              | _, Ok v -> Alcotest.(check int) "value" i v
+              | _, Error _ -> Alcotest.fail "only index 13 should fail"))
+        r)
+    [ 1; 4 ]
+
+let test_transient_retried () =
+  (* fails on attempts 1 and 2, succeeds on 3: absorbed by the default
+     retries = 2 *)
+  let r =
+    Pool.map_result ~jobs:2 6 (fun i ->
+        if i = 4 && Pool.current_attempt () < 3 then
+          raise (Pool.Transient (Boom i))
+        else (i, Pool.current_attempt ()))
+  in
+  match r.(4) with
+  | Some { Pool.outcome = Ok (4, 3); attempts = 3 } -> ()
+  | _ -> Alcotest.fail "expected success on the third attempt"
+
+let test_transient_exhausted () =
+  let r =
+    Pool.map_result ~jobs:1 ~retries:1 3 (fun i ->
+        if i = 1 then raise (Pool.Transient (Boom i)) else i)
+  in
+  match r.(1) with
+  | Some { Pool.outcome = Error f; attempts = 2 } ->
+      Alcotest.(check bool) "transient flag set" true f.Pool.f_transient;
+      Alcotest.(check bool) "wrapper stripped" true (f.Pool.f_exn = Boom 1)
+  | _ -> Alcotest.fail "expected exhausted retries as a transient failure"
+
+let test_nontransient_not_retried () =
+  let calls = Atomic.make 0 in
+  let r =
+    Pool.map_result ~jobs:1 ~retries:5 1 (fun i ->
+        Atomic.incr calls;
+        raise (Boom i))
+  in
+  Alcotest.(check int) "no retry of a plain raise" 1 (Atomic.get calls);
+  match r.(0) with
+  | Some { Pool.outcome = Error _; attempts = 1 } -> ()
+  | _ -> Alcotest.fail "expected one failed attempt"
+
+let test_deadline_cooperative () =
+  (* a 1 ns deadline with a polling item: the poll raises, the pool
+     records Deadline_exceeded, other items complete *)
+  let r =
+    Pool.map_result ~jobs:2 ~deadline_ns:1L 4 (fun i ->
+        if i = 2 then begin
+          (* the deadline has passed by the first poll *)
+          while true do
+            Pool.check_deadline ()
+          done;
+          assert false
+        end
+        else i)
+  in
+  (match r.(2) with
+  | Some { Pool.outcome = Error f; _ } ->
+      Alcotest.(check bool) "deadline exception" true
+        (f.Pool.f_exn = Pool.Deadline_exceeded)
+  | _ -> Alcotest.fail "expected a deadline failure");
+  List.iter
+    (fun i ->
+      match r.(i) with
+      | Some { Pool.outcome = Ok v; _ } -> Alcotest.(check int) "value" i v
+      | _ -> Alcotest.fail "other items must complete")
+    [ 0; 1; 3 ]
+
+let test_check_deadline_noop_without_deadline () =
+  (* outside map_result (and inside it without ~deadline_ns) the poll
+     never raises *)
+  Pool.check_deadline ();
+  let r = Pool.map_result ~jobs:1 2 (fun i -> Pool.check_deadline (); i) in
+  Alcotest.(check bool) "completed" true
+    (Array.for_all Option.is_some r)
+
+let test_on_result_sees_every_completion () =
+  let seen = Atomic.make [] in
+  let rec push x =
+    let old = Atomic.get seen in
+    if not (Atomic.compare_and_set seen old (x :: old)) then push x
+  in
+  let n = 30 in
+  let r =
+    Pool.map_result ~jobs:3
+      ~on_result:(fun i jr ->
+        push (i, match jr.Pool.outcome with Ok v -> v | Error _ -> -1))
+      n
+      (fun i -> if i = 7 then raise (Boom i) else i * 2)
+  in
+  Alcotest.(check int) "slots" n (Array.length r);
+  let got = List.sort compare (Atomic.get seen) in
+  let want =
+    List.init n (fun i -> (i, if i = 7 then -1 else i * 2))
+  in
+  Alcotest.(check bool) "hook saw every item with its result" true
+    (got = want)
+
+let prop_supervised_deterministic =
+  QCheck.Test.make
+    ~name:"supervised results identical at any jobs/chunk, failures isolated"
+    ~count:40
+    QCheck.(triple (int_range 1 40) (int_range 1 5) (int_range 1 7))
+    (fun (n, jobs, chunk) ->
+      let f i = if i mod 5 = 3 then raise (Boom i) else i * 7 in
+      let project r =
+        Array.map
+          (function
+            | Some { Pool.outcome = Ok v; _ } -> `Ok v
+            | Some { Pool.outcome = Error fl; _ } -> `Err fl.Pool.f_exn
+            | None -> `Empty)
+          r
+      in
+      let seq = project (Pool.map_result ~jobs:1 n f) in
+      let par = project (Pool.map_result ~jobs ~chunk n f) in
+      seq = par
+      && Array.to_list seq
+         |> List.mapi (fun i s -> (i, s))
+         |> List.for_all (fun (i, s) ->
+                if i mod 5 = 3 then s = `Err (Boom i) else s = `Ok (i * 7)))
+
+(* ------------------------------------------------------------------ *)
 (* clock *)
 
 let test_clock_monotonic () =
@@ -135,6 +280,22 @@ let () =
             test_should_stop_parallel_halts
         ; Alcotest.test_case "argument validation" `Quick test_validation
         ; QCheck_alcotest.to_alcotest prop_pool_positional
+        ] )
+    ; ( "supervised"
+      , [ Alcotest.test_case "failure captured, no deadlock" `Quick
+            test_supervised_captures_failure
+        ; Alcotest.test_case "transient retried" `Quick test_transient_retried
+        ; Alcotest.test_case "transient exhausted" `Quick
+            test_transient_exhausted
+        ; Alcotest.test_case "non-transient not retried" `Quick
+            test_nontransient_not_retried
+        ; Alcotest.test_case "cooperative deadline" `Quick
+            test_deadline_cooperative
+        ; Alcotest.test_case "check_deadline no-op without deadline" `Quick
+            test_check_deadline_noop_without_deadline
+        ; Alcotest.test_case "on_result sees every completion" `Quick
+            test_on_result_sees_every_completion
+        ; QCheck_alcotest.to_alcotest prop_supervised_deterministic
         ] )
     ; ( "clock"
       , [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic
