@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke trace-smoke explore-smoke chaos-smoke resume-determinism ci clean
+.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke bench-check bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism ci clean
 
 all: build
 
@@ -17,14 +17,33 @@ campaign-smoke: build
 	  --mix stuck-at --fail-on-anomaly --jobs 2 > /dev/null
 
 # Determinism gate: the parallel report must be byte-identical to the
-# sequential one for the same config and seed.
+# sequential one for the same config and seed, and the lane-batched
+# scheduler (--batch-lanes 62, the default) must be byte-identical to
+# the scalar one (--batch-lanes 1) — with enough trials to form full
+# 62-wide batches and a ragged tail, at both a faulty and a
+# mostly-clean fault load (clean lanes are the ones the batch engine
+# resolves without unpacking, so both paths must be covered).
 campaign-determinism: build
 	dune exec bin/bisramgen.exe -- campaign --trials 50 --seed 7 \
 	  --mix stuck-at --jobs 1 > .ci-campaign-jobs1.json
 	dune exec bin/bisramgen.exe -- campaign --trials 50 --seed 7 \
 	  --mix stuck-at --jobs 2 > .ci-campaign-jobs2.json
 	diff .ci-campaign-jobs1.json .ci-campaign-jobs2.json
-	rm -f .ci-campaign-jobs1.json .ci-campaign-jobs2.json
+	dune exec bin/bisramgen.exe -- campaign --trials 130 --seed 7 \
+	  --mix stuck-at --batch-lanes 62 --jobs 2 > .ci-campaign-lanes62.json
+	dune exec bin/bisramgen.exe -- campaign --trials 130 --seed 7 \
+	  --mix stuck-at --batch-lanes 1 --jobs 1 > .ci-campaign-lanes1.json
+	diff .ci-campaign-lanes62.json .ci-campaign-lanes1.json
+	dune exec bin/bisramgen.exe -- campaign --trials 130 --seed 7 \
+	  --mode poisson --mean 0.4 --batch-lanes 62 --jobs 2 \
+	  > .ci-campaign-planes62.json
+	dune exec bin/bisramgen.exe -- campaign --trials 130 --seed 7 \
+	  --mode poisson --mean 0.4 --batch-lanes 1 --jobs 1 \
+	  > .ci-campaign-planes1.json
+	diff .ci-campaign-planes62.json .ci-campaign-planes1.json
+	rm -f .ci-campaign-jobs1.json .ci-campaign-jobs2.json \
+	  .ci-campaign-lanes62.json .ci-campaign-lanes1.json \
+	  .ci-campaign-planes62.json .ci-campaign-planes1.json
 	@echo "campaign-determinism: OK"
 
 # Machine-readable perf trajectory: campaign throughput at several
@@ -41,6 +60,23 @@ bench-smoke: build
 	dune exec bench/bench_json.exe -- --smoke -o .ci-bench-smoke.json
 	rm -f .ci-bench-smoke.json
 	@echo "bench-smoke: OK"
+
+# Perf regression gate: a fresh --quick bench run (campaign + lanes
+# sections only) against the committed baseline, failing when
+# trials_per_sec dropped beyond the noise tolerance.  `make ci` runs
+# it through bench-check-advisory — warn-only — because CI boxes
+# (especially 1-core containers) are too noisy to hard-fail on wall
+# clock; run the strict form manually on a quiet machine.
+BENCH_CHECK_FLAGS ?=
+bench-check: build
+	dune exec bench/bench_json.exe -- --quick -o .ci-bench-fresh.json
+	dune exec bench/bench_check.exe -- --baseline BENCH_campaign.json \
+	  --fresh .ci-bench-fresh.json $(BENCH_CHECK_FLAGS)
+	rm -f .ci-bench-fresh.json
+	@echo "bench-check: OK"
+
+bench-check-advisory:
+	$(MAKE) bench-check BENCH_CHECK_FLAGS=--advisory
 
 # Telemetry wiring check: a tiny instrumented campaign must produce a
 # well-formed Chrome trace and metrics file with the always-present
@@ -116,7 +152,7 @@ resume-determinism: build
 	  .ci-resume.err
 	@echo "resume-determinism: OK"
 
-ci: build test campaign-smoke campaign-determinism bench-smoke trace-smoke explore-smoke chaos-smoke resume-determinism
+ci: build test campaign-smoke campaign-determinism bench-smoke bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism
 	@echo "ci: OK"
 
 clean:

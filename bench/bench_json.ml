@@ -32,6 +32,7 @@ module Obs = Bisram_obs.Obs
 module Export = Bisram_obs.Export
 
 let smoke = ref false
+let quick = ref false
 
 let time f =
   let t0 = Clock.now () in
@@ -40,7 +41,7 @@ let time f =
 
 (* best-of-k wall time: robust against scheduler noise on small boxes *)
 let best_of k f =
-  let k = if !smoke then 1 else k in
+  let k = if !smoke || !quick then 1 else k in
   let best = ref infinity in
   for _ = 1 to k do
     let _, s = time f in
@@ -134,6 +135,69 @@ let campaign_runs ~trials ~jobs_levels =
     ; ("trials", J.Int trials)
     ; ("faults_per_trial", J.Int 0)
     ; ("reports_identical_across_jobs", J.Bool identical)
+    ; ("runs", J.List (List.map run_json runs))
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* lane-sliced batching: trials_per_sec at increasing lane widths,
+   always at jobs = 1 so the figure isolates the bit-parallel win from
+   the domain-level one.  The trial count is divisible by every
+   measured width, so no ragged tail dilutes the wide-lane numbers
+   with scalar fallback work.  Lanes are purely a throughput knob —
+   the reports must stay byte-identical across widths, and that check
+   is recorded in the section. *)
+
+let lane_runs ~trials =
+  let cfg =
+    C.make_config ~mode:(C.Uniform 0) ~trials ~seed:1999 ~shrink:false ()
+  in
+  let levels = [ 1; 8; 62 ] in
+  ignore (C.run ~jobs:1 ~lanes:62 cfg) (* warm-up: page in code and heap *);
+  let baseline = ref None in
+  let runs, identical =
+    List.fold_left
+      (fun (runs, identical) lanes ->
+        let report = ref "" in
+        let seconds =
+          best_of 2 (fun () ->
+              report := C.json_string (C.run ~jobs:1 ~lanes cfg))
+        in
+        let identical =
+          identical
+          &&
+          match !baseline with
+          | None ->
+              baseline := Some !report;
+              true
+          | Some b -> String.equal b !report
+        in
+        let tps = float_of_int trials /. seconds in
+        (runs @ [ (lanes, seconds, tps) ], identical))
+      ([], true) levels
+  in
+  let scalar_tps =
+    match runs with (1, _, tps) :: _ -> tps | _ -> nan
+  in
+  let run_json (lanes, seconds, tps) =
+    J.Obj
+      [ ("lanes", J.Int lanes)
+      ; ("seconds", J.Float seconds)
+      ; ("trials_per_sec", J.Float tps)
+      ; ("speedup_vs_scalar", J.Float (tps /. scalar_tps))
+      ]
+  in
+  J.Obj
+    [ ( "org"
+      , J.Obj
+          [ ("words", J.Int cfg.C.org.Org.words)
+          ; ("bpw", J.Int cfg.C.org.Org.bpw)
+          ; ("bpc", J.Int cfg.C.org.Org.bpc)
+          ; ("spares", J.Int cfg.C.org.Org.spares)
+          ] )
+    ; ("trials", J.Int trials)
+    ; ("faults_per_trial", J.Int 0)
+    ; ("jobs", J.Int 1)
+    ; ("reports_identical_across_lanes", J.Bool identical)
     ; ("runs", J.List (List.map run_json runs))
     ]
 
@@ -531,6 +595,9 @@ let () =
     | "--smoke" :: rest ->
         smoke := true;
         parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
     | a :: _ ->
         Printf.eprintf "bench_json: unknown argument %S\n" a;
         exit 1
@@ -545,31 +612,51 @@ let () =
       exit 1
     end
   end;
+  (* --quick times only the regression-gated sections (campaign +
+     lanes) with single-rep best-of; good enough for bench-check's
+     tolerance band but not for the committed baseline *)
+  if !quick && not !out_set then begin
+    Printf.eprintf
+      "bench_json: --quick skips sections and single-samples timings; pass \
+       -o to write somewhere other than the committed baseline\n";
+    exit 1
+  end;
   if !smoke then smoke_exporters ();
-  let jobs_levels = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let jobs_levels =
+    if !quick then [ 1 ] else if !smoke then [ 1; 2 ] else [ 1; 2; 4 ]
+  in
   let campaign = campaign_runs ~trials:!trials ~jobs_levels in
-  let explore = explore_sweep () in
-  let kernels, derived = kernels () in
-  let telemetry = telemetry_overhead () in
-  let model_hits = model_hit_ratios () in
-  let resilience = resilience () in
+  let lanes = lane_runs ~trials:248 in
+  let full name f = if !quick then (name, J.Null) else (name, f ()) in
+  let kernels, derived =
+    if !quick then (J.Null, J.Null)
+    else
+      let k, d = kernels () in
+      (k, d)
+  in
   let doc =
     J.Obj
-      [ ("schema", J.String "bisram-bench/5")
+      [ ("schema", J.String "bisram-bench/6")
+        (* cores mirrors recommended_jobs (Domain.recommended_domain_count):
+           the exact gate behind the jobs_exceed_cores skips above, recorded
+           so a skip is auditable from the JSON alone *)
       ; ( "machine"
         , J.Obj
             [ ("cores", J.Int (Pool.recommended_jobs ()))
+            ; ("recommended_jobs", J.Int (Pool.recommended_jobs ()))
             ; ("ocaml", J.String Sys.ocaml_version)
             ; ("word_size", J.Int Sys.word_size)
             ] )
       ; ("smoke", J.Bool !smoke)
+      ; ("quick", J.Bool !quick)
       ; ("campaign", campaign)
-      ; ("explore", explore)
+      ; ("lanes", lanes)
+      ; full "explore" explore_sweep
       ; ("kernels", kernels)
       ; ("derived", derived)
-      ; ("telemetry", telemetry)
-      ; ("model_hits", model_hits)
-      ; ("resilience", resilience)
+      ; full "telemetry" telemetry_overhead
+      ; full "model_hits" model_hit_ratios
+      ; full "resilience" resilience
       ]
   in
   let oc = open_out !out in

@@ -301,8 +301,9 @@ let export_telemetry ~trace ~metrics ~stats =
   if stats then prerr_string (Obs_export.stats_table snap)
 
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
-    mix max_seconds no_shrink max_rounds jobs trace metrics stats replay_seed
-    fail_on_anomaly checkpoint_path checkpoint_every resume trial_deadline =
+    mix max_seconds no_shrink max_rounds jobs batch_lanes trace metrics stats
+    replay_seed fail_on_anomaly checkpoint_path checkpoint_every resume
+    trial_deadline =
   let jobs_result = resolve_jobs jobs in
   let mix_result =
     match mix with
@@ -340,6 +341,10 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
           | Some s when s <= 0.0 ->
               invalid_arg "--trial-deadline must be positive"
           | _ -> ());
+          if batch_lanes < 1 || batch_lanes > Campaign.max_lanes then
+            invalid_arg
+              (Printf.sprintf "--batch-lanes must be in 1 .. %d"
+                 Campaign.max_lanes);
           let ck =
             if checkpoint_every > 0 || resume then
               Some
@@ -410,7 +415,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
                 | Some h -> Sys.set_signal Sys.sigint h
                 | None -> ())
               (fun () ->
-                Campaign.run ~jobs
+                Campaign.run ~jobs ~lanes:batch_lanes
                   ~should_stop:(fun () -> Atomic.get sigint)
                   ?checkpoint:ck ?trial_deadline cfg)
           in
@@ -589,13 +594,24 @@ let campaign_cmd =
              recorded as a tool error in the report and the campaign \
              continues.")
   in
+  let batch_lanes_arg =
+    Arg.(
+      value & opt int 62
+      & info [ "batch-lanes" ] ~docv:"N"
+          ~doc:
+            "Lane-sliced batch width: pack $(docv) consecutive trials into \
+             one bit-parallel simulation (one trial per bit of a native \
+             int).  Purely a throughput knob — the report is byte-identical \
+             at every width.  1 disables batching (pure scalar scheduler); \
+             the maximum is the native word width minus one (62 on 64-bit).")
+  in
   let term =
     Term.(
       const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
       $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
       $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
-      $ trace_arg $ metrics_arg $ stats_arg $ replay_arg $ fail_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+      $ batch_lanes_arg $ trace_arg $ metrics_arg $ stats_arg $ replay_arg
+      $ fail_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
       $ trial_deadline_arg)
   in
   Cmd.v

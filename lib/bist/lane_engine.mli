@@ -1,0 +1,23 @@
+(** Lane-wise march execution over a {!Bisram_sram.Lanes} batch store.
+
+    One pass advances every lane (campaign trial) of the store through
+    the whole march test at once and reduces the comparator result
+    lane-wise: the returned int has bit [l] set iff lane [l] saw at
+    least one read mismatch — the information the batched campaign
+    scheduler needs to decide pass/fail per trial without unpacking
+    any lane.  No failure records are built (a failing lane is re-run
+    on the scalar engine, which produces the byte-identical report
+    detail). *)
+
+(** [run_pass ?clear lanes test ~backgrounds] applies the march once
+    per background and returns the lane fail mask.  [clear] (default
+    [true]) starts from power-up state, like {!Engine.run}; pass
+    [~clear:false] to continue on the current state, like the
+    microprogrammed controller's second pass.  Stops early once every
+    lane has failed. *)
+val run_pass :
+  ?clear:bool ->
+  Bisram_sram.Lanes.t ->
+  March.t ->
+  backgrounds:Bisram_sram.Word.t list ->
+  int

@@ -676,6 +676,95 @@ let record_of_pool_failure cfg ~index (f : Pool.failure) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* lane-sliced batch execution (PPSFP over trials)
+
+   A batch packs [len] consecutive trials into the bit positions of a
+   [Lanes] store and drives all of them through the flow at once.  The
+   lane engine only has to answer one question per lane: was the whole
+   flow clean?  A clean lane's record is forced — the controller and
+   the reference see no failure (outcomes equal, both TLBs empty, the
+   remap is the identity), the iterated flow verifies on round 1, and
+   both escape sweeps are silent — so it is emitted directly, while
+   every dirty lane is recomputed on the scalar engine, whose records
+   (including shrinking and failure detail) are byte-identical to an
+   unbatched run's by construction.
+
+   The schedule reproduces the state each scalar flow sweeps:
+   - pass 1 from power-up state = controller pass 1 / [Engine.run];
+   - pass 2 on pass-1 state     = controller pass 2 (no clear; the
+     clean lane's remap is the identity);
+   - sweep A                    = the two-pass flow's escape sweep;
+   - pass 3 from power-up state = the iterated flow's verify round
+     ([Engine.run] after an identity remap);
+   - sweep B                    = the iterated flow's escape sweep. *)
+
+let max_lanes = Bisram_sram.Word.max_width
+
+let clean_body =
+  Rc_ok
+    { rc_two_pass = "passed_clean"
+    ; rc_iterated = "passed_clean"
+    ; rc_rounds = 1
+    ; rc_failures = []
+    }
+
+let popcount m =
+  let n = ref 0 and m = ref m in
+  while !m <> 0 do
+    m := !m land (!m - 1);
+    incr n
+  done;
+  !n
+
+let compute_batch cfg ~start ~len =
+  Obs.span ~cat:"campaign" ~arg:("batch", start) "lane-batch" (fun () ->
+      let lanes = Bisram_sram.Lanes.create cfg.org ~lanes:len in
+      let fault_counts =
+        Array.init len (fun l ->
+            let faults =
+              draw_faults cfg (rng_of_seed (trial_seed cfg (start + l)))
+            in
+            Bisram_sram.Lanes.arm lanes ~lane:l faults;
+            List.length faults)
+      in
+      Bisram_sram.Lanes.clear lanes;
+      let bgs = backgrounds cfg in
+      let all = Bisram_sram.Lanes.all_mask lanes in
+      let march = cfg.march in
+      let run_pass ?clear () =
+        Bisram_bist.Lane_engine.run_pass ?clear lanes march ~backgrounds:bgs
+      in
+      let dirty = ref (run_pass ()) in
+      Pool.check_deadline ();
+      if !dirty <> all then begin
+        dirty := !dirty lor run_pass ~clear:false ();
+        if !dirty <> all then dirty := !dirty lor Sweep.run_lanes lanes;
+        Pool.check_deadline ();
+        if !dirty <> all then begin
+          dirty := !dirty lor run_pass ();
+          dirty := !dirty lor Sweep.run_lanes lanes
+        end
+      end;
+      let d = !dirty in
+      Obs.incr "campaign.lane_batches";
+      Obs.add "campaign.lane_occupancy_filled" len;
+      Obs.add "campaign.lane_occupancy_width" len;
+      Obs.add "campaign.lane_fallbacks" (popcount (d land all));
+      Array.init len (fun l ->
+          let index = start + l in
+          if d land (1 lsl l) <> 0 then compute_record cfg ~index
+          else begin
+            Obs.incr "campaign.trials";
+            Obs.incr "campaign.lane_clean_trials";
+            Obs.add "campaign.faults_injected" fault_counts.(l);
+            Obs.observe "campaign.faults_per_trial" fault_counts.(l);
+            { rc_index = index
+            ; rc_seed = trial_seed cfg index
+            ; rc_body = clean_body
+            }
+          end))
+
+(* ------------------------------------------------------------------ *)
 (* checkpoints *)
 
 type checkpoint = {
@@ -781,9 +870,12 @@ let load_checkpoint cfg path =
 (* ------------------------------------------------------------------ *)
 (* the campaign run *)
 
-let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
-    ?trial_deadline cfg =
+let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
+    ?checkpoint ?trial_deadline cfg =
   if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
+  if lanes < 1 || lanes > max_lanes then
+    invalid_arg
+      (Printf.sprintf "Campaign.run: lanes must be in 1..%d" max_lanes);
   let now =
     match now with Some f -> f | None -> Bisram_parallel.Clock.now
   in
@@ -814,29 +906,48 @@ let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
   let nresumed = min (Array.length resumed) cfg.trials in
   if Obs.enabled () && nresumed > 0 then
     Obs.add "campaign.resumed_trials" nresumed;
+  (* Lane-batch decomposition: one pool item covers [lanes] consecutive
+     trials (full batches only — the ragged tail degrades to one item
+     per trial, keeping the unbatched chaos/retry/checkpoint
+     granularity there).  With [lanes = 1] this is exactly the old
+     one-item-per-trial scheduler. *)
+  let ranges = Pool.batch_ranges ~items:cfg.trials ~width:lanes in
+  let n_units = Array.length ranges in
   (* Every trial already owns its derived seed, so trials are
      independent and can run on any worker.  Shrinking runs inside the
      worker too (it dominates the cost of a failing trial) and is a
      deterministic function of the trial.  The merge below walks the
      positional results in trial order, which keeps the report
-     byte-identical at every job count (budgeted runs excepted: where
-     the budget fires depends on timing at any job count). *)
-  let work index =
-    if index < nresumed then resumed.(index)
+     byte-identical at every job count and lane width (budgeted runs
+     excepted: where the budget fires depends on timing at any job
+     count). *)
+  let work unit =
+    let start, len = ranges.(unit) in
+    if start + len <= nresumed then
+      (* fully resumed: served from memory, no chaos consulted *)
+      Array.init len (fun l -> resumed.(start + l))
     else begin
       (match Chaos.kill_at_trial () with
-      | Some k when k = index -> Chaos.kill_now ()
+      | Some k when k >= max start nresumed && k < start + len ->
+          Chaos.kill_now ()
       | _ -> ());
       if
         Chaos.job_fails
-          ~key:(Printf.sprintf "%d.%d" index (Pool.current_attempt ()))
+          ~key:(Printf.sprintf "%d.%d" start (Pool.current_attempt ()))
       then
         raise
           (Pool.Transient
              (Chaos.Injected
                 (Printf.sprintf "chaos: injected transient fault (trial %d)"
-                   index)));
-      compute_record cfg ~index
+                   start)));
+      if len > 1 && start >= nresumed then compute_batch cfg ~start ~len
+      else
+        (* single-trial unit, or a batch straddling the resume
+           boundary: scalar per trial (resumed indices from memory) *)
+        Array.init len (fun l ->
+            let index = start + l in
+            if index < nresumed then resumed.(index)
+            else compute_record cfg ~index)
     end
   in
   (* per-domain utilization lands in worker-indexed counters; the probe
@@ -874,20 +985,25 @@ let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
     (fun i r -> if i < nresumed then Hashtbl.replace ck_table i r)
     resumed;
   ck_prefix := nresumed;
-  let record_of_job index (r : trial_record Pool.job_result) =
+  (* a unit whose computation failed yields one error record per
+     contained trial — exactly what the per-trial scheduler recorded *)
+  let records_of_job unit (r : trial_record array Pool.job_result) =
     match r.Pool.outcome with
-    | Ok rc -> rc
-    | Error f -> record_of_pool_failure cfg ~index f
+    | Ok arr -> arr
+    | Error f ->
+        let start, len = ranges.(unit) in
+        Array.init len (fun l ->
+            record_of_pool_failure cfg ~index:(start + l) f)
   in
   let on_result =
     match ck_write with
     | None -> None
     | Some ck ->
         Some
-          (fun index r ->
-            let rc = record_of_job index r in
+          (fun unit r ->
+            let rcs = records_of_job unit r in
             Mutex.lock ck_mutex;
-            Hashtbl.replace ck_table index rc;
+            Array.iter (fun rc -> Hashtbl.replace ck_table rc.rc_index rc) rcs;
             while Hashtbl.mem ck_table !ck_prefix do
               incr ck_prefix
             done;
@@ -905,7 +1021,7 @@ let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
   in
   let completed =
     Pool.map_result ~jobs ~should_stop:over_budget ?probe ?deadline_ns
-      ?on_result cfg.trials work
+      ?on_result n_units work
   in
   (* final snapshot: a graceful drain (budget or SIGINT) leaves the
      freshest contiguous prefix on disk for the next --resume *)
@@ -915,23 +1031,27 @@ let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
         (List.init !ck_prefix (fun i -> Hashtbl.find ck_table i))
   | _ -> ());
   (* Under a budget, workers past the one that tripped the stop may have
-     completed trials beyond the first unfinished index, leaving holes.
-     Aggregate only the maximal contiguous prefix so a truncated report
-     means the same thing at every job count: exactly the trials
-     [0 .. trials_run - 1], as the sequential loop would produce. *)
-  let trials_run =
-    let n = Array.length completed in
-    let i = ref 0 in
-    while !i < n && Option.is_some completed.(!i) do
-      incr i
+     completed units beyond the first unfinished one, leaving holes.
+     Aggregate only the maximal contiguous prefix of units so a
+     truncated report means the same thing at every job count: exactly
+     the trials [0 .. trials_run - 1], as the sequential loop would
+     produce. *)
+  let units_run =
+    let u = ref 0 in
+    while !u < n_units && Option.is_some completed.(!u) do
+      incr u
     done;
-    !i
+    !u
+  in
+  let trials_run =
+    if units_run = n_units then cfg.trials
+    else fst ranges.(units_run)
   in
   if Obs.enabled () then begin
     let retries = ref 0 in
     Array.iter
       (function
-        | Some (r : trial_record Pool.job_result) ->
+        | Some (r : trial_record array Pool.job_result) ->
             retries := !retries + (r.Pool.attempts - 1)
         | None -> ())
       completed;
@@ -943,27 +1063,35 @@ let run ?now ?(jobs = 1) ?(should_stop = fun () -> false) ?checkpoint
   let escapes = ref [] in
   let divergences = ref [] in
   let tool_errors = ref [] in
-  for i = 0 to trials_run - 1 do
-    match completed.(i) with
+  for u = 0 to units_run - 1 do
+    match completed.(u) with
     | None -> assert false (* inside the contiguous prefix *)
-    | Some job -> (
-        match (record_of_job i job).rc_body with
-        | Rc_ok o ->
-            two_pass := count_class !two_pass o.rc_two_pass;
-            iterated := count_class !iterated o.rc_iterated;
-            Hashtbl.replace rounds o.rc_rounds
-              (1
-              + Option.value ~default:0 (Hashtbl.find_opt rounds o.rc_rounds));
-            List.iter
-              (fun f ->
-                if String.equal f.f_kind "escape" then escapes := f :: !escapes
-                else divergences := f :: !divergences)
-              o.rc_failures
-        | Rc_error e ->
-            Obs.incr "campaign.tool_errors";
-            tool_errors :=
-              { te_trial = i; te_seed = trial_seed cfg i; te_error = e }
-              :: !tool_errors)
+    | Some job ->
+        Array.iter
+          (fun rc ->
+            match rc.rc_body with
+            | Rc_ok o ->
+                two_pass := count_class !two_pass o.rc_two_pass;
+                iterated := count_class !iterated o.rc_iterated;
+                Hashtbl.replace rounds o.rc_rounds
+                  (1
+                  + Option.value ~default:0
+                      (Hashtbl.find_opt rounds o.rc_rounds));
+                List.iter
+                  (fun f ->
+                    if String.equal f.f_kind "escape" then
+                      escapes := f :: !escapes
+                    else divergences := f :: !divergences)
+                  o.rc_failures
+            | Rc_error e ->
+                Obs.incr "campaign.tool_errors";
+                tool_errors :=
+                  { te_trial = rc.rc_index
+                  ; te_seed = rc.rc_seed
+                  ; te_error = e
+                  }
+                  :: !tool_errors)
+          (records_of_job u job)
   done;
   let frac h =
     if trials_run = 0 then 0.0

@@ -67,6 +67,10 @@ val make_config :
     trial index — the value printed in reports and fed to [--replay]). *)
 val trial_seed : config -> int -> int
 
+(** Widest usable lane batch ({!Bisram_sram.Word.max_width}: one trial
+    per bit of a native int). *)
+val max_lanes : int
+
 type flow = Two_pass | Iterated
 
 val flow_name : flow -> string
@@ -216,10 +220,24 @@ val checkpoint : path:string -> ?every:int -> ?resume:bool -> unit -> checkpoint
     trials poll it between flows and a trial that exceeds it is
     recorded as a tool error ([Pool.Deadline_exceeded]).
 
-    @raise Invalid_argument if [jobs < 1]. *)
+    [lanes] (default [1]: the scalar scheduler) packs that many
+    consecutive trials into one lane-sliced batch
+    ({!Bisram_sram.Lanes}): each bit position of a packed int carries
+    one trial's cell state, so one int operation advances the whole
+    batch.  Lanes whose entire flow is clean are resolved without ever
+    unpacking; any lane with a march failure or sweep mismatch falls
+    back to the scalar engine (as do the ragged tail, resumed-prefix
+    boundaries and all shrink/replay paths), so the report is
+    byte-identical to the scalar scheduler's at every [lanes] and
+    [jobs] combination.  Chaos injection, retries and checkpointing
+    operate per batch for full batches and per trial on the tail.
+
+    @raise Invalid_argument if [jobs < 1] or [lanes] is outside
+    [1 .. max_lanes]. *)
 val run :
   ?now:(unit -> float) ->
   ?jobs:int ->
+  ?lanes:int ->
   ?should_stop:(unit -> bool) ->
   ?checkpoint:checkpoint ->
   ?trial_deadline:float ->

@@ -71,6 +71,43 @@ let run ?(stop_at_first = false) model =
 
 let clean model = run ~stop_at_first:true model = []
 
+exception Saturated
+
+(* Lane-wise sweep over a batch store: same pattern walk as [run], but
+   the mismatch detail is reduced to a per-lane fail mask (a failing
+   lane is re-swept by the scalar path for the report detail).  No
+   initial clear — like [run], the sweep exercises the array as the
+   flow left it. *)
+let run_lanes lanes =
+  let module Lanes = Bisram_sram.Lanes in
+  let org = Lanes.org lanes in
+  let words = org.Org.words in
+  let all = Lanes.all_mask lanes in
+  let fail = ref 0 in
+  let check ~data addr =
+    fail := !fail lor Lanes.read_mismatch lanes addr (data addr);
+    if !fail = all then raise Saturated
+  in
+  (try
+     List.iter
+       (fun (_pattern, data) ->
+         for a = 0 to words - 1 do
+           Lanes.write_word lanes a (data a)
+         done;
+         for a = 0 to words - 1 do
+           check ~data a
+         done;
+         for a = words - 1 downto 0 do
+           check ~data a
+         done;
+         Lanes.retention_wait lanes;
+         for a = 0 to words - 1 do
+           check ~data a
+         done)
+       (patterns org);
+     !fail
+   with Saturated -> all)
+
 let pp_mismatch ppf m =
   Format.fprintf ppf "addr %d [%s/%s]: expected %a, got %a" m.addr m.pattern
     (phase_name m.phase) Word.pp m.expected Word.pp m.got

@@ -35,4 +35,10 @@ val run : ?stop_at_first:bool -> Bisram_sram.Model.t -> mismatch list
 (** No mismatch at all (early-stopping). *)
 val clean : Bisram_sram.Model.t -> bool
 
+(** Lane-wise sweep over a batch store: the same pattern walk reduced
+    to a per-lane fail mask (bit [l] set iff lane [l] mismatched at
+    least once).  Like {!run}, sweeps the store as-is — no initial
+    clear.  Stops early once every lane has failed. *)
+val run_lanes : Bisram_sram.Lanes.t -> int
+
 val pp_mismatch : Format.formatter -> mismatch -> unit

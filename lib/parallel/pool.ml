@@ -200,3 +200,16 @@ let map_result ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false)
   run_pool ~jobs ~chunk ~should_stop ~probe
     ~mode:(`Supervise { retries; backoff_ns; deadline_ns; on_result })
     n f
+
+(* Lane-batch decomposition: the leading [items / width] pool items
+   cover [width] consecutive indices each, the ragged tail degrades to
+   single-index items so its chaos/retry/checkpoint granularity equals
+   the unbatched scheduler's.  With [width = 1] this is the identity
+   decomposition (one item per index). *)
+let batch_ranges ~items ~width =
+  if items < 0 then invalid_arg "Pool.batch_ranges: negative items";
+  if width < 1 then invalid_arg "Pool.batch_ranges: width must be >= 1";
+  let full = if width > 1 then items / width else 0 in
+  let tail = items - (full * width) in
+  Array.init (full + tail) (fun u ->
+      if u < full then (u * width, width) else ((full * width) + u - full, 1))

@@ -146,3 +146,12 @@ val map_result :
   int ->
   (int -> 'a) ->
   'a job_result option array
+
+(** [batch_ranges ~items ~width] decomposes [0 .. items - 1] into
+    [(start, len)] pool items: [items / width] full batches of [width]
+    consecutive indices, then one single-index item per ragged-tail
+    index (so the tail keeps the unbatched scheduler's chaos, retry
+    and checkpoint granularity).  [width = 1] yields the identity
+    decomposition.  Used by the campaign's lane-batch scheduler.
+    @raise Invalid_argument if [items < 0] or [width < 1]. *)
+val batch_ranges : items:int -> width:int -> (int * int) array
