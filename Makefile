@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism bench-json bench-smoke bench-check bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism ci clean
+.PHONY: all build test campaign-smoke campaign-determinism estimator-smoke bench-json bench-smoke bench-check bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism ci clean
 
 all: build
 
@@ -45,6 +45,38 @@ campaign-determinism: build
 	  .ci-campaign-lanes62.json .ci-campaign-lanes1.json \
 	  .ci-campaign-planes62.json .ci-campaign-planes1.json
 	@echo "campaign-determinism: OK"
+
+# Rare-event estimation gate.  (1) Adaptive stopping must actually
+# save trials: on a rigged low-density config (poisson mean 0.02, zero
+# spare rows, so the repair-failure rate is ~0.0198) the stratified
+# proposal must reach the CI target in strictly fewer trials than
+# naive adaptive sampling.  (2) The importance-weighted report must be
+# byte-identical across --jobs counts — the weighted sums accumulate
+# in strict trial order, so parallel fan-out must not perturb a single
+# float.
+estimator-smoke: build
+	dune exec bin/bisramgen.exe -- campaign --spares 0 --mix stuck-at \
+	  --mode poisson --mean 0.02 --seed 7 --jobs 2 --no-shrink \
+	  --target-ci 0.25 --ci-batch 992 --ci-max-trials 20000 \
+	  --proposal-nonzero 0.5 > .ci-est-strat.json 2> /dev/null
+	dune exec bin/bisramgen.exe -- campaign --spares 0 --mix stuck-at \
+	  --mode poisson --mean 0.02 --seed 7 --jobs 2 --no-shrink \
+	  --target-ci 0.25 --ci-batch 992 --ci-max-trials 20000 \
+	  > .ci-est-naive.json 2> /dev/null
+	@s=$$(sed -n 's/^ *"trials_run": \([0-9]*\),*$$/\1/p' .ci-est-strat.json); \
+	n=$$(sed -n 's/^ *"trials_run": \([0-9]*\),*$$/\1/p' .ci-est-naive.json); \
+	echo "estimator-smoke: stratified $$s trials vs naive $$n"; \
+	test "$$s" -lt "$$n"
+	dune exec bin/bisramgen.exe -- campaign --spares 0 --mix stuck-at \
+	  --mode poisson --mean 0.05 --seed 7 --trials 400 --no-shrink \
+	  --proposal-count-scale 10 --jobs 1 > .ci-est-is1.json
+	dune exec bin/bisramgen.exe -- campaign --spares 0 --mix stuck-at \
+	  --mode poisson --mean 0.05 --seed 7 --trials 400 --no-shrink \
+	  --proposal-count-scale 10 --jobs 2 > .ci-est-is2.json
+	diff .ci-est-is1.json .ci-est-is2.json
+	rm -f .ci-est-strat.json .ci-est-naive.json .ci-est-is1.json \
+	  .ci-est-is2.json
+	@echo "estimator-smoke: OK"
 
 # Machine-readable perf trajectory: campaign throughput at several
 # --jobs levels plus fast-vs-legacy kernel microbenchmarks, written to
@@ -152,7 +184,7 @@ resume-determinism: build
 	  .ci-resume.err
 	@echo "resume-determinism: OK"
 
-ci: build test campaign-smoke campaign-determinism bench-smoke bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism
+ci: build test campaign-smoke campaign-determinism estimator-smoke bench-smoke bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism
 	@echo "ci: OK"
 
 clean:

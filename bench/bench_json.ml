@@ -19,6 +19,8 @@
    committed baseline unless -o points elsewhere. *)
 
 module C = Bisram_campaign.Campaign
+module E = Bisram_campaign.Estimator
+module Prop = Bisram_faults.Proposal
 module J = Bisram_campaign.Report
 module Org = Bisram_sram.Org
 module Model = Bisram_sram.Model
@@ -199,6 +201,89 @@ let lane_runs ~trials =
     ; ("jobs", J.Int 1)
     ; ("reports_identical_across_lanes", J.Bool identical)
     ; ("runs", J.List (List.map run_json runs))
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* rare-event estimation: trials and wall-clock to a ±10% relative CI
+   on the repair-failure rate — naive sampling vs a stratified count
+   proposal vs importance sampling (count mean shifted to ~0.5) at
+   three defect densities.  The rig (zero spare rows, stuck-at-only
+   mix) makes the failure probability exactly 1 - e^-lambda, so every
+   recorded rate is auditable against ground truth.  The headline is
+   the lowest-density row: naive sampling needs roughly
+   z^2 / (target^2 * p) trials to pin the rate, the biased proposals a
+   density-independent few hundred — fewer trials *and* less wall
+   clock, which is the point of the estimation layer. *)
+
+let estimator_runs () =
+  let target = if !smoke then 0.3 else 0.1 in
+  let densities = if !smoke then [ 0.05 ] else [ 0.05; 0.01; 0.002 ] in
+  let max_trials = if !smoke then 5_000 else 600_000 in
+  let batch = if !smoke then 124 else 992 in
+  let rare_cfg ?proposal lambda =
+    let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:0 () in
+    C.make_config ~org ~mix:Bisram_faults.Injection.stuck_at_only
+      ~mode:(C.Poisson lambda) ?proposal ~trials:1 ~seed:1999 ~shrink:false ()
+  in
+  let strategies lambda =
+    [ ("naive", None)
+    ; ( "stratified"
+      , Some { Prop.count = Prop.Stratified { nonzero = 0.5 }; mix = None } )
+    ; ( "importance"
+      , Some
+          { Prop.count =
+              Prop.Scaled
+                { scale = Float.max 1.0 (0.5 /. lambda); shift = 0.0 }
+          ; mix = None
+          } )
+    ]
+  in
+  let run lambda (name, proposal) =
+    let cfg = rare_cfg ?proposal lambda in
+    let a, seconds =
+      (* adaptive runs are seconds long, so a single timed sample is
+         already stable — and the reductions being claimed are 10x+ *)
+      time (fun () ->
+          E.run_adaptive ~lanes:62 ~batch ~metric:E.Repair_failure_two_pass
+            ~max_trials ~target cfg)
+    in
+    let e = E.estimate a.E.a_result E.Repair_failure_two_pass in
+    (name, a, e, seconds)
+  in
+  let density lambda =
+    let rows = List.map (run lambda) (strategies lambda) in
+    let naive_trials, naive_s =
+      match rows with
+      | (_, a, _, s) :: _ -> (a.E.a_result.C.trials_run, s)
+      | [] -> (0, nan)
+    in
+    let row (name, a, e, seconds) =
+      let trials = a.E.a_result.C.trials_run in
+      J.Obj
+        [ ("strategy", J.String name)
+        ; ("reached_target", J.Bool (a.E.a_reason = E.Target_reached))
+        ; ("trials", J.Int trials)
+        ; ("seconds", J.Float seconds)
+        ; ("rate", J.Float e.E.e_rate)
+        ; ("rel_half_width", J.Float a.E.a_rel_half_width)
+        ; ( "trials_reduction_vs_naive"
+          , J.Float (float_of_int naive_trials /. float_of_int (max 1 trials))
+          )
+        ; ("wall_clock_reduction_vs_naive", J.Float (naive_s /. seconds))
+        ]
+    in
+    J.Obj
+      [ ("lambda", J.Float lambda)
+      ; ("true_rate", J.Float (1.0 -. exp (-.lambda)))
+      ; ("rows", J.List (List.map row rows))
+      ]
+  in
+  J.Obj
+    [ ("metric", J.String "repair_failure_two_pass")
+    ; ("target_rel_half_width", J.Float target)
+    ; ("batch", J.Int batch)
+    ; ("max_trials", J.Int max_trials)
+    ; ("densities", J.List (List.map density densities))
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -576,6 +661,71 @@ let smoke_exporters () =
   prerr_endline "bench_json: exporter smoke OK (trace + metrics parsed back)"
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_history.jsonl: one compact line per baseline regeneration —
+   the trajectory file that lets a later PR see throughput drift at a
+   glance without diffing full baselines.  Only full (non-smoke,
+   non-quick) runs append; their numbers are the only trustworthy
+   ones. *)
+
+let jget k j = Option.value ~default:J.Null (J.member k j)
+let jlist = function J.List l -> l | _ -> []
+
+let history_line doc =
+  let jobs1_tps =
+    match jlist (jget "runs" (jget "campaign" doc)) with
+    | first :: _ -> jget "trials_per_sec" first
+    | [] -> J.Null
+  in
+  let lane62_speedup =
+    Option.value ~default:J.Null
+      (List.find_map
+         (fun r ->
+           match J.member "lanes" r with
+           | Some (J.Int 62) -> J.member "speedup_vs_scalar" r
+           | _ -> None)
+         (jlist (jget "runs" (jget "lanes" doc))))
+  in
+  (* the lowest density is the last one benched — the headline row *)
+  let lowest =
+    match List.rev (jlist (jget "densities" (jget "estimator" doc))) with
+    | d :: _ -> d
+    | [] -> J.Null
+  in
+  let strategy_seconds name =
+    Option.value ~default:J.Null
+      (List.find_map
+         (fun r ->
+           match J.member "strategy" r with
+           | Some (J.String s) when String.equal s name -> J.member "seconds" r
+           | _ -> None)
+         (jlist (jget "rows" lowest)))
+  in
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  let utc =
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  J.Obj
+    [ ("schema", J.String "bisram-bench-history/1")
+    ; ("utc", J.String utc)
+    ; ("bench_schema", jget "schema" doc)
+    ; ("campaign_trials_per_sec_jobs1", jobs1_tps)
+    ; ("lanes62_speedup", lane62_speedup)
+    ; ("estimator_lambda", jget "lambda" lowest)
+    ; ("estimator_seconds_to_ci_naive", strategy_seconds "naive")
+    ; ("estimator_seconds_to_ci_stratified", strategy_seconds "stratified")
+    ; ("estimator_seconds_to_ci_importance", strategy_seconds "importance")
+    ]
+
+let append_history ~path doc =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (J.to_string (history_line doc));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "appended %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let out = ref "BENCH_campaign.json" in
@@ -628,6 +778,7 @@ let () =
   let campaign = campaign_runs ~trials:!trials ~jobs_levels in
   let lanes = lane_runs ~trials:248 in
   let full name f = if !quick then (name, J.Null) else (name, f ()) in
+  let estimator = if !quick then J.Null else estimator_runs () in
   let kernels, derived =
     if !quick then (J.Null, J.Null)
     else
@@ -636,7 +787,7 @@ let () =
   in
   let doc =
     J.Obj
-      [ ("schema", J.String "bisram-bench/6")
+      [ ("schema", J.String "bisram-bench/7")
         (* cores mirrors recommended_jobs (Domain.recommended_domain_count):
            the exact gate behind the jobs_exceed_cores skips above, recorded
            so a skip is auditable from the JSON alone *)
@@ -651,6 +802,7 @@ let () =
       ; ("quick", J.Bool !quick)
       ; ("campaign", campaign)
       ; ("lanes", lanes)
+      ; ("estimator", estimator)
       ; full "explore" explore_sweep
       ; ("kernels", kernels)
       ; ("derived", derived)
@@ -662,4 +814,8 @@ let () =
   let oc = open_out !out in
   output_string oc (J.to_pretty_string doc);
   close_out oc;
-  Printf.printf "wrote %s\n" !out
+  Printf.printf "wrote %s\n" !out;
+  if (not !smoke) && not !quick then
+    append_history
+      ~path:(Filename.concat (Filename.dirname !out) "BENCH_history.jsonl")
+      doc

@@ -20,6 +20,8 @@ module I = Bisram_faults.Injection
 module Repair = Bisram_bisr.Repair
 module Floorplan = Bisram_pr.Floorplan
 module Campaign = Bisram_campaign.Campaign
+module Estimator = Bisram_campaign.Estimator
+module Proposal = Bisram_faults.Proposal
 module Obs = Bisram_obs.Obs
 module Obs_export = Bisram_obs.Export
 module Json = Bisram_obs.Json
@@ -303,10 +305,11 @@ let export_telemetry ~trace ~metrics ~stats =
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     mix max_seconds no_shrink max_rounds jobs batch_lanes trace metrics stats
     replay_seed fail_on_anomaly checkpoint_path checkpoint_every resume
-    trial_deadline =
+    trial_deadline confidence target_ci ci_metric ci_batch ci_max_trials
+    prop_scale prop_shift prop_nonzero prop_mix =
   let jobs_result = resolve_jobs jobs in
-  let mix_result =
-    match mix with
+  let named_mix name =
+    match name with
     | "default" -> Ok I.default_mix
     | "stuck-at" -> Ok I.stuck_at_only
     | "retention" -> Ok retention_only_mix
@@ -314,6 +317,45 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
         Error
           (Printf.sprintf
              "unknown mix %S (expected default, stuck-at or retention)" s)
+  in
+  let mix_result = named_mix mix in
+  (* The proposal is assembled from plain flags; anything it can get
+     wrong (negative shift, stratified fraction outside (0,1), a
+     proposal mix starving a nominal class, …) is caught by
+     [Proposal.validate] inside [make_config] and lands in the same
+     exit-2 diagnostic channel as every other bad flag. *)
+  let proposal_result =
+    let count_result =
+      match prop_nonzero with
+      | Some nonzero ->
+          if prop_scale <> 1.0 || prop_shift <> 0.0 then
+            Error
+              "--proposal-nonzero is exclusive with --proposal-count-scale \
+               and --proposal-count-shift"
+          else Ok (Proposal.Stratified { nonzero })
+      | None ->
+          if prop_scale = 1.0 && prop_shift = 0.0 then Ok Proposal.Count_nominal
+          else Ok (Proposal.Scaled { scale = prop_scale; shift = prop_shift })
+    in
+    let mix_result =
+      match prop_mix with
+      | "nominal" -> Ok None
+      | name -> Result.map Option.some (named_mix name)
+    in
+    match (count_result, mix_result) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok count, Ok mix -> Ok { Proposal.count; mix }
+  in
+  let ci_metric_result =
+    match ci_metric with
+    | "repair-failure" -> Ok Estimator.Repair_failure_two_pass
+    | "repair-failure-iterated" -> Ok Estimator.Repair_failure_iterated
+    | "escape" -> Ok Estimator.Escape
+    | s ->
+        Error
+          (Printf.sprintf
+             "unknown --ci-metric %S (expected repair-failure, \
+              repair-failure-iterated or escape)" s)
   in
   let mode_result =
     match mode with
@@ -326,16 +368,27 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
              "unknown mode %S (expected uniform, poisson or clustered)" s)
   in
   let cfg_result =
-    match (lookup_march march, mix_result, mode_result, jobs_result) with
-    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _
-    | _, _, _, Error e ->
+    match
+      ( lookup_march march
+      , mix_result
+      , mode_result
+      , jobs_result
+      , proposal_result
+      , ci_metric_result )
+    with
+    | Error e, _, _, _, _, _
+    | _, Error e, _, _, _, _
+    | _, _, Error e, _, _, _
+    | _, _, _, Error e, _, _
+    | _, _, _, _, Error e, _
+    | _, _, _, _, _, Error e ->
         Error e
-    | Ok m, Ok mix, Ok mode, Ok jobs -> (
+    | Ok m, Ok mix, Ok mode, Ok jobs, Ok proposal, Ok ci_metric -> (
         match
           let org = Org.make ~spares ~words ~bpw ~bpc () in
           let cfg =
-            Campaign.make_config ~org ~march:m ~mix ~mode ~trials ~seed
-              ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
+            Campaign.make_config ~org ~march:m ~mix ~mode ~proposal ~trials
+              ~seed ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
           in
           (match trial_deadline with
           | Some s when s <= 0.0 ->
@@ -345,6 +398,20 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
             invalid_arg
               (Printf.sprintf "--batch-lanes must be in 1 .. %d"
                  Campaign.max_lanes);
+          (match target_ci with
+          | None -> ()
+          | Some t ->
+              if t <= 0.0 then invalid_arg "--target-ci must be positive";
+              if ci_batch < 1 then invalid_arg "--ci-batch must be >= 1";
+              if ci_max_trials < 1 then
+                invalid_arg "--ci-max-trials must be >= 1";
+              if checkpoint_every > 0 || resume then
+                invalid_arg
+                  "--target-ci (adaptive stopping) is incompatible with \
+                   --checkpoint-every and --resume (checkpoints cover a \
+                   fixed trial count)";
+              if Option.is_some replay_seed then
+                invalid_arg "--target-ci is incompatible with --replay");
           let ck =
             if checkpoint_every > 0 || resume then
               Some
@@ -357,7 +424,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
         (* the resolved job count stays out of the config: the report
            must not depend on the machine the campaign happened to
            run on *)
-        | cfg, ck -> Ok (cfg, jobs, ck)
+        | cfg, ck -> Ok (cfg, jobs, ck, ci_metric)
         | exception Invalid_argument e -> Error e)
   in
   match cfg_result with
@@ -366,7 +433,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
          configuration (distinct from 1 = runtime error, 3 = anomaly) *)
       Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
       2
-  | Ok (cfg, jobs, ck) -> (
+  | Ok (cfg, jobs, ck, ci_metric) -> (
       let telemetry = trace <> None || metrics <> None || stats in
       if telemetry then begin
         Obs.set_enabled true;
@@ -408,18 +475,48 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
                    (Sys.Signal_handle (fun _ -> Atomic.set sigint true)))
             with Invalid_argument _ | Sys_error _ -> None
           in
-          let r =
+          let r, adaptive =
             Fun.protect
               ~finally:(fun () ->
                 match prev_sigint with
                 | Some h -> Sys.set_signal Sys.sigint h
                 | None -> ())
               (fun () ->
-                Campaign.run ~jobs ~lanes:batch_lanes
-                  ~should_stop:(fun () -> Atomic.get sigint)
-                  ?checkpoint:ck ?trial_deadline cfg)
+                let should_stop () = Atomic.get sigint in
+                match target_ci with
+                | Some target ->
+                    let a =
+                      Estimator.run_adaptive ~jobs ~lanes:batch_lanes
+                        ~should_stop ?trial_deadline ~batch:ci_batch
+                        ~metric:ci_metric ~max_trials:ci_max_trials ~target cfg
+                    in
+                    (a.Estimator.a_result, Some a)
+                | None ->
+                    ( Campaign.run ~jobs ~lanes:batch_lanes ~should_stop
+                        ?checkpoint:ck ?trial_deadline cfg
+                    , None ))
           in
-          print_string (Campaign.pretty_json_string r);
+          (* estimation fully off: the exact pre-estimator schema-/2
+             bytes.  Any estimation feature (a proposal, adaptive
+             stopping, or an explicit --confidence) switches to the
+             schema-/3 report with the confidence section. *)
+          let estimation_on =
+            confidence
+            || Option.is_some adaptive
+            || Option.is_some cfg.Campaign.proposal
+          in
+          if estimation_on then
+            print_string (Estimator.pretty_report_string ?adaptive r)
+          else print_string (Campaign.pretty_json_string r);
+          (match adaptive with
+          | Some a ->
+              Printf.eprintf
+                "bisramgen: adaptive stop after %d trial(s) in %d batch(es): \
+                 %s (rel CI half-width %.4g, target %.4g)\n"
+                r.Campaign.trials_run a.Estimator.a_batches
+                (Estimator.stop_reason_name a.Estimator.a_reason)
+                a.Estimator.a_rel_half_width a.Estimator.a_target
+          | None -> ());
           if r.Campaign.resumed_trials > 0 then
             Printf.eprintf "bisramgen: resumed %d trial(s) from checkpoint\n"
               r.Campaign.resumed_trials;
@@ -605,6 +702,92 @@ let campaign_cmd =
              at every width.  1 disables batching (pure scalar scheduler); \
              the maximum is the native word width minus one (62 on 64-bit).")
   in
+  let confidence_arg =
+    Arg.(
+      value & flag
+      & info [ "confidence" ]
+          ~doc:
+            "Emit the schema-/3 report with Wilson and Clopper-Pearson \
+             confidence intervals on the escape and repair-failure rates.  \
+             Implied by any $(b,--proposal-*) flag and by \
+             $(b,--target-ci); without them the report keeps its exact \
+             schema-/2 bytes.")
+  in
+  let target_ci_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "target-ci" ] ~docv:"REL"
+          ~doc:
+            "Adaptive stopping: run $(b,--ci-batch)-sized batches until the \
+             Wilson interval's relative half-width on $(b,--ci-metric) \
+             drops to $(docv) (e.g. 0.1 = ±10%), instead of a fixed \
+             $(b,--trials).  The report is byte-identical to a fixed-trial \
+             run of the same total size.")
+  in
+  let ci_metric_arg =
+    Arg.(
+      value
+      & opt string "repair-failure"
+      & info [ "ci-metric" ]
+          ~doc:
+            "Metric the adaptive stopper tracks: repair-failure (two-pass \
+             flow), repair-failure-iterated or escape.")
+  in
+  let ci_batch_arg =
+    Arg.(
+      value & opt int 992
+      & info [ "ci-batch" ] ~docv:"N"
+          ~doc:
+            "Adaptive batch size (default 992 = 16 full 62-wide lane \
+             batches, keeping the bit-parallel fast path saturated).")
+  in
+  let ci_max_trials_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "ci-max-trials" ] ~docv:"N"
+          ~doc:
+            "Upper bound on adaptively grown trials; the run stops there \
+             with reason trial_cap if the target was not reached.")
+  in
+  let prop_scale_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "proposal-count-scale" ] ~docv:"S"
+          ~doc:
+            "Importance sampling: multiply the mean of the fault-count \
+             model by $(docv) in the proposal (poisson/clustered modes).  \
+             Reports stay unbiased via likelihood-ratio weights.")
+  in
+  let prop_shift_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "proposal-count-shift" ] ~docv:"H"
+          ~doc:
+            "Importance sampling: add $(docv) to the (scaled) mean of the \
+             proposal fault-count model.")
+  in
+  let prop_nonzero_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "proposal-nonzero" ] ~docv:"F"
+          ~doc:
+            "Stratified sampling: draw a trial with at least one fault with \
+             probability $(docv) (0 < $(docv) < 1) and zero faults \
+             otherwise, reweighting each stratum by its nominal mass.  \
+             Exclusive with the count-scale/shift flags.")
+  in
+  let prop_mix_arg =
+    Arg.(
+      value
+      & opt string "nominal"
+      & info [ "proposal-mix" ]
+          ~doc:
+            "Fault-class mix of the proposal: nominal (same as $(b,--mix)), \
+             default, stuck-at or retention.  Classes are reweighted per \
+             drawn fault.")
+  in
   let term =
     Term.(
       const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
@@ -612,7 +795,9 @@ let campaign_cmd =
       $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
       $ batch_lanes_arg $ trace_arg $ metrics_arg $ stats_arg $ replay_arg
       $ fail_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
-      $ trial_deadline_arg)
+      $ trial_deadline_arg $ confidence_arg $ target_ci_arg $ ci_metric_arg
+      $ ci_batch_arg $ ci_max_trials_arg $ prop_scale_arg $ prop_shift_arg
+      $ prop_nonzero_arg $ prop_mix_arg)
   in
   Cmd.v
     (Cmd.info "campaign"

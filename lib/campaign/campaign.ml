@@ -7,6 +7,7 @@ module Injection = Bisram_faults.Injection
 module Repair = Bisram_bisr.Repair
 module Tlb = Bisram_bisr.Tlb
 module Repairable = Bisram_yield.Repairable
+module Proposal = Bisram_faults.Proposal
 module Obs = Bisram_obs.Obs
 module Pool = Bisram_parallel.Pool
 module Chaos = Bisram_chaos.Chaos
@@ -25,6 +26,7 @@ type config = {
   march : March.t;
   mix : Injection.mix;
   mode : mode;
+  proposal : Proposal.t option;
   trials : int;
   seed : int;
   max_seconds : float option;
@@ -32,9 +34,17 @@ type config = {
   max_rounds : int;
 }
 
+(* The proposal layer speaks [Proposal.count_model]; the campaign mode
+   is exactly that plus nothing, so the mapping is a rename. *)
+let count_model_of_mode = function
+  | Uniform n -> Proposal.Fixed n
+  | Poisson mean -> Proposal.Poisson mean
+  | Clustered { mean; alpha } -> Proposal.Clustered { mean; alpha }
+
 let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
-    ?march ?(mix = Injection.default_mix) ?(mode = Uniform 2) ?(trials = 100)
-    ?(seed = 42) ?max_seconds ?(shrink = true) ?(max_rounds = 8) () =
+    ?march ?(mix = Injection.default_mix) ?(mode = Uniform 2) ?proposal
+    ?(trials = 100) ?(seed = 42) ?max_seconds ?(shrink = true)
+    ?(max_rounds = 8) () =
   let march =
     match march with Some m -> m | None -> Bisram_bist.Algorithms.ifa_9
   in
@@ -49,7 +59,19 @@ let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
   | Clustered { mean; alpha } when mean < 0.0 || alpha <= 0.0 ->
       invalid_arg "Campaign.make_config: mean/alpha"
   | _ -> ());
-  { org; march; mix; mode; trials; seed; max_seconds; shrink; max_rounds }
+  (* identity proposals are normalized to [None] so that "no biasing"
+     has one spelling: reports, checkpoint compat strings and the
+     estimation-on predicate all agree *)
+  let proposal =
+    match proposal with
+    | Some p when Proposal.is_nominal p -> None
+    | p -> p
+  in
+  Option.iter
+    (fun p -> Proposal.validate ~nominal_mix:mix (count_model_of_mode mode) p)
+    proposal;
+  { org; march; mix; mode; proposal; trials; seed; max_seconds; shrink
+  ; max_rounds }
 
 (* ------------------------------------------------------------------ *)
 (* seed discipline *)
@@ -75,11 +97,32 @@ let rng_of_seed seed = Random.State.make [| 0xB15; seed |]
 
 let draw_faults cfg rng =
   let rows = Org.total_rows cfg.org and cols = Org.cols cfg.org in
-  match cfg.mode with
-  | Uniform n -> Injection.inject rng ~rows ~cols ~mix:cfg.mix ~n
-  | Poisson mean -> Injection.inject_poisson rng ~rows ~cols ~mix:cfg.mix ~mean
-  | Clustered { mean; alpha } ->
-      Injection.inject_clustered rng ~rows ~cols ~mix:cfg.mix ~mean ~alpha
+  match cfg.proposal with
+  | Some p ->
+      Proposal.draw p ~count:(count_model_of_mode cfg.mode) ~mix:cfg.mix rng
+        ~rows ~cols
+  | None -> (
+      match cfg.mode with
+      | Uniform n -> Injection.inject rng ~rows ~cols ~mix:cfg.mix ~n
+      | Poisson mean ->
+          Injection.inject_poisson rng ~rows ~cols ~mix:cfg.mix ~mean
+      | Clustered { mean; alpha } ->
+          Injection.inject_clustered rng ~rows ~cols ~mix:cfg.mix ~mean ~alpha)
+
+(* The importance weight of a trial, recovered by redrawing its fault
+   list from the derived seed — a pure O(faults) function of
+   (config, index), so weights never need to travel through trial
+   records or the checkpoint wire format.  [0.0] log-weight (ratio 1)
+   when estimation is off. *)
+let trial_log_weight cfg ~index =
+  match cfg.proposal with
+  | None -> 0.0
+  | Some p ->
+      let faults = draw_faults cfg (rng_of_seed (trial_seed cfg index)) in
+      Proposal.log_weight p ~count:(count_model_of_mode cfg.mode) ~mix:cfg.mix
+        faults
+
+let trial_weight cfg ~index = exp (trial_log_weight cfg ~index)
 
 (* ------------------------------------------------------------------ *)
 (* one trial: differential oracle + escape sweeps *)
@@ -334,6 +377,40 @@ type tool_error = {
   te_error : string;
 }
 
+(* Weighted-tally machinery for the estimator layer.  When a proposal
+   is armed, every trial carries an importance weight w; a tally keeps
+   the trial count, sum of weights and sum of squared weights of the
+   trials where some indicator fired, which is all the downstream
+   effective-sample-size interval math needs.  Sums accumulate in
+   strict trial-index order (and [run ~weighted_init] continues a
+   previous accumulation in place), so they are bit-identical however
+   the trials were batched. *)
+
+type tally = { t_trials : int; t_w : float; t_w2 : float }
+
+let empty_tally = { t_trials = 0; t_w = 0.0; t_w2 = 0.0 }
+
+let tally_add t w =
+  { t_trials = t.t_trials + 1; t_w = t.t_w +. w; t_w2 = t.t_w2 +. (w *. w) }
+
+type weighted = {
+  wn : int;
+  w_sum : float;
+  w_sum2 : float;
+  w_escape : tally;
+  w_repair_fail_two_pass : tally;
+  w_repair_fail_iterated : tally;
+}
+
+let empty_weighted =
+  { wn = 0
+  ; w_sum = 0.0
+  ; w_sum2 = 0.0
+  ; w_escape = empty_tally
+  ; w_repair_fail_two_pass = empty_tally
+  ; w_repair_fail_iterated = empty_tally
+  }
+
 type result = {
   config : config;
   trials_run : int;
@@ -348,6 +425,7 @@ type result = {
   observed_yield_two_pass : float;
   observed_yield_iterated : float;
   analytic_yield : float;
+  weighted : weighted option;
 }
 
 let analytic_yield cfg =
@@ -458,25 +536,51 @@ let mix_json (m : Injection.mix) =
     ; ("data_retention", J.Float m.Injection.data_retention)
     ]
 
+let proposal_json (p : Proposal.t) =
+  let count =
+    match p.Proposal.count with
+    | Proposal.Count_nominal -> J.Obj [ ("kind", J.String "nominal") ]
+    | Proposal.Scaled { scale; shift } ->
+        J.Obj
+          [ ("kind", J.String "scaled")
+          ; ("scale", J.Float scale)
+          ; ("shift", J.Float shift)
+          ]
+    | Proposal.Stratified { nonzero } ->
+        J.Obj
+          [ ("kind", J.String "stratified"); ("nonzero", J.Float nonzero) ]
+  in
+  J.Obj
+    [ ("count", count)
+    ; ("mix", match p.Proposal.mix with None -> J.Null | Some m -> mix_json m)
+    ]
+
 let config_json cfg =
   J.Obj
-    [ ( "org"
-      , J.Obj
-          [ ("words", J.Int cfg.org.Org.words)
-          ; ("bpw", J.Int cfg.org.Org.bpw)
-          ; ("bpc", J.Int cfg.org.Org.bpc)
-          ; ("spares", J.Int cfg.org.Org.spares)
-          ] )
-    ; ("march", J.String cfg.march.March.name)
-    ; ("mix", mix_json cfg.mix)
-    ; ("mode", mode_json cfg.mode)
-    ; ("trials", J.Int cfg.trials)
-    ; ("seed", J.Int cfg.seed)
-    ; ( "max_seconds"
-      , match cfg.max_seconds with None -> J.Null | Some s -> J.Float s )
-    ; ("shrink", J.Bool cfg.shrink)
-    ; ("max_rounds", J.Int cfg.max_rounds)
-    ]
+    ([ ( "org"
+       , J.Obj
+           [ ("words", J.Int cfg.org.Org.words)
+           ; ("bpw", J.Int cfg.org.Org.bpw)
+           ; ("bpc", J.Int cfg.org.Org.bpc)
+           ; ("spares", J.Int cfg.org.Org.spares)
+           ] )
+     ; ("march", J.String cfg.march.March.name)
+     ; ("mix", mix_json cfg.mix)
+     ; ("mode", mode_json cfg.mode)
+     ]
+    (* rendered only when armed: estimation-off configs keep their
+       pre-proposal bytes, so reports and checkpoint compat strings
+       from earlier versions stay valid *)
+    @ (match cfg.proposal with
+      | None -> []
+      | Some p -> [ ("proposal", proposal_json p) ])
+    @ [ ("trials", J.Int cfg.trials)
+      ; ("seed", J.Int cfg.seed)
+      ; ( "max_seconds"
+        , match cfg.max_seconds with None -> J.Null | Some s -> J.Float s )
+      ; ("shrink", J.Bool cfg.shrink)
+      ; ("max_rounds", J.Int cfg.max_rounds)
+      ])
 
 let histogram_json h =
   J.Obj
@@ -871,11 +975,16 @@ let load_checkpoint cfg path =
 (* the campaign run *)
 
 let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
-    ?checkpoint ?trial_deadline cfg =
+    ?checkpoint ?trial_deadline ?(offset = 0) ?weighted_init cfg =
   if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
   if lanes < 1 || lanes > max_lanes then
     invalid_arg
       (Printf.sprintf "Campaign.run: lanes must be in 1..%d" max_lanes);
+  if offset < 0 then invalid_arg "Campaign.run: offset must be >= 0";
+  if offset > 0 && Option.is_some checkpoint then
+    invalid_arg
+      "Campaign.run: checkpoints cover trials from 0, so they require \
+       offset = 0";
   let now =
     match now with Some f -> f | None -> Bisram_parallel.Clock.now
   in
@@ -911,7 +1020,15 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
      per trial, keeping the unbatched chaos/retry/checkpoint
      granularity there).  With [lanes = 1] this is exactly the old
      one-item-per-trial scheduler. *)
-  let ranges = Pool.batch_ranges ~items:cfg.trials ~width:lanes in
+  (* [offset] shifts the whole window: this call computes the trials
+     [offset .. offset + trials - 1] with their global derived seeds,
+     which is what lets an adaptive driver grow a campaign batch by
+     batch and still match a single larger run trial for trial. *)
+  let ranges =
+    Array.map
+      (fun (s, l) -> (s + offset, l))
+      (Pool.batch_ranges ~items:cfg.trials ~width:lanes)
+  in
   let n_units = Array.length ranges in
   (* Every trial already owns its derived seed, so trials are
      independent and can run on any worker.  Shrinking runs inside the
@@ -1045,7 +1162,7 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
   in
   let trials_run =
     if units_run = n_units then cfg.trials
-    else fst ranges.(units_run)
+    else fst ranges.(units_run) - offset
   in
   if Obs.enabled () then begin
     let retries = ref 0 in
@@ -1063,12 +1180,64 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
   let escapes = ref [] in
   let divergences = ref [] in
   let tool_errors = ref [] in
+  (* importance-weighted tallies: single-threaded, strict trial order,
+     continuing [weighted_init]'s partial sums when the caller is
+     growing a campaign batch by batch — so the floats come out
+     bit-identical to one big run's regardless of batching *)
+  let weighted_acc =
+    ref (match weighted_init with Some w -> w | None -> empty_weighted)
+  in
+  let repair_failed = function
+    | "too_many_faulty_rows" | "fault_in_second_pass" -> true
+    | _ -> false
+  in
+  let note_weight rc =
+    if Option.is_some cfg.proposal then begin
+      let w = trial_weight cfg ~index:rc.rc_index in
+      let acc = !weighted_acc in
+      let acc =
+        { acc with
+          wn = acc.wn + 1
+        ; w_sum = acc.w_sum +. w
+        ; w_sum2 = acc.w_sum2 +. (w *. w)
+        }
+      in
+      let acc =
+        match rc.rc_body with
+        | Rc_error _ -> acc (* a crashed trial observed no failure *)
+        | Rc_ok o ->
+            let acc =
+              if
+                List.exists
+                  (fun f -> String.equal f.f_kind "escape")
+                  o.rc_failures
+              then { acc with w_escape = tally_add acc.w_escape w }
+              else acc
+            in
+            let acc =
+              if repair_failed o.rc_two_pass then
+                { acc with
+                  w_repair_fail_two_pass =
+                    tally_add acc.w_repair_fail_two_pass w
+                }
+              else acc
+            in
+            if repair_failed o.rc_iterated then
+              { acc with
+                w_repair_fail_iterated = tally_add acc.w_repair_fail_iterated w
+              }
+            else acc
+      in
+      weighted_acc := acc
+    end
+  in
   for u = 0 to units_run - 1 do
     match completed.(u) with
     | None -> assert false (* inside the contiguous prefix *)
     | Some job ->
         Array.iter
           (fun rc ->
+            note_weight rc;
             match rc.rc_body with
             | Rc_ok o ->
                 two_pass := count_class !two_pass o.rc_two_pass;
@@ -1112,7 +1281,79 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
   ; observed_yield_two_pass = frac !two_pass
   ; observed_yield_iterated = frac !iterated
   ; analytic_yield = analytic_yield cfg
+  ; weighted =
+      (match cfg.proposal with None -> None | Some _ -> Some !weighted_acc)
   }
+
+(* ------------------------------------------------------------------ *)
+(* merging windowed runs *)
+
+(* Merge the results of consecutive [run ~offset] windows over the same
+   base configuration into what one big run over the union would have
+   produced.  Integer tallies add exactly and failure lists concatenate
+   in trial order; the weighted float sums are taken from the last
+   window, which already holds the running totals (the adaptive driver
+   threads them through [weighted_init]).  Together these make the
+   merged report byte-identical to the single-run report — the property
+   the estimator's adaptive mode leans on. *)
+let merge_results = function
+  | [] -> invalid_arg "Campaign.merge_results: empty result list"
+  | [ r ] -> r
+  | first :: _ as rs ->
+      let compat r = J.to_string (compat_json r.config) in
+      List.iter
+        (fun r ->
+          if not (String.equal (compat r) (compat first)) then
+            invalid_arg "Campaign.merge_results: incompatible configurations")
+        rs;
+      let add_h a b =
+        { passed_clean = a.passed_clean + b.passed_clean
+        ; repaired = a.repaired + b.repaired
+        ; too_many_faulty_rows = a.too_many_faulty_rows + b.too_many_faulty_rows
+        ; fault_in_second_pass = a.fault_in_second_pass + b.fault_in_second_pass
+        }
+      in
+      let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
+      let trials = sum (fun r -> r.config.trials) in
+      let trials_run = sum (fun r -> r.trials_run) in
+      let rounds : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (rd, c) ->
+              Hashtbl.replace rounds rd
+                (c + Option.value ~default:0 (Hashtbl.find_opt rounds rd)))
+            r.rounds)
+        rs;
+      let two_pass = List.fold_left (fun a r -> add_h a r.two_pass)
+          empty_histogram rs
+      in
+      let iterated = List.fold_left (fun a r -> add_h a r.iterated)
+          empty_histogram rs
+      in
+      let frac h =
+        if trials_run = 0 then 0.0
+        else
+          float_of_int (h.passed_clean + h.repaired) /. float_of_int trials_run
+      in
+      let last = List.nth rs (List.length rs - 1) in
+      { config = { first.config with trials }
+      ; trials_run
+      ; truncated = trials_run < trials
+      ; resumed_trials = sum (fun r -> r.resumed_trials)
+      ; two_pass
+      ; iterated
+      ; rounds =
+          Hashtbl.fold (fun r c acc -> (r, c) :: acc) rounds []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      ; escapes = List.concat_map (fun r -> r.escapes) rs
+      ; divergences = List.concat_map (fun r -> r.divergences) rs
+      ; tool_errors = List.concat_map (fun r -> r.tool_errors) rs
+      ; observed_yield_two_pass = frac two_pass
+      ; observed_yield_iterated = frac iterated
+      ; analytic_yield = first.analytic_yield
+      ; weighted = last.weighted
+      }
 
 (* ------------------------------------------------------------------ *)
 (* JSON report *)

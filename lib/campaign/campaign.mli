@@ -39,6 +39,10 @@ type config = {
   march : Bisram_bist.March.t;
   mix : Bisram_faults.Injection.mix;
   mode : mode;
+  proposal : Bisram_faults.Proposal.t option;
+      (** biased trial sampling for rare-event estimation; [None] =
+          nominal draws, weight 1 everywhere (identity proposals are
+          normalized to [None] by {!make_config}) *)
   trials : int;
   seed : int;
   max_seconds : float option;  (** wall-clock budget; [None] = unbounded *)
@@ -46,15 +50,21 @@ type config = {
   max_rounds : int;  (** iterated-flow bound *)
 }
 
+(** The campaign fault-count model in the proposal layer's vocabulary
+    (a pure rename of {!mode}). *)
+val count_model_of_mode : mode -> Bisram_faults.Proposal.count_model
+
 (** Defaults: 64x8 words, bpc 4, 4 spares, IFA-9, default mix, 2 faults
-    per trial, 100 trials, seed 42, no time budget, shrinking on,
-    8 rounds.  @raise Invalid_argument on negative counts or an invalid
-    mix. *)
+    per trial, 100 trials, seed 42, no proposal, no time budget,
+    shrinking on, 8 rounds.  @raise Invalid_argument on negative
+    counts, an invalid mix, or a proposal that fails
+    {!Bisram_faults.Proposal.validate} against the mode and mix. *)
 val make_config :
   ?org:Bisram_sram.Org.t ->
   ?march:Bisram_bist.March.t ->
   ?mix:Bisram_faults.Injection.mix ->
   ?mode:mode ->
+  ?proposal:Bisram_faults.Proposal.t ->
   ?trials:int ->
   ?seed:int ->
   ?max_seconds:float ->
@@ -66,6 +76,14 @@ val make_config :
 (** The derived per-trial seed (pure function of campaign seed and
     trial index — the value printed in reports and fed to [--replay]). *)
 val trial_seed : config -> int -> int
+
+(** The importance weight of the trial at a campaign index — the
+    likelihood ratio of its fault draw under the nominal versus the
+    proposal distribution, recovered by redrawing the faults from the
+    derived seed.  [log 1 = 0] / [1.0] when no proposal is armed. *)
+val trial_log_weight : config -> index:int -> float
+
+val trial_weight : config -> index:int -> float
 
 (** Widest usable lane batch ({!Bisram_sram.Word.max_width}: one trial
     per bit of a native int). *)
@@ -140,6 +158,26 @@ type tool_error = {
   te_error : string;  (** [Printexc.to_string] of the final exception *)
 }
 
+(** Weighted occurrence tally of one failure indicator: how many
+    trials fired it, and the sums of their importance weights and
+    squared weights (what effective-sample-size interval math
+    consumes). *)
+type tally = { t_trials : int; t_w : float; t_w2 : float }
+
+(** Importance-weighted campaign tallies, accumulated in strict trial
+    order when a proposal is armed.  [w_sum] / [w_sum2] run over {e
+    all} [wn] trials; the per-indicator tallies only over trials where
+    the indicator fired.  An unbiased nominal-probability estimate of
+    an indicator is [tally.t_w /. float wn]. *)
+type weighted = {
+  wn : int;
+  w_sum : float;
+  w_sum2 : float;
+  w_escape : tally;  (** trials with >= 1 escape (either flow) *)
+  w_repair_fail_two_pass : tally;
+  w_repair_fail_iterated : tally;
+}
+
 type result = {
   config : config;
   trials_run : int;
@@ -161,6 +199,9 @@ type result = {
       (** {!Bisram_yield.Repairable} prediction for the same geometry
           and fault-count model (array-only: logic fraction 0,
           growth 1) *)
+  weighted : weighted option;
+      (** importance-weighted tallies; [Some] exactly when the config
+          has a proposal (not serialized into the schema-/2 report) *)
 }
 
 (** Checkpoint policy for {!run}: where to snapshot, how often, and
@@ -232,8 +273,18 @@ val checkpoint : path:string -> ?every:int -> ?resume:bool -> unit -> checkpoint
     [jobs] combination.  Chaos injection, retries and checkpointing
     operate per batch for full batches and per trial on the tail.
 
-    @raise Invalid_argument if [jobs < 1] or [lanes] is outside
-    [1 .. max_lanes]. *)
+    [offset] (default [0]) shifts the whole trial window: the call
+    computes trials [offset .. offset + trials - 1] with their global
+    derived seeds, so an adaptive driver can grow a campaign batch by
+    batch and match a single larger run trial for trial.
+    [weighted_init] seeds the weighted accumulation with a previous
+    window's running totals, keeping the float sums bit-identical to
+    an unwindowed run's.  Checkpoints require [offset = 0] (they
+    snapshot a prefix from trial 0).
+
+    @raise Invalid_argument if [jobs < 1], [lanes] is outside
+    [1 .. max_lanes], [offset < 0], or a checkpoint is combined with a
+    nonzero [offset]. *)
 val run :
   ?now:(unit -> float) ->
   ?jobs:int ->
@@ -241,8 +292,19 @@ val run :
   ?should_stop:(unit -> bool) ->
   ?checkpoint:checkpoint ->
   ?trial_deadline:float ->
+  ?offset:int ->
+  ?weighted_init:weighted ->
   config ->
   result
+
+(** Merge the results of consecutive [run ~offset] windows (same base
+    config, contiguous windows, in order) into the result one run over
+    the union would have produced — byte-identical report included
+    (weighted sums are taken from the last window, which holds the
+    running totals threaded through [weighted_init]).
+    @raise Invalid_argument on an empty list or configs that differ in
+    anything but the trial count / time budget. *)
+val merge_results : result list -> result
 
 val analytic_yield : config -> float
 val to_json : result -> Report.t

@@ -2,3 +2,8 @@
    the telemetry exporters can share it; this alias keeps the campaign
    API (and its byte-level output) unchanged. *)
 include Bisram_obs.Json
+
+(* Confidence intervals render as a two-field object everywhere a
+   report carries one, so the estimator, sweep and bench sections stay
+   mutually greppable. *)
+let interval_json ~lo ~hi = Obj [ ("lo", Float lo); ("hi", Float hi) ]

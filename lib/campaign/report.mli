@@ -27,3 +27,7 @@ val of_string : string -> (t, string) result
 
 (** See {!Bisram_obs.Json.member}. *)
 val member : string -> t -> t option
+
+(** [interval_json ~lo ~hi] — the canonical [{"lo": …, "hi": …}]
+    rendering of a confidence interval. *)
+val interval_json : lo:float -> hi:float -> t

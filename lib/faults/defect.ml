@@ -77,16 +77,26 @@ and log_gamma_aux g coefs x =
   -. t
   +. log !a
 
-let poisson_pmf ~mean k =
+(* Degenerate mean 0 puts all mass on k = 0; without the guard the
+   k = 0 term evaluates 0 * log 0 = nan. *)
+let poisson_log_pmf ~mean k =
   assert (k >= 0);
-  exp ((float_of_int k *. log mean) -. mean -. log_gamma (float_of_int k +. 1.0))
+  if mean = 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else
+    (float_of_int k *. log mean) -. mean -. log_gamma (float_of_int k +. 1.0)
 
-let negative_binomial_pmf ~mean ~alpha k =
+let poisson_pmf ~mean k = exp (poisson_log_pmf ~mean k)
+
+let negative_binomial_log_pmf ~mean ~alpha k =
   assert (k >= 0);
-  let kf = float_of_int k in
-  let p = mean /. (mean +. alpha) in
-  exp
-    (log_gamma (kf +. alpha) -. log_gamma alpha
+  if mean = 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else
+    let kf = float_of_int k in
+    let p = mean /. (mean +. alpha) in
+    log_gamma (kf +. alpha) -. log_gamma alpha
     -. log_gamma (kf +. 1.0)
     +. (alpha *. log (1.0 -. p))
-    +. (kf *. log p))
+    +. (kf *. log p)
+
+let negative_binomial_pmf ~mean ~alpha k =
+  exp (negative_binomial_log_pmf ~mean ~alpha k)

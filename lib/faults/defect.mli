@@ -21,3 +21,15 @@ val negative_binomial : Random.State.t -> mean:float -> alpha:float -> int
 val negative_binomial_pmf : mean:float -> alpha:float -> int -> float
 
 val poisson_pmf : mean:float -> int -> float
+
+(** Log-space pmfs, the numerically safe form for likelihood ratios
+    (importance-sampling weights multiply many of them).  [mean = 0.0]
+    is the degenerate point mass at 0: log pmf 0 at [k = 0] and
+    [neg_infinity] elsewhere. *)
+val poisson_log_pmf : mean:float -> int -> float
+
+val negative_binomial_log_pmf : mean:float -> alpha:float -> int -> float
+
+(** Lanczos log-Gamma (the kernel behind the pmfs), exposed for the
+    estimator layer's Beta-function machinery. *)
+val log_gamma : float -> float

@@ -41,13 +41,42 @@ let mix_weights mix =
 let validate_mix mix =
   List.iter
     (fun (name, w) ->
-      if Float.is_nan w || w < 0.0 then
+      if Float.is_nan w then
+        invalid_arg (Printf.sprintf "Injection: %s weight is NaN" name);
+      if w < 0.0 then
         invalid_arg
           (Printf.sprintf "Injection: %s weight %g is negative" name w))
     (mix_weights mix);
   let total = List.fold_left (fun a (_, w) -> a +. w) 0.0 (mix_weights mix) in
   if total <= 0.0 then
-    invalid_arg "Injection: mix has no positive weight (all-zero mix)"
+    invalid_arg
+      (Printf.sprintf
+         "Injection: mix has no positive weight (all-zero mix: %s are all 0)"
+         (String.concat ", " (List.map fst (mix_weights mix))))
+
+let class_name = function
+  | Fault.Stuck_at _ -> "stuck_at"
+  | Fault.Transition _ -> "transition"
+  | Fault.Stuck_open _ -> "stuck_open"
+  | Fault.Coupling_inversion _ -> "coupling_inversion"
+  | Fault.Coupling_idempotent _ -> "coupling_idempotent"
+  | Fault.State_coupling _ -> "state_coupling"
+  | Fault.Data_retention _ -> "data_retention"
+
+let total_weight mix =
+  List.fold_left (fun a (_, w) -> a +. w) 0.0 (mix_weights mix)
+
+let class_weight mix fault =
+  match fault with
+  | Fault.Stuck_at _ -> mix.stuck_at
+  | Fault.Transition _ -> mix.transition
+  | Fault.Stuck_open _ -> mix.stuck_open
+  | Fault.Coupling_inversion _ -> mix.coupling_inversion
+  | Fault.Coupling_idempotent _ -> mix.coupling_idempotent
+  | Fault.State_coupling _ -> mix.state_coupling
+  | Fault.Data_retention _ -> mix.data_retention
+
+let class_probability mix fault = class_weight mix fault /. total_weight mix
 
 let random_cell rng ~rows ~cols =
   { Fault.row = Random.State.int rng rows; col = Random.State.int rng cols }

@@ -23,12 +23,27 @@ val default_mix : mix
     for the paper's yield analysis (a defect makes one cell bad). *)
 val stuck_at_only : mix
 
-(** @raise Invalid_argument when any weight is negative or NaN, or when
-    every weight is zero (the sampler would silently bias towards
-    stuck-at faults otherwise).  Called by [random_fault] and the
-    [inject*] functions; exposed so configuration front ends can fail
-    fast. *)
+(** @raise Invalid_argument when any weight is negative or NaN (the
+    message names the offending key and its value), or when every
+    weight is zero (the sampler would silently bias towards stuck-at
+    faults otherwise).  Called by [random_fault] and the [inject*]
+    functions; exposed so configuration front ends can fail fast. *)
 val validate_mix : mix -> unit
+
+(** The mix field name of a fault's class (["stuck_at"],
+    ["transition"], …) — the key [validate_mix] diagnostics use. *)
+val class_name : Fault.t -> string
+
+(** Sum of all mix weights (positive after [validate_mix]). *)
+val total_weight : mix -> float
+
+(** The raw mix weight of the given fault's class. *)
+val class_weight : mix -> Fault.t -> float
+
+(** Normalized class-draw probability of the given fault's class under
+    the mix — the per-fault factor of an importance-sampling
+    likelihood ratio. *)
+val class_probability : mix -> Fault.t -> float
 
 (** [random_fault rng ~rows ~cols ~mix] draws one fault.  Coupling
     aggressors are drawn from the victim's neighbourhood (same column,

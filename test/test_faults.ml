@@ -258,6 +258,162 @@ let test_spatial_inject_clusters_rows () =
     Alcotest.(check bool) "multi-row damage" true (List.length rows >= 2)
   end
 
+(* ------------------------------------------------------------------ *)
+(* validation diagnostics and sampling proposals *)
+
+module P = Bisram_faults.Proposal
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  go 0
+
+let expect_invalid_msg name sub f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument m ->
+      if not (contains m sub) then
+        Alcotest.failf "%s: diagnostic %S does not name %S" name m sub
+
+let test_mix_diagnostics_name_key () =
+  expect_invalid_msg "negative names key" "transition weight -0.1" (fun () ->
+      I.validate_mix { I.default_mix with I.transition = -0.1 });
+  expect_invalid_msg "negative names key" "stuck_open weight" (fun () ->
+      I.validate_mix { I.default_mix with I.stuck_open = -2.5 });
+  expect_invalid_msg "nan names key" "data_retention weight is NaN" (fun () ->
+      I.validate_mix { I.default_mix with I.data_retention = Float.nan });
+  let zero =
+    { I.stuck_at = 0.0
+    ; transition = 0.0
+    ; stuck_open = 0.0
+    ; coupling_inversion = 0.0
+    ; coupling_idempotent = 0.0
+    ; state_coupling = 0.0
+    ; data_retention = 0.0
+    }
+  in
+  expect_invalid_msg "all-zero lists keys" "all-zero mix" (fun () ->
+      I.validate_mix zero);
+  expect_invalid_msg "all-zero lists keys" "coupling_idempotent" (fun () ->
+      I.validate_mix zero)
+
+let test_class_probability () =
+  let saf = F.Stuck_at (cell 0 0, true) in
+  let drf = F.Data_retention (cell 0 0, true) in
+  Alcotest.(check (float 1e-12)) "stuck-at only saf" 1.0
+    (I.class_probability I.stuck_at_only saf);
+  Alcotest.(check (float 1e-12)) "stuck-at only drf" 0.0
+    (I.class_probability I.stuck_at_only drf);
+  Alcotest.(check (float 1e-12)) "default mix saf" 0.40
+    (I.class_probability I.default_mix saf)
+
+let test_log_pmf_degenerate_mean () =
+  Alcotest.(check (float 0.0)) "poisson mean 0, k 0" 0.0
+    (D.poisson_log_pmf ~mean:0.0 0);
+  Alcotest.(check bool) "poisson mean 0, k 1" true
+    (D.poisson_log_pmf ~mean:0.0 1 = Float.neg_infinity);
+  Alcotest.(check bool) "pmf not nan" false
+    (Float.is_nan (D.poisson_pmf ~mean:0.0 0));
+  Alcotest.(check (float 0.0)) "nb mean 0, k 0" 0.0
+    (D.negative_binomial_log_pmf ~mean:0.0 ~alpha:2.0 0);
+  Alcotest.(check bool) "nb mean 0, k 3" true
+    (D.negative_binomial_log_pmf ~mean:0.0 ~alpha:2.0 3 = Float.neg_infinity);
+  (* log pmfs agree with the historical direct pmfs *)
+  Alcotest.(check (float 1e-12)) "poisson log pmf" (D.poisson_pmf ~mean:1.7 3)
+    (exp (D.poisson_log_pmf ~mean:1.7 3))
+
+let test_proposal_validation () =
+  let v ?(count = P.Count_nominal) ?mix model =
+    P.validate ~nominal_mix:I.default_mix model { P.count; mix }
+  in
+  (* fine: the identity on every model *)
+  v (P.Fixed 3);
+  v (P.Poisson 0.05);
+  v ~count:(P.Scaled { scale = 20.0; shift = 0.5 }) (P.Poisson 0.05);
+  v ~count:(P.Stratified { nonzero = 0.5 })
+    (P.Clustered { mean = 0.05; alpha = 2.0 });
+  v ~mix:I.default_mix (P.Poisson 0.05);
+  expect_invalid_msg "scale" "count_scale" (fun () ->
+      v ~count:(P.Scaled { scale = 0.0; shift = 0.0 }) (P.Poisson 0.05));
+  expect_invalid_msg "scale nan" "count_scale" (fun () ->
+      v ~count:(P.Scaled { scale = Float.nan; shift = 0.0 }) (P.Poisson 0.05));
+  expect_invalid_msg "shift" "count_shift -1 is negative" (fun () ->
+      v ~count:(P.Scaled { scale = 1.0; shift = -1.0 }) (P.Poisson 0.05));
+  expect_invalid_msg "scaled on fixed" "uniform mode" (fun () ->
+      v ~count:(P.Scaled { scale = 2.0; shift = 0.0 }) (P.Fixed 2));
+  expect_invalid_msg "nonzero range" "stratified_nonzero" (fun () ->
+      v ~count:(P.Stratified { nonzero = 1.0 }) (P.Poisson 0.05));
+  expect_invalid_msg "stratified on fixed" "uniform mode" (fun () ->
+      v ~count:(P.Stratified { nonzero = 0.5 }) (P.Fixed 2));
+  expect_invalid_msg "stratified needs mass" "mean must be positive" (fun () ->
+      v ~count:(P.Stratified { nonzero = 0.5 }) (P.Poisson 0.0));
+  (* absolute continuity: nominal default mix draws transitions, the
+     stuck-at-only proposal mix cannot *)
+  expect_invalid_msg "starved class named" "zero weight to transition"
+    (fun () -> v ~mix:I.stuck_at_only (P.Poisson 0.05));
+  (* proposal mixes are themselves validated *)
+  expect_invalid_msg "proposal mix validated" "stuck_at weight" (fun () ->
+      v ~mix:{ I.default_mix with I.stuck_at = -1.0 } (P.Poisson 0.05))
+
+let test_proposal_identity_draws () =
+  (* the identity proposal consumes the rng exactly like the nominal
+     sampler: byte-identical draws, weight exactly 1 *)
+  let check_model name model nominal_draw =
+    let a = nominal_draw (rng ()) in
+    let b =
+      P.draw P.nominal ~count:model ~mix:I.default_mix (rng ()) ~rows:16
+        ~cols:16
+    in
+    Alcotest.(check bool) (name ^ " identical draws") true (a = b);
+    Alcotest.(check (float 0.0)) (name ^ " weight 1") 1.0
+      (P.weight P.nominal ~count:model ~mix:I.default_mix b)
+  in
+  check_model "fixed" (P.Fixed 4) (fun r ->
+      I.inject r ~rows:16 ~cols:16 ~mix:I.default_mix ~n:4);
+  check_model "poisson" (P.Poisson 1.5) (fun r ->
+      I.inject_poisson r ~rows:16 ~cols:16 ~mix:I.default_mix ~mean:1.5);
+  check_model "clustered" (P.Clustered { mean = 1.5; alpha = 2.0 }) (fun r ->
+      I.inject_clustered r ~rows:16 ~cols:16 ~mix:I.default_mix ~mean:1.5
+        ~alpha:2.0)
+
+let test_stratified_weights_closed_form () =
+  let model = P.Poisson 0.05 in
+  let p = { P.count = P.Stratified { nonzero = 0.5 }; mix = None } in
+  let p0 = exp (D.poisson_log_pmf ~mean:0.05 0) in
+  Alcotest.(check (float 1e-12)) "zero stratum" (p0 /. 0.5)
+    (P.weight p ~count:model ~mix:I.stuck_at_only []);
+  Alcotest.(check (float 1e-12)) "nonzero stratum" ((1.0 -. p0) /. 0.5)
+    (P.weight p ~count:model ~mix:I.stuck_at_only
+       [ F.Stuck_at (cell 0 0, true) ])
+
+let prop_proposal_weights_mean_one =
+  (* E_q[w] = 1: the average importance weight over proposal draws
+     converges to 1 for any valid proposal (here checked loosely on
+     4000 draws at a deterministic seed per case) *)
+  QCheck.Test.make ~name:"proposal weights average to 1" ~count:20
+    QCheck.(pair (int_range 0 100_000) (int_range 0 2))
+    (fun (seed, which) ->
+      let model = P.Poisson 0.08 in
+      let p =
+        match which with
+        | 0 -> { P.count = P.Scaled { scale = 15.0; shift = 0.0 }; mix = None }
+        | 1 -> { P.count = P.Stratified { nonzero = 0.5 }; mix = None }
+        | _ ->
+            { P.count = P.Scaled { scale = 5.0; shift = 0.1 }
+            ; mix = Some I.default_mix
+            }
+      in
+      let mix = { I.stuck_at_only with I.transition = 0.5 } in
+      P.validate ~nominal_mix:mix model p;
+      let r = Random.State.make [| seed; 77 |] in
+      let n = 4000 in
+      let sum = ref 0.0 in
+      for _ = 1 to n do
+        let faults = P.draw p ~count:model ~mix r ~rows:16 ~cols:16 in
+        sum := !sum +. P.weight p ~count:model ~mix faults
+      done;
+      Float.abs ((!sum /. float_of_int n) -. 1.0) < 0.15)
+
 let () =
   Alcotest.run "faults"
     [ ( "fault",
@@ -285,8 +441,22 @@ let () =
             test_mix_rejects_all_zero
         ; Alcotest.test_case "valid mixes accepted" `Quick
             test_mix_valid_passes
+        ; Alcotest.test_case "diagnostics name the key" `Quick
+            test_mix_diagnostics_name_key
+        ; Alcotest.test_case "class probability" `Quick test_class_probability
         ; QCheck_alcotest.to_alcotest prop_coupling_aggressor_adjacent
         ; QCheck_alcotest.to_alcotest prop_gamma_positive
+        ] )
+    ; ( "proposal",
+        [ Alcotest.test_case "log pmf degenerate mean" `Quick
+            test_log_pmf_degenerate_mean
+        ; Alcotest.test_case "validation diagnostics" `Quick
+            test_proposal_validation
+        ; Alcotest.test_case "identity draws byte-identical" `Quick
+            test_proposal_identity_draws
+        ; Alcotest.test_case "stratified weights closed form" `Quick
+            test_stratified_weights_closed_form
+        ; QCheck_alcotest.to_alcotest prop_proposal_weights_mean_one
         ] )
     ; ( "spatial",
         [ Alcotest.test_case "radius distribution" `Quick
