@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism estimator-smoke bench-json bench-smoke bench-check bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism ci clean
+.PHONY: all build test campaign-smoke campaign-determinism estimator-smoke bench-json bench-smoke bench-check bench-check-advisory trace-smoke events-smoke bench-page explore-smoke chaos-smoke resume-determinism ci clean
 
 all: build
 
@@ -122,6 +122,43 @@ trace-smoke: build
 	rm -f .ci-trace-smoke.trace.json .ci-trace-smoke.metrics.json
 	@echo "trace-smoke: OK"
 
+# Observability wiring check: a small campaign with the event log,
+# live progress and status file armed must (1) produce a JSONL event
+# log that strict-parses line by line with the run lifecycle pair and
+# a final status snapshot (events_check), and (2) produce a report
+# byte-identical to the same run with every observability channel off.
+events-smoke: build
+	dune exec bin/bisramgen.exe -- campaign --trials 40 --seed 7 \
+	  --mix stuck-at --jobs 2 --events .ci-events.jsonl --progress \
+	  --status-file .ci-status.json > .ci-events-on.json 2> /dev/null
+	dune exec bin/bisramgen.exe -- campaign --trials 40 --seed 7 \
+	  --mix stuck-at --jobs 2 > .ci-events-off.json
+	diff .ci-events-on.json .ci-events-off.json
+	dune exec bench/events_check.exe -- --events .ci-events.jsonl \
+	  --status .ci-status.json
+	rm -f .ci-events.jsonl .ci-status.json .ci-events-on.json \
+	  .ci-events-off.json
+	@echo "events-smoke: OK"
+
+# Bench trajectory page: render BENCH_history.jsonl to a static HTML
+# trend page (advisory against the committed baseline — same noise
+# rationale as bench-check-advisory), then prove the --check gate has
+# teeth by rendering a synthetic history whose latest campaign
+# throughput is floored to 1 trial/s: that run must exit non-zero.
+bench-page: build
+	dune exec bench/bench_page.exe -- --history BENCH_history.jsonl \
+	  --baseline BENCH_campaign.json -o .ci-bench-page.html \
+	  --check --advisory
+	sed 's/"campaign_trials_per_sec_jobs1":[0-9.eE+-]*/"campaign_trials_per_sec_jobs1":1.0/' \
+	  BENCH_history.jsonl > .ci-bench-history-regressed.jsonl
+	! dune exec bench/bench_page.exe -- \
+	  --history .ci-bench-history-regressed.jsonl \
+	  --baseline BENCH_campaign.json -o .ci-bench-page-regressed.html \
+	  --check
+	rm -f .ci-bench-page.html .ci-bench-page-regressed.html \
+	  .ci-bench-history-regressed.jsonl
+	@echo "bench-page: OK"
+
 # Explore determinism + cache gate: the tiny example sweep must produce
 # byte-identical reports sequentially and in parallel, and a second run
 # resuming from the first run's cache must hit on every evaluation.
@@ -184,7 +221,7 @@ resume-determinism: build
 	  .ci-resume.err
 	@echo "resume-determinism: OK"
 
-ci: build test campaign-smoke campaign-determinism estimator-smoke bench-smoke bench-check-advisory trace-smoke explore-smoke chaos-smoke resume-determinism
+ci: build test campaign-smoke campaign-determinism estimator-smoke bench-smoke bench-check-advisory trace-smoke events-smoke bench-page explore-smoke chaos-smoke resume-determinism
 	@echo "ci: OK"
 
 clean:

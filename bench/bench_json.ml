@@ -719,11 +719,16 @@ let history_line doc =
     ]
 
 let append_history ~path doc =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  output_string oc (J.to_string (history_line doc));
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "appended %s\n" path
+  (* History.append is skip-and-warn over whatever is already in the
+     file and dedupes on (utc, bench_schema), so a re-run bench or a
+     damaged tracked file never compounds the damage *)
+  let status, warnings = Bisram_obs.History.append ~path (history_line doc) in
+  List.iter (Printf.eprintf "bench_json: %s\n") warnings;
+  match status with
+  | `Appended -> Printf.printf "appended %s\n" path
+  | `Duplicate ->
+      Printf.printf "skipped %s: identical (utc, schema) record present\n" path
+  | `Error e -> Printf.eprintf "bench_json: cannot append %s: %s\n" path e
 
 (* ------------------------------------------------------------------ *)
 

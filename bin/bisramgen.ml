@@ -24,6 +24,8 @@ module Estimator = Bisram_campaign.Estimator
 module Proposal = Bisram_faults.Proposal
 module Obs = Bisram_obs.Obs
 module Obs_export = Bisram_obs.Export
+module Events = Bisram_obs.Events
+module Progress = Bisram_obs.Progress
 module Json = Bisram_obs.Json
 
 (* ------------------------------------------------------------------ *)
@@ -302,11 +304,92 @@ let export_telemetry ~trace ~metrics ~stats =
       Printf.eprintf "wrote metrics %s\n" path);
   if stats then prerr_string (Obs_export.stats_table snap)
 
+(* The event stream works like telemetry: armed before the run, drained
+   to its own JSONL file after it, stdout untouched.  Arming validates
+   the level eagerly so a typo is an exit-2 configuration error, not a
+   silently empty log. *)
+let setup_events ~events ~events_level =
+  match Events.level_of_string events_level with
+  | Error e -> Error ("--events-level: " ^ e)
+  | Ok lvl ->
+      if Option.is_some events then begin
+        Events.set_min_level lvl;
+        Events.set_enabled true;
+        Events.reset ()
+      end;
+      Ok ()
+
+let export_events ~events =
+  match events with
+  | None -> ()
+  | Some path -> (
+      let evs = Events.drain () in
+      match open_out path with
+      | exception Sys_error e ->
+          Printf.eprintf "bisramgen: cannot write events %s: %s\n" path e
+      | oc ->
+          Events.write_jsonl oc evs;
+          close_out oc;
+          Printf.eprintf "wrote %d event(s) to %s\n" (List.length evs) path)
+
+(* Progress rendering shares one construction across subcommands: armed
+   by --progress (stderr line) and/or --status-file (atomic JSON
+   snapshot); absent both, no reporter exists and the run pays
+   nothing. *)
+let make_progress ?total ?label ?show_anomalies ~progress ~status_file () =
+  if progress || Option.is_some status_file then
+    Some
+      (Progress.create ?total ?status_file ~to_stderr:progress ?label
+         ?show_anomalies ())
+  else None
+
+(* observability flags shared by campaign and explore *)
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured JSONL event log (run lifecycle, pool retries \
+           and deadline kills, chaos injections, cache quarantines, \
+           checkpoint writes, estimator adaptive batches) to $(docv) after \
+           the run.  Like telemetry, events never change the report.")
+
+let events_level_arg =
+  Arg.(
+    value & opt string "info"
+    & info [ "events-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Minimum level recorded by $(b,--events): debug, info or warn \
+           (debug adds per-key cache hit/miss events).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Maintain a live one-line progress display on stderr (done/total, \
+           anomaly counts, throughput, ETA, and the CI half-width under \
+           adaptive stopping).  stdout still carries the byte-identical \
+           JSON report.")
+
+let status_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "status-file" ] ~docv:"FILE"
+        ~doc:
+          "Atomically rewrite $(docv) with a machine-readable JSON progress \
+           snapshot (schema bisram-progress/1) on each progress tick, for \
+           external pollers; write failures warn once and never kill the \
+           run.")
+
 let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     mix max_seconds no_shrink max_rounds jobs batch_lanes trace metrics stats
-    replay_seed fail_on_anomaly checkpoint_path checkpoint_every resume
-    trial_deadline confidence target_ci ci_metric ci_batch ci_max_trials
-    prop_scale prop_shift prop_nonzero prop_mix =
+    events events_level progress status_file replay_seed fail_on_anomaly
+    checkpoint_path checkpoint_every resume trial_deadline confidence target_ci
+    ci_metric ci_batch ci_max_trials prop_scale prop_shift prop_nonzero
+    prop_mix =
   let jobs_result = resolve_jobs jobs in
   let named_mix name =
     match name with
@@ -434,6 +517,11 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
       Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
       2
   | Ok (cfg, jobs, ck, ci_metric) -> (
+      match setup_events ~events ~events_level with
+      | Error e ->
+          Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
+          2
+      | Ok () -> (
       let telemetry = trace <> None || metrics <> None || stats in
       if telemetry then begin
         Obs.set_enabled true;
@@ -441,6 +529,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
       end;
       let finish code =
         if telemetry then export_telemetry ~trace ~metrics ~stats;
+        export_events ~events;
         code
       in
       match replay_seed with
@@ -483,18 +572,47 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
                 | None -> ())
               (fun () ->
                 let should_stop () = Atomic.get sigint in
-                match target_ci with
-                | Some target ->
-                    let a =
-                      Estimator.run_adaptive ~jobs ~lanes:batch_lanes
-                        ~should_stop ?trial_deadline ~batch:ci_batch
-                        ~metric:ci_metric ~max_trials:ci_max_trials ~target cfg
-                    in
-                    (a.Estimator.a_result, Some a)
-                | None ->
-                    ( Campaign.run ~jobs ~lanes:batch_lanes ~should_stop
-                        ?checkpoint:ck ?trial_deadline cfg
-                    , None ))
+                let reporter =
+                  make_progress
+                    ~total:
+                      (match target_ci with
+                      | Some _ -> ci_max_trials
+                      | None -> cfg.Campaign.trials)
+                    ~progress ~status_file ()
+                in
+                let on_progress =
+                  Option.map
+                    (fun p (pr : Campaign.progress) ->
+                      Progress.update p ~done_:pr.Campaign.p_done
+                        ~escapes:pr.Campaign.p_escapes
+                        ~divergences:pr.Campaign.p_divergences
+                        ~tool_errors:pr.Campaign.p_tool_errors
+                        ~clean:pr.Campaign.p_clean)
+                    reporter
+                in
+                let on_batch =
+                  Option.map
+                    (fun p ~batches:_ ~trials:_ ~rel_half_width ->
+                      if Float.is_finite rel_half_width then
+                        Progress.note_ci p ~rel_half_width)
+                    reporter
+                in
+                Fun.protect
+                  ~finally:(fun () -> Option.iter Progress.finish reporter)
+                  (fun () ->
+                    match target_ci with
+                    | Some target ->
+                        let a =
+                          Estimator.run_adaptive ~jobs ~lanes:batch_lanes
+                            ~should_stop ?trial_deadline ~batch:ci_batch
+                            ~metric:ci_metric ~max_trials:ci_max_trials
+                            ?on_progress ?on_batch ~target cfg
+                        in
+                        (a.Estimator.a_result, Some a)
+                    | None ->
+                        ( Campaign.run ~jobs ~lanes:batch_lanes ~should_stop
+                            ?checkpoint:ck ?trial_deadline ?on_progress cfg
+                        , None )))
           in
           (* estimation fully off: the exact pre-estimator schema-/2
              bytes.  Any estimation feature (a proposal, adaptive
@@ -535,7 +653,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
                  fail_on_anomaly
                  && (r.Campaign.escapes <> [] || r.Campaign.divergences <> [])
                then 3
-               else 0))
+               else 0)))
 
 let campaign_cmd =
   (* the campaign simulates every trial word-by-word, so its defaults
@@ -793,7 +911,8 @@ let campaign_cmd =
       const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
       $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
       $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
-      $ batch_lanes_arg $ trace_arg $ metrics_arg $ stats_arg $ replay_arg
+      $ batch_lanes_arg $ trace_arg $ metrics_arg $ stats_arg $ events_arg
+      $ events_level_arg $ progress_arg $ status_file_arg $ replay_arg
       $ fail_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
       $ trial_deadline_arg $ confidence_arg $ target_ci_arg $ ci_metric_arg
       $ ci_batch_arg $ ci_max_trials_arg $ prop_scale_arg $ prop_shift_arg
@@ -811,7 +930,8 @@ let campaign_cmd =
 (* ------------------------------------------------------------------ *)
 (* explore: parallel design-space sweep *)
 
-let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
+let do_explore spec_file jobs cache_dir resume pareto trace metrics stats
+    events events_level progress status_file =
   let spec_result =
     match read_file spec_file with
     | exception Sys_error e -> Error (`Io e)
@@ -831,13 +951,34 @@ let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
       Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
       2
   | Ok spec, Ok jobs -> (
+      match setup_events ~events ~events_level with
+      | Error e ->
+          Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
+          2
+      | Ok () -> (
       let telemetry = trace <> None || metrics <> None || stats in
       if telemetry then begin
         Obs.set_enabled true;
         Obs.reset ()
       end;
+      let reporter =
+        make_progress
+          ~total:(Array.length (fst (Bisram_explore.Spec.expand spec)))
+          ~label:"points" ~show_anomalies:false ~progress ~status_file ()
+      in
+      let on_progress =
+        Option.map
+          (fun p ~done_ ~total:_ ->
+            Progress.update p ~done_ ~escapes:0 ~divergences:0 ~tool_errors:0
+              ~clean:0)
+          reporter
+      in
       match
-        Bisram_explore.Explore.run ~jobs ~cache_dir ~resume spec
+        Fun.protect
+          ~finally:(fun () -> Option.iter Progress.finish reporter)
+          (fun () ->
+            Bisram_explore.Explore.run ~jobs ~cache_dir ~resume ?on_progress
+              spec)
       with
       | exception Invalid_argument e ->
           Printf.eprintf "bisramgen: invalid configuration: %s\n" e;
@@ -869,7 +1010,8 @@ let do_explore spec_file jobs cache_dir resume pareto trace metrics stats =
                cs.C.st_quarantined cs.C.st_reaped_tmp cs.C.st_io_errors);
           if pareto then prerr_string (E.summary_table r);
           if telemetry then export_telemetry ~trace ~metrics ~stats;
-          0)
+          export_events ~events;
+          0))
 
 let explore_cmd =
   let spec_arg =
@@ -939,7 +1081,8 @@ let explore_cmd =
   let term =
     Term.(
       const do_explore $ spec_arg $ jobs_arg $ cache_arg $ resume_arg
-      $ pareto_arg $ trace_arg $ metrics_arg $ stats_arg)
+      $ pareto_arg $ trace_arg $ metrics_arg $ stats_arg $ events_arg
+      $ events_level_arg $ progress_arg $ status_file_arg)
   in
   Cmd.v
     (Cmd.info "explore"

@@ -9,6 +9,7 @@ module Tlb = Bisram_bisr.Tlb
 module Repairable = Bisram_yield.Repairable
 module Proposal = Bisram_faults.Proposal
 module Obs = Bisram_obs.Obs
+module Events = Bisram_obs.Events
 module Pool = Bisram_parallel.Pool
 module Chaos = Bisram_chaos.Chaos
 module J = Report
@@ -913,8 +914,17 @@ let write_checkpoint cfg path records =
     close_out oc;
     Sys.rename tmp path
   with
-  | () -> Obs.incr "campaign.checkpoints"
-  | exception Sys_error _ -> Obs.incr "campaign.checkpoint_write_failed"
+  | () ->
+      Obs.incr "campaign.checkpoints";
+      Events.emit ~domain:"campaign" "checkpoint.write"
+        [ ("path", J.String path)
+        ; ("records", J.Int (List.length records))
+        ]
+  | exception Sys_error e ->
+      Obs.incr "campaign.checkpoint_write_failed";
+      Events.emit ~level:Events.Warn ~domain:"campaign"
+        "checkpoint.write_failed"
+        [ ("path", J.String path); ("error", J.String e) ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -974,8 +984,17 @@ let load_checkpoint cfg path =
 (* ------------------------------------------------------------------ *)
 (* the campaign run *)
 
+type progress = {
+  p_done : int;
+  p_total : int;
+  p_escapes : int;
+  p_divergences : int;
+  p_tool_errors : int;
+  p_clean : int;
+}
+
 let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
-    ?checkpoint ?trial_deadline ?(offset = 0) ?weighted_init cfg =
+    ?checkpoint ?trial_deadline ?(offset = 0) ?weighted_init ?on_progress cfg =
   if jobs < 1 then invalid_arg "Campaign.run: jobs must be >= 1";
   if lanes < 1 || lanes > max_lanes then
     invalid_arg
@@ -1015,6 +1034,18 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
   let nresumed = min (Array.length resumed) cfg.trials in
   if Obs.enabled () && nresumed > 0 then
     Obs.add "campaign.resumed_trials" nresumed;
+  (* the one event whose payload names the execution environment
+     (jobs/lanes): everything else in the stream is a pure function of
+     the work, so jobs-invariance checks drop run.start (see DESIGN.md
+     §14) *)
+  Events.emit ~domain:"campaign" "run.start"
+    [ ("trials", J.Int cfg.trials)
+    ; ("offset", J.Int offset)
+    ; ("seed", J.Int cfg.seed)
+    ; ("jobs", J.Int jobs)
+    ; ("lanes", J.Int lanes)
+    ; ("resumed", J.Int nresumed)
+    ];
   (* Lane-batch decomposition: one pool item covers [lanes] consecutive
      trials (full batches only — the ragged tail degrades to one item
      per trial, keeping the unbatched chaos/retry/checkpoint
@@ -1051,12 +1082,19 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
       if
         Chaos.job_fails
           ~key:(Printf.sprintf "%d.%d" start (Pool.current_attempt ()))
-      then
+      then begin
+        (* keyed on (trial, attempt), so the event payload is as
+           deterministic as the injection itself *)
+        Events.emit ~level:Events.Warn ~domain:"chaos" "chaos.inject"
+          [ ("trial", J.Int start)
+          ; ("attempt", J.Int (Pool.current_attempt ()))
+          ];
         raise
           (Pool.Transient
              (Chaos.Injected
                 (Printf.sprintf "chaos: injected transient fault (trial %d)"
-                   start)));
+                   start)))
+      end;
       if len > 1 && start >= nresumed then compute_batch cfg ~start ~len
       else
         (* single-trial unit, or a batch straddling the resume
@@ -1112,7 +1150,7 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
         Array.init len (fun l ->
             record_of_pool_failure cfg ~index:(start + l) f)
   in
-  let on_result =
+  let ck_hook =
     match ck_write with
     | None -> None
     | Some ck ->
@@ -1133,12 +1171,83 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
             end;
             Mutex.unlock ck_mutex)
   in
+  (* live progress: cumulative counts maintained under their own mutex
+     and pushed to the caller from the completing worker's domain.
+     Purely write-only — the report below re-aggregates from the pool's
+     result slots and never reads these refs. *)
+  let prog_hook =
+    match on_progress with
+    | None -> None
+    | Some f ->
+        let pm = Mutex.create () in
+        let pdone = ref 0
+        and pesc = ref 0
+        and pdiv = ref 0
+        and perr = ref 0
+        and pclean = ref 0 in
+        Some
+          (fun unit r ->
+            let rcs = records_of_job unit r in
+            Mutex.lock pm;
+            Array.iter
+              (fun rc ->
+                match rc.rc_body with
+                | Rc_error _ -> incr perr
+                | Rc_ok o ->
+                    if rc.rc_body = clean_body then incr pclean;
+                    List.iter
+                      (fun fl ->
+                        if String.equal fl.f_kind "escape" then incr pesc
+                        else incr pdiv)
+                      o.rc_failures)
+              rcs;
+            pdone := !pdone + Array.length rcs;
+            let snap =
+              { p_done = !pdone
+              ; p_total = cfg.trials
+              ; p_escapes = !pesc
+              ; p_divergences = !pdiv
+              ; p_tool_errors = !perr
+              ; p_clean = !pclean
+              }
+            in
+            Mutex.unlock pm;
+            f snap)
+  in
+  let on_result =
+    match (ck_hook, prog_hook) with
+    | None, None -> None
+    | Some h, None | None, Some h -> Some h
+    | Some a, Some b ->
+        Some
+          (fun unit r ->
+            a unit r;
+            b unit r)
+  in
+  (* retry observability: the pool calls this on the raising worker
+     right before a transient re-attempt *)
+  let on_retry =
+    if not (Obs.enabled () || Events.enabled ()) then None
+    else
+      Some
+        (fun unit ~attempt e ->
+          Obs.incr "pool.retry_attempts";
+          if Events.would_log Events.Warn then begin
+            let start, len = ranges.(unit) in
+            Events.emit ~level:Events.Warn ~domain:"pool" "pool.retry"
+              [ ("trial_start", J.Int start)
+              ; ("len", J.Int len)
+              ; ("attempt", J.Int attempt)
+              ; ("error", J.String (Printexc.to_string e))
+              ]
+          end)
+  in
   let deadline_ns =
     Option.map (fun s -> Int64.of_float (s *. 1e9)) trial_deadline
   in
   let completed =
     Pool.map_result ~jobs ~should_stop:over_budget ?probe ?deadline_ns
-      ?on_result n_units work
+      ?on_result ?on_retry n_units work
   in
   (* final snapshot: a graceful drain (budget or SIGINT) leaves the
      freshest contiguous prefix on disk for the next --resume *)
@@ -1164,12 +1273,31 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
     if units_run = n_units then cfg.trials
     else fst ranges.(units_run) - offset
   in
-  if Obs.enabled () then begin
+  if Obs.enabled () || Events.enabled () then begin
     let retries = ref 0 in
-    Array.iter
-      (function
+    Array.iteri
+      (fun u r ->
+        match r with
         | Some (r : trial_record array Pool.job_result) ->
-            retries := !retries + (r.Pool.attempts - 1)
+            retries := !retries + (r.Pool.attempts - 1);
+            (match r.Pool.outcome with
+            | Ok _ -> ()
+            | Error f ->
+                let start, len = ranges.(u) in
+                let deadline = f.Pool.f_exn = Pool.Deadline_exceeded in
+                if deadline then Obs.incr "pool.deadline_exceeded"
+                else if f.Pool.f_transient then
+                  Obs.incr "pool.retry_exhausted";
+                if Events.would_log Events.Warn then
+                  Events.emit ~level:Events.Warn ~domain:"pool"
+                    (if deadline then "pool.deadline_kill"
+                     else "pool.job_failed")
+                    [ ("trial_start", J.Int start)
+                    ; ("len", J.Int len)
+                    ; ("attempts", J.Int r.Pool.attempts)
+                    ; ("transient", J.Bool f.Pool.f_transient)
+                    ; ("error", J.String (Printexc.to_string f.Pool.f_exn))
+                    ])
         | None -> ())
       completed;
     if !retries > 0 then Obs.add "pool.retries" !retries
@@ -1250,10 +1378,27 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
                   (fun f ->
                     if String.equal f.f_kind "escape" then
                       escapes := f :: !escapes
-                    else divergences := f :: !divergences)
+                    else divergences := f :: !divergences;
+                    (* emitted here, in strict trial order on the
+                       calling domain, so the anomaly sub-stream is
+                       jobs-invariant envelope aside *)
+                    if Events.would_log Events.Info then
+                      Events.emit ~domain:"campaign" ("trial." ^ f.f_kind)
+                        [ ("trial", J.Int f.f_trial)
+                        ; ("seed", J.Int f.f_seed)
+                        ; ("flow", J.String f.f_flow)
+                        ; ("detail", J.String f.f_detail)
+                        ])
                   o.rc_failures
             | Rc_error e ->
                 Obs.incr "campaign.tool_errors";
+                if Events.would_log Events.Warn then
+                  Events.emit ~level:Events.Warn ~domain:"campaign"
+                    "trial.tool_error"
+                    [ ("trial", J.Int rc.rc_index)
+                    ; ("seed", J.Int rc.rc_seed)
+                    ; ("error", J.String e)
+                    ];
                 tool_errors :=
                   { te_trial = rc.rc_index
                   ; te_seed = rc.rc_seed
@@ -1266,6 +1411,13 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
     if trials_run = 0 then 0.0
     else float_of_int (h.passed_clean + h.repaired) /. float_of_int trials_run
   in
+  Events.emit ~domain:"campaign" "run.end"
+    [ ("trials_run", J.Int trials_run)
+    ; ("truncated", J.Bool (trials_run < cfg.trials))
+    ; ("escapes", J.Int (List.length !escapes))
+    ; ("divergences", J.Int (List.length !divergences))
+    ; ("tool_errors", J.Int (List.length !tool_errors))
+    ];
   { config = cfg
   ; trials_run
   ; truncated = trials_run < cfg.trials

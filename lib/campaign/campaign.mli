@@ -227,6 +227,18 @@ type checkpoint
     @raise Invalid_argument if [every < 0]. *)
 val checkpoint : path:string -> ?every:int -> ?resume:bool -> unit -> checkpoint
 
+(** Cumulative completion counts streamed to [run]'s [on_progress]
+    callback — a write-only side channel for live reporting (see
+    {!Bisram_obs.Progress}); nothing in it feeds the report. *)
+type progress = {
+  p_done : int;  (** trials completed so far (resumed ones included) *)
+  p_total : int;  (** the window's trial count ([config.trials]) *)
+  p_escapes : int;
+  p_divergences : int;
+  p_tool_errors : int;
+  p_clean : int;  (** trials whose whole flow was clean *)
+}
+
 (** Run the campaign.  [now] (default {!Bisram_parallel.Clock.now}, a
     monotonic clock immune to wall-time jumps) is only consulted for
     the wall-clock budget; with [max_seconds = None] the run is fully
@@ -282,6 +294,12 @@ val checkpoint : path:string -> ?every:int -> ?resume:bool -> unit -> checkpoint
     an unwindowed run's.  Checkpoints require [offset = 0] (they
     snapshot a prefix from trial 0).
 
+    [on_progress] (default absent) receives cumulative {!progress}
+    counts on the completing worker's domain each time a scheduling
+    unit finishes (it must be domain-safe; {!Bisram_obs.Progress} is).
+    Like telemetry and events, it cannot change the report: reports
+    are byte-identical with or without it.
+
     @raise Invalid_argument if [jobs < 1], [lanes] is outside
     [1 .. max_lanes], [offset < 0], or a checkpoint is combined with a
     nonzero [offset]. *)
@@ -294,6 +312,7 @@ val run :
   ?trial_deadline:float ->
   ?offset:int ->
   ?weighted_init:weighted ->
+  ?on_progress:(progress -> unit) ->
   config ->
   result
 

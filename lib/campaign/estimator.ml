@@ -10,6 +10,8 @@
    the same way. *)
 
 module J = Report
+module Obs = Bisram_obs.Obs
+module Events = Bisram_obs.Events
 module Defect = Bisram_faults.Defect
 
 type interval = { lo : float; hi : float }
@@ -298,7 +300,7 @@ type adaptive = {
 
 let run_adaptive ?now ?jobs ?lanes ?should_stop ?trial_deadline ?(batch = 992)
     ?(metric = Repair_failure_two_pass) ?(max_trials = 1_000_000) ?(level = 0.95)
-    ~target cfg =
+    ?on_progress ?on_batch ~target cfg =
   if not (target > 0.0) then
     invalid_arg "Estimator.run_adaptive: target must be positive";
   if batch < 1 then invalid_arg "Estimator.run_adaptive: batch must be >= 1";
@@ -310,19 +312,70 @@ let run_adaptive ?now ?jobs ?lanes ?should_stop ?trial_deadline ?(batch = 992)
   let weighted_init = ref None in
   let reason = ref Trial_cap in
   let hw = ref infinity in
+  (* the campaign reports per-window progress; re-base it on the trials
+     already committed by earlier batches so the caller sees one
+     monotonic stream against the trial cap.  [base] is only written
+     between batches, when no pool worker is running. *)
+  let base = ref Campaign.{ p_done = 0; p_total = max_trials; p_escapes = 0
+                          ; p_divergences = 0; p_tool_errors = 0; p_clean = 0 }
+  in
+  let window_progress =
+    Option.map
+      (fun f (p : Campaign.progress) ->
+        let b = !base in
+        f
+          Campaign.
+            { p_done = b.p_done + p.p_done
+            ; p_total = max_trials
+            ; p_escapes = b.p_escapes + p.p_escapes
+            ; p_divergences = b.p_divergences + p.p_divergences
+            ; p_tool_errors = b.p_tool_errors + p.p_tool_errors
+            ; p_clean = b.p_clean + p.p_clean
+            })
+      on_progress
+  in
   (try
      while !offset < max_trials do
        let n = min batch (max_trials - !offset) in
        let r =
          Campaign.run ?now ?jobs ?lanes ?should_stop ?trial_deadline
            ~offset:!offset ?weighted_init:!weighted_init
+           ?on_progress:window_progress
            { cfg with Campaign.trials = n }
        in
        results := r :: !results;
        offset := !offset + r.Campaign.trials_run;
        weighted_init := r.Campaign.weighted;
+       let b = !base in
+       base :=
+         Campaign.
+           { p_done = b.p_done + r.Campaign.trials_run
+           ; p_total = max_trials
+           ; p_escapes = b.p_escapes + List.length r.Campaign.escapes
+           ; p_divergences = b.p_divergences + List.length r.Campaign.divergences
+           ; p_tool_errors = b.p_tool_errors + List.length r.Campaign.tool_errors
+           ; p_clean = b.p_clean + r.Campaign.two_pass.Campaign.passed_clean
+           };
        let merged = Campaign.merge_results (List.rev !results) in
-       hw := rel_half_width (estimate ~level merged metric);
+       let est = estimate ~level merged metric in
+       hw := rel_half_width est;
+       Obs.incr "estimator.batches";
+       Obs.add "estimator.trials" r.Campaign.trials_run;
+       if Float.is_finite est.e_n_eff then
+         Obs.observe "estimator.n_eff" (int_of_float est.e_n_eff);
+       if Events.would_log Events.Info then
+         Events.emit ~domain:"estimator" "estimator.batch"
+           [ ("batch", J.Int (List.length !results))
+           ; ("trials_total", J.Int !offset)
+           ; ("hits", J.Int est.e_hits)
+           ; ( "rel_half_width"
+             , if Float.is_finite !hw then J.Float !hw else J.Null )
+           ];
+       (match on_batch with
+       | None -> ()
+       | Some f ->
+           f ~batches:(List.length !results) ~trials:!offset
+             ~rel_half_width:!hw);
        if r.Campaign.truncated then begin
          reason := Interrupted;
          raise Exit
@@ -334,6 +387,13 @@ let run_adaptive ?now ?jobs ?lanes ?should_stop ?trial_deadline ?(batch = 992)
      done
    with Exit -> ());
   let merged = Campaign.merge_results (List.rev !results) in
+  Events.emit ~domain:"estimator" "estimator.stop"
+    [ ("reason", J.String (stop_reason_name !reason))
+    ; ("batches", J.Int (List.length !results))
+    ; ("trials_total", J.Int !offset)
+    ; ( "rel_half_width"
+      , if Float.is_finite !hw then J.Float !hw else J.Null )
+    ];
   { a_result = merged
   ; a_target = target
   ; a_metric = metric

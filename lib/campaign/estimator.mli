@@ -103,6 +103,15 @@ type adaptive = {
     [now], [jobs], [lanes], [should_stop], [trial_deadline] pass
     through to {!Campaign.run}.  Checkpointing is not supported under
     adaptive growth.
+
+    [on_progress] passes through to every window's {!Campaign.run},
+    re-based so [p_done]/anomaly counts accumulate across batches and
+    [p_total] is [max_trials] (the only total known up front).
+    [on_batch] fires after each batch's CI evaluation with the batch
+    count, cumulative trials and the achieved relative half-width —
+    the seam the CLI uses to surface the stopping statistic live.
+    Both are write-only side channels: reports are identical with or
+    without them.
     @raise Invalid_argument unless [target > 0], [batch >= 1],
     [max_trials >= 1] and [level] in (0,1). *)
 val run_adaptive :
@@ -115,6 +124,8 @@ val run_adaptive :
   ?metric:metric ->
   ?max_trials:int ->
   ?level:float ->
+  ?on_progress:(Campaign.progress -> unit) ->
+  ?on_batch:(batches:int -> trials:int -> rel_half_width:float -> unit) ->
   target:float ->
   Campaign.config ->
   adaptive

@@ -1,5 +1,6 @@
 module J = Bisram_obs.Json
 module Obs = Bisram_obs.Obs
+module Events = Bisram_obs.Events
 module Chaos = Bisram_chaos.Chaos
 
 let version = "bisram-explore-cache/2"
@@ -55,7 +56,11 @@ let create ?dir ~resume () =
         else Sys.mkdir d 0o755;
         reap_tmp d
   in
-  if reaped > 0 then Obs.add "cache.reaped_tmp" reaped;
+  if reaped > 0 then begin
+    Obs.add "cache.reaped_tmp" reaped;
+    Events.emit ~level:Events.Warn ~domain:"cache" "cache.reap_tmp"
+      [ ("reaped", J.Int reaped) ]
+  end;
   { dir
   ; resume
   ; hits = Atomic.make 0
@@ -125,9 +130,11 @@ let parse_entry key s =
    is itself best-effort — if even the rename fails we fall back to
    remove, and if that fails the entry is simply left to fail
    verification again next time. *)
-let quarantine t path =
+let quarantine t key path =
   Atomic.incr t.quarantined;
   Obs.incr "cache.quarantined";
+  Events.emit ~level:Events.Warn ~domain:"cache" "cache.quarantine"
+    [ ("key", J.String key); ("path", J.String path) ];
   match Sys.rename path (path ^ ".quarantine") with
   | () -> ()
   | exception Sys_error _ -> (
@@ -157,7 +164,7 @@ let lookup t key =
               match parse_entry key s with
               | Some v -> Some v
               | None ->
-                  quarantine t path;
+                  quarantine t key path;
                   None))
 
 (* serialize + re-parse: the value every caller sees is exactly the
@@ -197,9 +204,17 @@ let memo t ~key compute =
   match lookup t key with
   | Some v ->
       Atomic.incr t.hits;
+      Obs.incr "cache.hits";
+      if Events.would_log Events.Debug then
+        Events.emit ~level:Events.Debug ~domain:"cache" "cache.hit"
+          [ ("key", J.String key) ];
       v
   | None ->
       Atomic.incr t.misses;
+      Obs.incr "cache.misses";
+      if Events.would_log Events.Debug then
+        Events.emit ~level:Events.Debug ~domain:"cache" "cache.miss"
+          [ ("key", J.String key) ];
       let s = entry_string key (compute ()) in
       store t key s;
       normalize key s

@@ -8,6 +8,7 @@ module Rel = Bisram_rel.Reliability
 module Campaign = Bisram_campaign.Campaign
 module Pool = Bisram_parallel.Pool
 module Obs = Bisram_obs.Obs
+module Events = Bisram_obs.Events
 module J = Bisram_obs.Json
 
 type result = {
@@ -162,10 +163,26 @@ let compute spec p design = function
 (* ------------------------------------------------------------------ *)
 (* the parallel sweep *)
 
-let run ?(jobs = 1) ?cache_dir ?(resume = false) spec =
+let run ?(jobs = 1) ?cache_dir ?(resume = false) ?on_progress spec =
   if jobs < 1 then invalid_arg "Explore.run: jobs must be >= 1";
   let points, skipped = Spec.expand spec in
   let cache = Cache.create ?dir:cache_dir ~resume () in
+  Events.emit ~domain:"explore" "run.start"
+    [ ("points", J.Int (Array.length points))
+    ; ("skipped", J.Int skipped)
+    ; ("evaluators", J.Int (List.length spec.Spec.evaluators))
+    ; ("jobs", J.Int jobs)
+    ; ("cached", J.Bool (cache_dir <> None))
+    ];
+  (* live progress: one tick per completed point, pushed from the
+     completing worker's domain; write-only, never read by the report *)
+  let prog_done = Atomic.make 0 in
+  let tick () =
+    match on_progress with
+    | None -> ()
+    | Some f -> f ~done_:(Atomic.fetch_and_add prog_done 1 + 1)
+                  ~total:(Array.length points)
+  in
   let work i =
     let p = points.(i) in
     Obs.span ~cat:"explore" ~arg:("point", i) "point" (fun () ->
@@ -174,15 +191,19 @@ let run ?(jobs = 1) ?cache_dir ?(resume = false) spec =
            yield and cost evaluators; never forced when all three hit
            the cache *)
         let design = lazy (Compiler.compile (Spec.config_of_point spec p)) in
-        List.map
-          (fun ev ->
-            let key = Spec.cache_key spec p ~evaluator:ev in
-            let v =
-              Obs.span ~cat:"explore" ~arg:("point", i) ev (fun () ->
-                  Cache.memo cache ~key (fun () -> compute spec p design ev))
-            in
-            (ev, v))
-          spec.Spec.evaluators)
+        let evs =
+          List.map
+            (fun ev ->
+              let key = Spec.cache_key spec p ~evaluator:ev in
+              let v =
+                Obs.span ~cat:"explore" ~arg:("point", i) ev (fun () ->
+                    Cache.memo cache ~key (fun () -> compute spec p design ev))
+              in
+              (ev, v))
+            spec.Spec.evaluators
+        in
+        tick ();
+        evs)
   in
   let probe =
     if not (Obs.enabled ()) then None
@@ -202,10 +223,17 @@ let run ?(jobs = 1) ?cache_dir ?(resume = false) spec =
   in
   Obs.add "explore.cache_hits" (Cache.hits cache);
   Obs.add "explore.cache_misses" (Cache.misses cache);
+  let st = Cache.stats cache in
+  Events.emit ~domain:"explore" "run.end"
+    [ ("points", J.Int (Array.length points))
+    ; ("cache_hits", J.Int st.Cache.st_hits)
+    ; ("cache_misses", J.Int st.Cache.st_misses)
+    ; ("cache_quarantined", J.Int st.Cache.st_quarantined)
+    ];
   { spec; points; evals; skipped
   ; cache_hits = Cache.hits cache
   ; cache_misses = Cache.misses cache
-  ; cache_stats = Cache.stats cache
+  ; cache_stats = st
   }
 
 let evaluations r =

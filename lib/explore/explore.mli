@@ -48,8 +48,20 @@ type result = {
     memoization store; [resume] (default false) lets the run read
     entries left by earlier runs — without it the sweep is cache-cold
     by construction and existing entries are overwritten.
+
+    [on_progress] (default absent) is called once per completed point
+    with the cumulative completion count and the point total, on the
+    completing worker's domain (it must be domain-safe;
+    {!Bisram_obs.Progress} is).  Write-only: the report is
+    byte-identical with or without it.
     @raise Invalid_argument if [jobs < 1]. *)
-val run : ?jobs:int -> ?cache_dir:string -> ?resume:bool -> Spec.t -> result
+val run :
+  ?jobs:int ->
+  ?cache_dir:string ->
+  ?resume:bool ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Spec.t ->
+  result
 
 (** Evaluations performed (points x selected evaluators) — the
     denominator of the cache hit rate. *)

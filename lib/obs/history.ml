@@ -1,0 +1,47 @@
+let read_lines path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+
+let read ~path =
+  let records = ref [] and warnings = ref [] in
+  List.iteri
+    (fun i line ->
+      if String.trim line <> "" then
+        match Json.of_string line with
+        | Ok j -> records := j :: !records
+        | Error e ->
+            warnings :=
+              Printf.sprintf "%s:%d: skipping malformed line: %s" path (i + 1)
+                e
+              :: !warnings)
+    (read_lines path);
+  (List.rev !records, List.rev !warnings)
+
+(* the identity of a history record: when it was taken and under which
+   bench schema.  Two records agreeing on both are the same
+   measurement, whatever the numbers say. *)
+let identity j =
+  (Json.member "utc" j, Json.member "bench_schema" j)
+
+let append ~path record =
+  let existing, warnings = read ~path in
+  let id = identity record in
+  if List.exists (fun j -> identity j = id) existing then (`Duplicate, warnings)
+  else
+    match
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Json.to_string record);
+      output_char oc '\n';
+      close_out oc
+    with
+    | () -> (`Appended, warnings)
+    | exception Sys_error e -> (`Error e, warnings)

@@ -1,0 +1,25 @@
+(** Robust access to the tracked bench-history file
+    ([BENCH_history.jsonl]): one JSON object per line, appended by full
+    bench runs and rendered by [bench_page].
+
+    A tracked, hand-merged JSONL file accumulates damage — conflict
+    markers, truncated lines from killed runs, duplicate appends from a
+    re-run bench — so reading is skip-and-warn (a malformed line never
+    bricks the tooling) and appending dedupes on the (utc, bench_schema)
+    identity of a record. *)
+
+(** [read ~path] parses every line; returns the parsed records in file
+    order plus one warning string per skipped line (blank lines are
+    ignored silently, a missing file reads as empty). *)
+val read : path:string -> Json.t list * string list
+
+(** [append ~path record] appends [record] as one compact JSONL line —
+    unless an existing well-formed line already carries the same
+    ["utc"] and ["bench_schema"] values, in which case nothing is
+    written and [`Duplicate] is returned.  Warnings from scanning the
+    existing file are returned alongside (the caller decides where to
+    print them). *)
+val append :
+  path:string ->
+  Json.t ->
+  [ `Appended | `Duplicate | `Error of string ] * string list

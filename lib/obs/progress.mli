@@ -1,0 +1,54 @@
+(** Live progress reporter for long campaigns and sweeps: periodic
+    snapshots (items done/total, anomaly counts, throughput, ETA, and —
+    when an adaptive estimator is running — the current relative CI
+    half-width) rendered as a rewriting stderr line and/or an
+    atomically replaced JSON status file.
+
+    The reporter is a write-only side channel: it never feeds report
+    serialization, so reports stay byte-identical with progress on or
+    off.  Updates are mutex-guarded (they arrive from pool workers) and
+    rate-limited, so even very fast runs pay a bounded rendering cost.
+    Status-file write failures are warned once and never kill the
+    run. *)
+
+type t
+
+(** [create ()] with:
+    - [total]: expected item count, enabling percentage and ETA;
+    - [status_file]: path rewritten atomically (temp + rename) with a
+      ["bisram-progress/1"] JSON snapshot on each render;
+    - [to_stderr]: maintain a ["\r"]-rewriting one-line display;
+    - [min_interval_s]: minimum seconds between renders (default 0.5);
+    - [label]: item noun for the stderr line (default ["trials"]);
+    - [show_anomalies]: include the escape/divergence/error and clean
+      segments in the stderr line (default true; the status file always
+      carries the counts). *)
+val create :
+  ?total:int ->
+  ?status_file:string ->
+  ?to_stderr:bool ->
+  ?min_interval_s:float ->
+  ?label:string ->
+  ?show_anomalies:bool ->
+  unit ->
+  t
+
+(** Absolute cumulative counts (not deltas); renders when the rate
+    limiter allows. *)
+val update :
+  t ->
+  done_:int ->
+  escapes:int ->
+  divergences:int ->
+  tool_errors:int ->
+  clean:int ->
+  unit
+
+(** Record the estimator's current relative CI half-width, shown on
+    subsequent renders. *)
+val note_ci : t -> rel_half_width:float -> unit
+
+(** Force a final render (ignoring the rate limiter), mark the status
+    file ["done": true], and terminate the stderr line with a
+    newline. *)
+val finish : t -> unit

@@ -70,6 +70,7 @@ type 'a supervise_opts = {
   backoff_ns : int64;
   deadline_ns : int64 option;
   on_result : (int -> 'a job_result -> unit) option;
+  on_retry : (int -> attempt:int -> exn -> unit) option;
 }
 
 let run_pool ~jobs ~chunk ~should_stop ~probe ~mode n f_item =
@@ -124,7 +125,13 @@ let run_pool ~jobs ~chunk ~should_stop ~probe ~mode n f_item =
                           (Some (Int64.add (Clock.now_ns ()) d)));
                     match f_item !i with
                     | v -> { outcome = Ok v; attempts = k }
-                    | exception Transient _ when k <= o.retries ->
+                    | exception Transient e when k <= o.retries ->
+                        (* fires on the raising worker, before the
+                           re-attempt: the observability layer logs the
+                           retry while the failure is still current *)
+                        (match o.on_retry with
+                        | None -> ()
+                        | Some h -> h !i ~attempt:k e);
                         backoff ~base_ns:o.backoff_ns ~attempt:k;
                         attempt (k + 1)
                     | exception e ->
@@ -194,11 +201,12 @@ let map ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false) ?probe n f =
        | None -> None)
 
 let map_result ?(jobs = 1) ?(chunk = 1) ?(should_stop = fun () -> false)
-    ?probe ?(retries = 2) ?(backoff_ns = 0L) ?deadline_ns ?on_result n f =
+    ?probe ?(retries = 2) ?(backoff_ns = 0L) ?deadline_ns ?on_result ?on_retry
+    n f =
   validate ~fn:"Pool.map_result" ~jobs ~chunk n;
   if retries < 0 then invalid_arg "Pool.map_result: retries must be >= 0";
   run_pool ~jobs ~chunk ~should_stop ~probe
-    ~mode:(`Supervise { retries; backoff_ns; deadline_ns; on_result })
+    ~mode:(`Supervise { retries; backoff_ns; deadline_ns; on_result; on_retry })
     n f
 
 (* Lane-batch decomposition: the leading [items / width] pool items

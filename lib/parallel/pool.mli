@@ -127,6 +127,13 @@ val map :
     feed its checkpoint writer without cross-domain reads.  It must be
     safe to call concurrently from every worker.
 
+    [on_retry] (default absent) runs on the raising worker's domain
+    each time a [Transient] raise is about to be retried, receiving the
+    index, the attempt number that just failed (starting at 1) and the
+    unwrapped exception — the seam the observability layer uses to log
+    retries.  Like [on_result], it must be safe to call concurrently
+    from every worker.
+
     Determinism: with a deterministic [f] (per index and attempt), the
     returned array is identical at every [jobs]/[chunk] combination —
     failures land in their own slots, so no result depends on
@@ -143,6 +150,7 @@ val map_result :
   ?backoff_ns:int64 ->
   ?deadline_ns:int64 ->
   ?on_result:(int -> 'a job_result -> unit) ->
+  ?on_retry:(int -> attempt:int -> exn -> unit) ->
   int ->
   (int -> 'a) ->
   'a job_result option array

@@ -141,6 +141,37 @@ let test_transient_retried () =
   | Some { Pool.outcome = Ok (4, 3); attempts = 3 } -> ()
   | _ -> Alcotest.fail "expected success on the third attempt"
 
+let test_on_retry_seam () =
+  (* on_retry fires once per re-attempt, before the backoff, with the
+     attempt number that just raised — and not at all for items that
+     never raise *)
+  let mu = Mutex.create () in
+  let seen = ref [] in
+  let on_retry i ~attempt e =
+    Mutex.lock mu;
+    seen := (i, attempt, e) :: !seen;
+    Mutex.unlock mu
+  in
+  let r =
+    Pool.map_result ~jobs:2 ~retries:2 ~on_retry 6 (fun i ->
+        if i = 4 && Pool.current_attempt () < 3 then
+          raise (Pool.Transient (Boom i))
+        else i)
+  in
+  (match r.(4) with
+  | Some { Pool.outcome = Ok 4; attempts = 3 } -> ()
+  | _ -> Alcotest.fail "expected success on the third attempt");
+  let calls = List.sort compare !seen in
+  Alcotest.(check (list (pair int int)))
+    "one call per re-attempt, attempt = the one that raised"
+    [ (4, 1); (4, 2) ]
+    (List.map (fun (i, a, _) -> (i, a)) calls);
+  List.iter
+    (fun (_, _, e) ->
+      Alcotest.(check bool) "original exception, wrapper stripped" true
+        (e = Boom 4))
+    calls
+
 let test_transient_exhausted () =
   let r =
     Pool.map_result ~jobs:1 ~retries:1 3 (fun i ->
@@ -285,6 +316,7 @@ let () =
       , [ Alcotest.test_case "failure captured, no deadlock" `Quick
             test_supervised_captures_failure
         ; Alcotest.test_case "transient retried" `Quick test_transient_retried
+        ; Alcotest.test_case "on_retry seam" `Quick test_on_retry_seam
         ; Alcotest.test_case "transient exhausted" `Quick
             test_transient_exhausted
         ; Alcotest.test_case "non-transient not retried" `Quick
