@@ -1,4 +1,4 @@
-.PHONY: all build test campaign-smoke campaign-determinism estimator-smoke bench-json bench-smoke bench-check bench-check-advisory trace-smoke events-smoke bench-page explore-smoke chaos-smoke resume-determinism ci clean
+.PHONY: all build test campaign-smoke campaign-determinism estimator-smoke bench-json bench-smoke bench-check bench-check-advisory trace-smoke events-smoke bench-page explore-smoke chaos-smoke bira-smoke resume-determinism ci clean
 
 all: build
 
@@ -200,6 +200,33 @@ chaos-smoke: build
 	  .ci-chaos-explore.err
 	@echo "chaos-smoke: OK"
 
+# 2D BIRA gate: (1) the default row-TLB report must still match the
+# committed golden bytes (test/golden_row_tlb.json) — the BIRA layer
+# must be invisible unless asked for; (2) every BIRA allocator's report
+# must be byte-identical across worker counts and lane widths, since
+# fault-list collection rides the batched kernels; (3) a bogus
+# --repair name must be rejected with the usage exit code (2).
+bira-smoke: build
+	dune exec bin/bisramgen.exe -- campaign --trials 60 --seed 7 --jobs 1 \
+	  > .ci-bira-golden.json
+	cmp .ci-bira-golden.json test/golden_row_tlb.json
+	for s in bira-greedy bira-essential bira-bnb; do \
+	  dune exec bin/bisramgen.exe -- campaign --trials 40 --seed 11 \
+	    --mode poisson --mean 3 --spare-cols 2 --repair $$s \
+	    --jobs 1 --batch-lanes 1 > .ci-bira-$$s-a.json && \
+	  dune exec bin/bisramgen.exe -- campaign --trials 40 --seed 11 \
+	    --mode poisson --mean 3 --spare-cols 2 --repair $$s \
+	    --jobs 2 --batch-lanes 62 > .ci-bira-$$s-b.json && \
+	  diff .ci-bira-$$s-a.json .ci-bira-$$s-b.json || exit 1; \
+	done
+	dune exec bin/bisramgen.exe -- campaign --repair frobnicate \
+	  > /dev/null 2>&1; test $$? -eq 2
+	rm -f .ci-bira-golden.json .ci-bira-bira-greedy-a.json \
+	  .ci-bira-bira-greedy-b.json .ci-bira-bira-essential-a.json \
+	  .ci-bira-bira-essential-b.json .ci-bira-bira-bnb-a.json \
+	  .ci-bira-bira-bnb-b.json
+	@echo "bira-smoke: OK"
+
 # Crash-recovery gate: a campaign killed mid-run (injected exit 137 at
 # trial 25) leaves a checkpoint from which --resume reproduces the
 # uninterrupted report byte-for-byte.
@@ -221,7 +248,7 @@ resume-determinism: build
 	  .ci-resume.err
 	@echo "resume-determinism: OK"
 
-ci: build test campaign-smoke campaign-determinism estimator-smoke bench-smoke bench-check-advisory trace-smoke events-smoke bench-page explore-smoke chaos-smoke resume-determinism
+ci: build test campaign-smoke campaign-determinism estimator-smoke bench-smoke bench-check-advisory trace-smoke events-smoke bench-page explore-smoke chaos-smoke bira-smoke resume-determinism
 	@echo "ci: OK"
 
 clean:

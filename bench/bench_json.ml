@@ -456,6 +456,96 @@ let kernels () =
       ] )
 
 (* ------------------------------------------------------------------ *)
+(* 2D BIRA: allocator throughput on a seeded synthetic problem set
+   (allocation is pure line-cover, so this isolates the allocators from
+   the simulation), plus the repair-rate win of 2D repair over row-only
+   TLB repair at a defect density heavy enough that clustered faults
+   exhaust the row spares.  At realistic (single-digit) fault counts
+   the must-repair preamble resolves most problems outright, so even
+   branch and bound stays in the hundreds of thousands of allocations
+   per second; the repair-rate rows are seeded campaigns, so they are
+   exact re-runnable numbers, not samples. *)
+
+module Cover = Bisram_bira.Cover
+
+let bira_problems ~count =
+  let rng = Random.State.make [| 0xB12A; 1999 |] in
+  List.init count (fun _ ->
+      let n = 1 + Random.State.int rng 8 in
+      let cells =
+        List.init n (fun _ ->
+            (Random.State.int rng 32, Random.State.int rng 32))
+      in
+      { Cover.rows = 32; cols = 32; spare_rows = 4; spare_cols = 2; cells })
+
+let bira_allocators () =
+  let count = if !smoke then 50 else 2000 in
+  let problems = bira_problems ~count in
+  let bench (module A : Cover.Allocator) =
+    let covered =
+      List.fold_left
+        (fun n p ->
+          match A.solve p with Cover.Cover _ -> n + 1 | Cover.Uncoverable -> n)
+        0 problems
+    in
+    let seconds =
+      best_of 3 (fun () -> List.iter (fun p -> ignore (A.solve p)) problems)
+    in
+    J.Obj
+      [ ("allocator", J.String A.name)
+      ; ("problems", J.Int count)
+      ; ("covered", J.Int covered)
+      ; ("seconds", J.Float seconds)
+      ; ("allocations_per_sec", J.Float (float_of_int count /. seconds))
+      ]
+  in
+  J.List
+    (List.map bench
+       [ (module Cover.Greedy : Cover.Allocator)
+       ; (module Cover.Essential)
+       ; (module Cover.Exhaustive)
+       ])
+
+let bira_repair_rates () =
+  let org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ~spare_cols:2 () in
+  let trials = if !smoke then 10 else 80 in
+  let run repair =
+    let cfg =
+      C.make_config ~org ~mode:(C.Poisson 3.0) ~repair ~trials ~seed:11
+        ~shrink:false ()
+    in
+    let r = C.run ~jobs:1 cfg in
+    (r.C.observed_yield_iterated, r.C.analytic_yield)
+  in
+  let row name repair =
+    let observed, analytic = run repair in
+    J.Obj
+      [ ("repair", J.String name)
+      ; ("observed_repair_rate", J.Float observed)
+      ; ("analytic_yield", J.Float analytic)
+      ]
+  in
+  J.Obj
+    [ ("mode", J.String "poisson")
+    ; ("mean_defects", J.Float 3.0)
+    ; ("trials", J.Int trials)
+    ; ("spare_rows", J.Int 4)
+    ; ("spare_cols", J.Int 2)
+    ; ( "rows"
+      , J.List
+          [ row "row-tlb" C.Row_tlb
+          ; row "bira-greedy" (C.Bira Bisram_bira.Bira.Greedy)
+          ; row "bira-bnb" (C.Bira Bisram_bira.Bira.Exhaustive)
+          ] )
+    ]
+
+let bira_section () =
+  J.Obj
+    [ ("allocators", bira_allocators ())
+    ; ("repair_rates", bira_repair_rates ())
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* telemetry: instrumentation overhead and access-regime hit ratios *)
 
 (* The march kernel with the registry disabled vs enabled.  The
@@ -700,6 +790,16 @@ let history_line doc =
            | _ -> None)
          (jlist (jget "rows" lowest)))
   in
+  let bira_allocs_per_sec name =
+    Option.value ~default:J.Null
+      (List.find_map
+         (fun r ->
+           match J.member "allocator" r with
+           | Some (J.String s) when String.equal s name ->
+               J.member "allocations_per_sec" r
+           | _ -> None)
+         (jlist (jget "allocators" (jget "bira" doc))))
+  in
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   let utc =
     Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
@@ -716,6 +816,8 @@ let history_line doc =
     ; ("estimator_seconds_to_ci_naive", strategy_seconds "naive")
     ; ("estimator_seconds_to_ci_stratified", strategy_seconds "stratified")
     ; ("estimator_seconds_to_ci_importance", strategy_seconds "importance")
+    ; ("bira_greedy_allocs_per_sec", bira_allocs_per_sec "bira-greedy")
+    ; ("bira_bnb_allocs_per_sec", bira_allocs_per_sec "bira-bnb")
     ]
 
 let append_history ~path doc =
@@ -792,7 +894,7 @@ let () =
   in
   let doc =
     J.Obj
-      [ ("schema", J.String "bisram-bench/7")
+      [ ("schema", J.String "bisram-bench/8")
         (* cores mirrors recommended_jobs (Domain.recommended_domain_count):
            the exact gate behind the jobs_exceed_cores skips above, recorded
            so a skip is auditable from the JSON alone *)
@@ -811,6 +913,7 @@ let () =
       ; full "explore" explore_sweep
       ; ("kernels", kernels)
       ; ("derived", derived)
+      ; full "bira" bira_section
       ; full "telemetry" telemetry_overhead
       ; full "model_hits" model_hit_ratios
       ; full "resilience" resilience

@@ -51,6 +51,10 @@ let spares_arg =
   let doc = "Spare rows: 0, 4, 8 or 16." in
   Arg.(value & opt int 4 & info [ "s"; "spares" ] ~doc)
 
+let spare_cols_arg =
+  let doc = "Spare columns for 2D (BIRA) repair: 0 .. 8." in
+  Arg.(value & opt int 0 & info [ "spare-cols" ] ~doc)
+
 let drive_arg =
   let doc = "Critical-gate size multiplier (1-8)." in
   Arg.(value & opt int 2 & info [ "drive" ] ~doc)
@@ -101,11 +105,15 @@ let resolve_jobs jobs =
   else if jobs = 0 then Ok (Bisram_parallel.Pool.recommended_jobs ())
   else Ok jobs
 
-let build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march =
+let build_config ~process ~words ~bpw ~bpc ~spares ~spare_cols ~drive ~strap
+    ~march =
   match (lookup_process process, lookup_march march) with
   | Error e, _ | _, Error e -> Error e
   | Ok p, Ok m -> (
-      match Config.make ~spares ~drive ~strap ~march:m ~process:p ~words ~bpw ~bpc () with
+      match
+        Config.make ~spares ~spare_cols ~drive ~strap ~march:m ~process:p
+          ~words ~bpw ~bpc ()
+      with
       | cfg -> Ok cfg
       | exception Invalid_argument e -> Error e)
 
@@ -119,8 +127,8 @@ let read_file path =
   close_in ic;
   s
 
-let do_compile process words bpw bpc spares drive strap march config_file
-    show_floorplan show_rtl cif_dir =
+let do_compile process words bpw bpc spares spare_cols drive strap march
+    config_file show_floorplan show_rtl cif_dir =
   let cfg_result =
     match config_file with
     | Some path -> (
@@ -129,7 +137,8 @@ let do_compile process words bpw bpc spares drive strap march config_file
         | Error e -> Error (path ^ ": " ^ e)
         | exception Sys_error e -> Error e)
     | None ->
-        build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march
+        build_config ~process ~words ~bpw ~bpc ~spares ~spare_cols ~drive
+          ~strap ~march
   in
   match cfg_result with
   | Error e ->
@@ -185,16 +194,20 @@ let compile_cmd =
   let term =
     Term.(
       const do_compile $ process_arg $ words_arg $ bpw_arg $ bpc_arg
-      $ spares_arg $ drive_arg $ strap_arg $ march_arg $ config_arg
-      $ floorplan_arg $ rtl_arg $ cif_arg)
+      $ spares_arg $ spare_cols_arg $ drive_arg $ strap_arg $ march_arg
+      $ config_arg $ floorplan_arg $ rtl_arg $ cif_arg)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Generate a BISR RAM module.") term
 
 (* ------------------------------------------------------------------ *)
 (* selftest *)
 
-let do_selftest process words bpw bpc spares drive strap march nfaults seed_opt =
-  match build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march with
+let do_selftest process words bpw bpc spares spare_cols drive strap march
+    nfaults seed_opt =
+  match
+    build_config ~process ~words ~bpw ~bpc ~spares ~spare_cols ~drive ~strap
+      ~march
+  with
   | Error e ->
       Printf.eprintf "bisramgen: %s\n" e;
       1
@@ -259,7 +272,8 @@ let selftest_cmd =
   let term =
     Term.(
       const do_selftest $ process_arg $ st_words $ st_bpw $ st_bpc
-      $ spares_arg $ drive_arg $ strap_arg $ march_arg $ nfaults_arg $ seed_arg)
+      $ spares_arg $ spare_cols_arg $ drive_arg $ strap_arg $ march_arg
+      $ nfaults_arg $ seed_arg)
   in
   Cmd.v
     (Cmd.info "selftest"
@@ -384,8 +398,9 @@ let status_file_arg =
            external pollers; write failures warn once and never kill the \
            run.")
 
-let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
-    mix max_seconds no_shrink max_rounds jobs batch_lanes trace metrics stats
+let do_campaign words bpw bpc spares spare_cols march trials seed mode nfaults
+    mean alpha mix repair max_seconds no_shrink max_rounds jobs batch_lanes
+    trace metrics stats
     events events_level progress status_file replay_seed fail_on_anomaly
     checkpoint_path checkpoint_every resume trial_deadline confidence target_ci
     ci_metric ci_batch ci_max_trials prop_scale prop_shift prop_nonzero
@@ -450,6 +465,15 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
           (Printf.sprintf
              "unknown mode %S (expected uniform, poisson or clustered)" s)
   in
+  let repair_result =
+    match Campaign.repair_of_name repair with
+    | Some r -> Ok r
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown --repair %S (expected row-tlb, bira-greedy, \
+              bira-essential or bira-bnb)" repair)
+  in
   let cfg_result =
     match
       ( lookup_march march
@@ -467,11 +491,14 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
     | _, _, _, _, _, Error e ->
         Error e
     | Ok m, Ok mix, Ok mode, Ok jobs, Ok proposal, Ok ci_metric -> (
+        match repair_result with
+        | Error e -> Error e
+        | Ok repair -> (
         match
-          let org = Org.make ~spares ~words ~bpw ~bpc () in
+          let org = Org.make ~spares ~spare_cols ~words ~bpw ~bpc () in
           let cfg =
-            Campaign.make_config ~org ~march:m ~mix ~mode ~proposal ~trials
-              ~seed ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
+            Campaign.make_config ~org ~march:m ~mix ~mode ~proposal ~repair
+              ~trials ~seed ?max_seconds ~shrink:(not no_shrink) ~max_rounds ()
           in
           (match trial_deadline with
           | Some s when s <= 0.0 ->
@@ -508,7 +535,7 @@ let do_campaign words bpw bpc spares march trials seed mode nfaults mean alpha
            must not depend on the machine the campaign happened to
            run on *)
         | cfg, ck -> Ok (cfg, jobs, ck, ci_metric)
-        | exception Invalid_argument e -> Error e)
+        | exception Invalid_argument e -> Error e))
   in
   match cfg_result with
   | Error e ->
@@ -668,6 +695,12 @@ let campaign_cmd =
   let c_spares =
     Arg.(value & opt int 4 & info [ "s"; "spares" ] ~doc:"Spare rows.")
   in
+  let c_spare_cols =
+    Arg.(
+      value & opt int 0
+      & info [ "spare-cols" ]
+          ~doc:"Spare columns (0 .. 8), deployed by the BIRA strategies.")
+  in
   let trials_arg =
     Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Trials to run.")
   in
@@ -705,6 +738,17 @@ let campaign_cmd =
       & opt string "default"
       & info [ "mix" ]
           ~doc:"Fault-class mix: default (IFA), stuck-at or retention.")
+  in
+  let repair_arg =
+    Arg.(
+      value
+      & opt string "row-tlb"
+      & info [ "repair" ]
+          ~doc:
+            "Repair architecture per trial: row-tlb (the paper's row-only \
+             TLB flow), or a 2D BIRA allocator — bira-greedy, \
+             bira-essential or bira-bnb (branch and bound, provably \
+             optimal).")
   in
   let max_seconds_arg =
     Arg.(
@@ -908,9 +952,10 @@ let campaign_cmd =
   in
   let term =
     Term.(
-      const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ march_arg
-      $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg $ alpha_arg
-      $ mix_arg $ max_seconds_arg $ no_shrink_arg $ max_rounds_arg $ jobs_arg
+      const do_campaign $ c_words $ c_bpw $ c_bpc $ c_spares $ c_spare_cols
+      $ march_arg $ trials_arg $ seed_arg $ mode_arg $ nfaults_arg $ mean_arg
+      $ alpha_arg $ mix_arg $ repair_arg $ max_seconds_arg $ no_shrink_arg
+      $ max_rounds_arg $ jobs_arg
       $ batch_lanes_arg $ trace_arg $ metrics_arg $ stats_arg $ events_arg
       $ events_level_arg $ progress_arg $ status_file_arg $ replay_arg
       $ fail_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
@@ -1097,8 +1142,11 @@ let explore_cmd =
 (* ------------------------------------------------------------------ *)
 (* analyze: yield / reliability / power what-if *)
 
-let do_analyze process words bpw bpc spares drive strap march =
-  match build_config ~process ~words ~bpw ~bpc ~spares ~drive ~strap ~march with
+let do_analyze process words bpw bpc spares spare_cols drive strap march =
+  match
+    build_config ~process ~words ~bpw ~bpc ~spares ~spare_cols ~drive ~strap
+      ~march
+  with
   | Error e ->
       Printf.eprintf "bisramgen: %s\n" e;
       1
@@ -1124,6 +1172,20 @@ let do_analyze process words bpw bpc spares drive strap march =
           Printf.printf "  %5.1f mean defects -> %.4f\n" n
             (Bisram_yield.Repairable.yield geom ~mean_defects:n ~alpha:2.0))
         [ 0.5; 1.0; 2.0; 5.0; 10.0 ];
+      (* 2D line-cover yield, shown only when spare columns exist *)
+      if org.Org.spare_cols > 0 then begin
+        let g2 =
+          Bisram_yield.Repairable.make2 ~rows:(Org.rows org)
+            ~cols:(Org.cols org) ~spare_rows:org.Org.spares
+            ~spare_cols:org.Org.spare_cols
+        in
+        Printf.printf "\n2D (BIRA) array yield (alpha = 2):\n";
+        List.iter
+          (fun n ->
+            Printf.printf "  %5.1f mean defects -> %.4f\n" n
+              (Bisram_yield.Repairable.yield2 g2 ~mean_defects:n ~alpha:2.0))
+          [ 0.5; 1.0; 2.0; 5.0; 10.0 ]
+      end;
       (* reliability *)
       let lambda = 1e-10 in
       let rel = Bisram_rel.Reliability.of_org org ~lambda in
@@ -1152,7 +1214,7 @@ let analyze_cmd =
   let term =
     Term.(
       const do_analyze $ process_arg $ words_arg $ bpw_arg $ bpc_arg
-      $ spares_arg $ drive_arg $ strap_arg $ march_arg)
+      $ spares_arg $ spare_cols_arg $ drive_arg $ strap_arg $ march_arg)
   in
   Cmd.v
     (Cmd.info "analyze"

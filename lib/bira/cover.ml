@@ -1,0 +1,244 @@
+type problem = {
+  rows : int;
+  cols : int;
+  spare_rows : int;
+  spare_cols : int;
+  cells : (int * int) list;
+}
+
+type solution = { rep_rows : int list; rep_cols : int list }
+type verdict = Cover of solution | Uncoverable
+
+module type Allocator = sig
+  val name : string
+  val solve : problem -> verdict
+end
+
+let compare_cell (r1, c1) (r2, c2) =
+  match compare (r1 : int) r2 with 0 -> compare (c1 : int) c2 | d -> d
+
+let norm_cells cells = List.sort_uniq compare_cell cells
+
+let check p =
+  if p.rows <= 0 || p.cols <= 0 then
+    invalid_arg "Cover: rows and cols must be positive";
+  if p.spare_rows < 0 || p.spare_cols < 0 then
+    invalid_arg "Cover: spare budgets must be non-negative";
+  List.iter
+    (fun (r, c) ->
+      if r < 0 || r >= p.rows || c < 0 || c >= p.cols then
+        invalid_arg "Cover: fault cell outside the regular grid")
+    p.cells
+
+let covers p s =
+  List.length s.rep_rows <= p.spare_rows
+  && List.length s.rep_cols <= p.spare_cols
+  && List.for_all
+       (fun (r, c) -> List.mem r s.rep_rows || List.mem c s.rep_cols)
+       p.cells
+
+(* Per-line fault counts of a cell list, as sorted (index, count) assoc. *)
+let line_counts proj cells =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun cell ->
+      let l = proj cell in
+      Hashtbl.replace tbl l (1 + try Hashtbl.find tbl l with Not_found -> 0))
+    cells;
+  Hashtbl.fold (fun l n acc -> (l, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let remove_lines ~rows ~cols cells =
+  List.filter (fun (r, c) -> not (List.mem r rows || List.mem c cols)) cells
+
+(* Must-repair fixpoint: with [cb] columns still available, a row
+   holding more than [cb] uncovered faults cannot be column-covered, so
+   a row spare is forced (and symmetrically).  Forcing shrinks the
+   budgets, which may force further lines — iterate until stable. *)
+let must_repair p =
+  check p;
+  let rec go forced_r forced_c cells =
+    let rb = p.spare_rows - List.length forced_r
+    and cb = p.spare_cols - List.length forced_c in
+    if rb < 0 || cb < 0 then None
+    else
+      let new_r =
+        line_counts fst cells
+        |> List.filter_map (fun (r, n) -> if n > cb then Some r else None)
+      and new_c =
+        line_counts snd cells
+        |> List.filter_map (fun (c, n) -> if n > rb then Some c else None)
+      in
+      if new_r = [] && new_c = [] then
+        Some (List.sort compare forced_r, List.sort compare forced_c, cells)
+      else
+        go (new_r @ forced_r) (new_c @ forced_c)
+          (remove_lines ~rows:new_r ~cols:new_c cells)
+  in
+  go [] [] (norm_cells p.cells)
+
+(* Greedy core shared by Greedy and Essential: repeatedly replace the
+   line covering the most uncovered faults.  Ties go rows-before-cols,
+   then lower index.  Returns the extra lines chosen. *)
+let greedy_core ~rb ~cb cells =
+  let best counts =
+    List.fold_left
+      (fun acc (l, n) ->
+        match acc with Some (_, bn) when bn >= n -> acc | _ -> Some (l, n))
+      None counts
+  in
+  let rec go rb cb chosen_r chosen_c cells =
+    match cells with
+    | [] -> Some (chosen_r, chosen_c)
+    | _ ->
+        let br = if rb > 0 then best (line_counts fst cells) else None
+        and bc = if cb > 0 then best (line_counts snd cells) else None in
+        let pick =
+          match (br, bc) with
+          | None, None -> None
+          | Some r, None -> Some (`Row r)
+          | None, Some c -> Some (`Col c)
+          | Some ((_, rn) as r), Some ((_, cn) as c) ->
+              if rn >= cn then Some (`Row r) else Some (`Col c)
+        in
+        (match pick with
+        | None -> None
+        | Some (`Row (r, _)) ->
+            go (rb - 1) cb (r :: chosen_r) chosen_c
+              (remove_lines ~rows:[ r ] ~cols:[] cells)
+        | Some (`Col (c, _)) ->
+            go rb (cb - 1) chosen_r (c :: chosen_c)
+              (remove_lines ~rows:[] ~cols:[ c ] cells))
+  in
+  go rb cb [] [] cells
+
+module Greedy = struct
+  let name = "bira-greedy"
+
+  let solve p =
+    check p;
+    match greedy_core ~rb:p.spare_rows ~cb:p.spare_cols (norm_cells p.cells) with
+    | None -> Uncoverable
+    | Some (rs, cs) ->
+        Cover { rep_rows = List.sort compare rs; rep_cols = List.sort compare cs }
+end
+
+module Essential = struct
+  let name = "bira-essential"
+
+  (* After must-repair, a fault that is alone on both its row and its
+     column (an orphan single) gives greedy no leverage — any single
+     line covers exactly it.  Defer orphans, run greedy on the
+     structured residue, then spend leftover budget on the orphans
+     (row spares first). *)
+  let solve p =
+    match must_repair p with
+    | None -> Uncoverable
+    | Some (fr, fc, residue) -> (
+        let row_cnt = line_counts fst residue
+        and col_cnt = line_counts snd residue in
+        let count counts l = try List.assoc l counts with Not_found -> 0 in
+        let orphans, rest =
+          List.partition
+            (fun (r, c) -> count row_cnt r = 1 && count col_cnt c = 1)
+            residue
+        in
+        let rb = p.spare_rows - List.length fr
+        and cb = p.spare_cols - List.length fc in
+        match greedy_core ~rb ~cb rest with
+        | None -> Uncoverable
+        | Some (gr, gc) ->
+            let rb = ref (rb - List.length gr)
+            and cb = ref (cb - List.length gc) in
+            let rs = ref (fr @ gr) and cs = ref (fc @ gc) in
+            let ok =
+              List.for_all
+                (fun (r, c) ->
+                  if !rb > 0 then (decr rb; rs := r :: !rs; true)
+                  else if !cb > 0 then (decr cb; cs := c :: !cs; true)
+                  else false)
+                (List.sort compare_cell orphans)
+            in
+            if not ok then Uncoverable
+            else
+              Cover
+                {
+                  rep_rows = List.sort_uniq compare !rs;
+                  rep_cols = List.sort_uniq compare !cs;
+                })
+end
+
+module Exhaustive = struct
+  let name = "bira-bnb"
+
+  (* Branch and bound over the residual fault list.  The first
+     uncovered cell must be covered by its row or its column; explore
+     the row branch first so that among equal-size covers the
+     rows-before-columns one is found (and kept — later solutions must
+     be strictly smaller to displace it), making the result
+     deterministic.  Must-repair lines are in every feasible cover, so
+     forcing them first preserves optimality. *)
+  let solve p =
+    match must_repair p with
+    | None -> Uncoverable
+    | Some (fr, fc, residue) -> (
+        let rb0 = p.spare_rows - List.length fr
+        and cb0 = p.spare_cols - List.length fc in
+        let cells = Array.of_list (List.sort compare_cell residue) in
+        let n = Array.length cells in
+        let best = ref None in
+        let rec go i rs cs rb cb used =
+          let bound_ok =
+            match !best with Some (b, _) -> used < b | None -> true
+          in
+          if bound_ok then
+            if i >= n then best := Some (used, (rs, cs))
+            else
+              let r, c = cells.(i) in
+              if List.mem r rs || List.mem c cs then
+                go (i + 1) rs cs rb cb used
+              else begin
+                if rb > 0 then go (i + 1) (r :: rs) cs (rb - 1) cb (used + 1);
+                if cb > 0 then go (i + 1) rs (c :: cs) rb (cb - 1) (used + 1)
+              end
+        in
+        go 0 [] [] rb0 cb0 0;
+        match !best with
+        | None -> Uncoverable
+        | Some (_, (rs, cs)) ->
+            Cover
+              {
+                rep_rows = List.sort compare (fr @ rs);
+                rep_cols = List.sort compare (fc @ cs);
+              })
+end
+
+(* Test oracle: enumerate every within-budget subset of the candidate
+   lines (only lines that contain a fault matter).  Exponential — small
+   grids only. *)
+let brute_force p =
+  check p;
+  let cells = norm_cells p.cells in
+  let cand_rows = List.sort_uniq compare (List.map fst cells)
+  and cand_cols = List.sort_uniq compare (List.map snd cells) in
+  let rec subsets k = function
+    | [] -> [ [] ]
+    | x :: tl ->
+        let without = subsets k tl in
+        if k = 0 then without
+        else List.map (fun s -> x :: s) (subsets (k - 1) tl) @ without
+  in
+  let best = ref None in
+  List.iter
+    (fun rs ->
+      List.iter
+        (fun cs ->
+          let s = { rep_rows = rs; rep_cols = cs } in
+          if covers p s then
+            let sz = List.length rs + List.length cs in
+            match !best with
+            | Some (b, _) when b <= sz -> ()
+            | _ -> best := Some (sz, s))
+        (subsets p.spare_cols cand_cols))
+    (subsets p.spare_rows cand_rows);
+  match !best with None -> Uncoverable | Some (_, s) -> Cover s

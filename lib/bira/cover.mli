@@ -1,0 +1,64 @@
+(** The spare-allocation core of 2D built-in redundancy analysis.
+
+    A memory with [spare_rows] spare rows and [spare_cols] spare
+    columns is repairable iff the set of faulty cells can be covered by
+    at most [spare_rows] row lines plus [spare_cols] column lines — the
+    classic bipartite line-cover problem (NP-hard in general, tiny in
+    practice because spare budgets are single digits).
+
+    Every algorithm here is pure and deterministic: ties are broken
+    rows-before-columns and lower-index-first, so a given problem
+    always yields the same solution regardless of host parallelism. *)
+
+type problem = {
+  rows : int;  (** regular rows of the array *)
+  cols : int;  (** regular columns of the array *)
+  spare_rows : int;  (** row budget *)
+  spare_cols : int;  (** column budget *)
+  cells : (int * int) list;
+      (** distinct faulty cells [(row, col)]; all within the regular
+          grid.  Order is irrelevant (solvers sort internally). *)
+}
+
+type solution = {
+  rep_rows : int list;  (** rows to replace, strictly increasing *)
+  rep_cols : int list;  (** columns to replace, strictly increasing *)
+}
+
+type verdict = Cover of solution | Uncoverable
+
+(** A pluggable repair allocator.  [solve] must respect the budgets and
+    must be deterministic; it need not be optimal (only {!Exhaustive}
+    is).  A [Cover] answer is always a genuine cover of every cell. *)
+module type Allocator = sig
+  val name : string
+  val solve : problem -> verdict
+end
+
+(** Must-repair analysis: a row with more faulty cells than the
+    remaining column budget can only be covered by a row spare (and
+    symmetrically for columns).  Iterates to a fixpoint and returns the
+    forced lines plus the residual cells, or [None] when the forced
+    lines alone exceed a budget. *)
+val must_repair :
+  problem -> (int list * int list * (int * int) list) option
+
+(** Most-faults-first line selection (no must-repair pre-pass). *)
+module Greedy : Allocator
+
+(** Must-repair fixpoint, then single-orphan fault deferral, then
+    greedy on the residue. *)
+module Essential : Allocator
+
+(** Branch-and-bound over the fault list: provably finds a cover
+    whenever one exists, and among covers uses the fewest lines
+    (rows-before-columns on ties).  Exponential only in the spare
+    budget, which is at most 16 + 8. *)
+module Exhaustive : Allocator
+
+(** Reference oracle for tests: enumerate every subset of candidate
+    rows and columns within budget.  Only usable on small grids. *)
+val brute_force : problem -> verdict
+
+(** Does [s] cover every cell of [p] within budget?  (Test helper.) *)
+val covers : problem -> solution -> bool

@@ -1,0 +1,42 @@
+module Org = Bisram_sram.Org
+
+let assign ~spares ~burned lines =
+  let is_burned s = s < Array.length burned && burned.(s) in
+  let rec go next = function
+    | [] -> Some []
+    | line :: tl ->
+        let rec free s = if s >= spares then None
+          else if is_burned s then free (s + 1)
+          else Some s
+        in
+        (match free next with
+        | None -> None
+        | Some s -> (
+            match go (s + 1) tl with
+            | None -> None
+            | Some rest -> Some ((line, s) :: rest)))
+  in
+  go 0 (List.sort compare lines)
+
+let lookup_fn pairs base x =
+  match List.assoc_opt x pairs with Some s -> base + s | None -> x
+
+let row_remap org pairs =
+  let base = Org.rows org in
+  List.iter
+    (fun (row, s) ->
+      if row < 0 || row >= base then invalid_arg "Remap2d.row_remap: bad row";
+      if s < 0 || s >= org.Org.spares then
+        invalid_arg "Remap2d.row_remap: bad spare index")
+    pairs;
+  lookup_fn pairs base
+
+let col_remap org pairs =
+  let base = Org.cols org in
+  List.iter
+    (fun (col, s) ->
+      if col < 0 || col >= base then invalid_arg "Remap2d.col_remap: bad col";
+      if s < 0 || s >= org.Org.spare_cols then
+        invalid_arg "Remap2d.col_remap: bad spare index")
+    pairs;
+  lookup_fn pairs base

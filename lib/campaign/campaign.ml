@@ -7,6 +7,7 @@ module Injection = Bisram_faults.Injection
 module Repair = Bisram_bisr.Repair
 module Tlb = Bisram_bisr.Tlb
 module Repairable = Bisram_yield.Repairable
+module Bira = Bisram_bira.Bira
 module Proposal = Bisram_faults.Proposal
 module Obs = Bisram_obs.Obs
 module Events = Bisram_obs.Events
@@ -22,12 +23,26 @@ type mode =
   | Poisson of float
   | Clustered of { mean : float; alpha : float }
 
+(* Which repair architecture a trial exercises.  [Row_tlb] is the
+   paper's row-only TLB flow and the default; [Bira] runs the 2D
+   spare-row + spare-column flow with the named allocator. *)
+type repair = Row_tlb | Bira of Bira.strategy
+
+let repair_name = function
+  | Row_tlb -> "row-tlb"
+  | Bira s -> Bira.strategy_name s
+
+let repair_of_name = function
+  | "row-tlb" -> Some Row_tlb
+  | s -> Option.map (fun st -> Bira st) (Bira.strategy_of_name s)
+
 type config = {
   org : Org.t;
   march : March.t;
   mix : Injection.mix;
   mode : mode;
   proposal : Proposal.t option;
+  repair : repair;
   trials : int;
   seed : int;
   max_seconds : float option;
@@ -44,8 +59,8 @@ let count_model_of_mode = function
 
 let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
     ?march ?(mix = Injection.default_mix) ?(mode = Uniform 2) ?proposal
-    ?(trials = 100) ?(seed = 42) ?max_seconds ?(shrink = true)
-    ?(max_rounds = 8) () =
+    ?(repair = Row_tlb) ?(trials = 100) ?(seed = 42) ?max_seconds
+    ?(shrink = true) ?(max_rounds = 8) () =
   let march =
     match march with Some m -> m | None -> Bisram_bist.Algorithms.ifa_9
   in
@@ -71,8 +86,8 @@ let make_config ?(org = Org.make ~words:64 ~bpw:8 ~bpc:4 ~spares:4 ())
   Option.iter
     (fun p -> Proposal.validate ~nominal_mix:mix (count_model_of_mode mode) p)
     proposal;
-  { org; march; mix; mode; proposal; trials; seed; max_seconds; shrink
-  ; max_rounds }
+  { org; march; mix; mode; proposal; repair; trials; seed; max_seconds
+  ; shrink; max_rounds }
 
 (* ------------------------------------------------------------------ *)
 (* seed discipline *)
@@ -97,7 +112,9 @@ let rng_of_seed seed = Random.State.make [| 0xB15; seed |]
 (* fault drawing *)
 
 let draw_faults cfg rng =
-  let rows = Org.total_rows cfg.org and cols = Org.cols cfg.org in
+  (* the defect field covers the whole physical array, spare lines
+     included; with [spare_cols = 0] this is exactly the old grid *)
+  let rows = Org.total_rows cfg.org and cols = Org.total_cols cfg.org in
   match cfg.proposal with
   | Some p ->
       Proposal.draw p ~count:(count_model_of_mode cfg.mode) ~mix:cfg.mix rng
@@ -160,6 +177,7 @@ type verdicts = {
   iterated : Repair.outcome;
   rounds : int;
   cycles : int;
+  alloc : (int list * int list) option;
 }
 
 (* Flush the per-model access-regime counters into the telemetry
@@ -178,7 +196,84 @@ let flush_model_stats m =
   Obs.add "model.rows_migrated" s.Model.s_rows_migrated;
   Obs.add "model.rows_cleared" s.Model.s_rows_cleared
 
-let run_faults cfg faults =
+(* The BIRA analogue of the TLB trial below.  There is no
+   microprogrammed controller for the 2D flow, so the differential
+   oracle holds the packed-word comparator analog ([fast:true] fault
+   extraction) against the bit-by-bit reference, on outcome AND on the
+   allocation itself; [cycles] is 0.  The flow is inherently iterated
+   (spare burning), so the two-pass and iterated verdicts coincide, and
+   both armed models are swept for silent escapes. *)
+let run_faults_bira cfg strat faults =
+  let bgs = backgrounds cfg in
+  let mc = model_with cfg faults in
+  let c_res =
+    Obs.span ~cat:"campaign" "march" (fun () ->
+        Bira.run ~max_rounds:cfg.max_rounds ~fast:true strat mc cfg.march
+          ~backgrounds:bgs)
+  in
+  Pool.check_deadline ();
+  let mr = model_with cfg faults in
+  let r_res =
+    Obs.span ~cat:"campaign" "oracle" (fun () ->
+        Bira.run ~max_rounds:cfg.max_rounds ~fast:false strat mr cfg.march
+          ~backgrounds:bgs)
+  in
+  Pool.check_deadline ();
+  let anomalies = ref [] in
+  let push a = anomalies := a :: !anomalies in
+  let alloc_str = function
+    | None -> "none"
+    | Some a ->
+        Printf.sprintf "rows [%s] cols [%s]"
+          (String.concat "," (List.map string_of_int a.Bira.a_rows))
+          (String.concat "," (List.map string_of_int a.Bira.a_cols))
+  in
+  if not (outcome_equal c_res.Bira.b_outcome r_res.Bira.b_outcome) then
+    push
+      (Divergence
+         { detail =
+             Format.asprintf "outcome: controller %a, reference %a"
+               Repair.pp_outcome c_res.Bira.b_outcome Repair.pp_outcome
+               r_res.Bira.b_outcome
+         })
+  else if
+    success c_res.Bira.b_outcome && c_res.Bira.b_alloc <> r_res.Bira.b_alloc
+  then
+    push
+      (Divergence
+         { detail =
+             Printf.sprintf "BIRA alloc: controller %s, reference %s"
+               (alloc_str c_res.Bira.b_alloc)
+               (alloc_str r_res.Bira.b_alloc)
+         });
+  if success c_res.Bira.b_outcome then begin
+    match Obs.span ~cat:"campaign" "escape-sweep" (fun () -> Sweep.run mc) with
+    | [] -> ()
+    | mismatches -> push (Escape { flow = Two_pass; mismatches })
+  end;
+  if success r_res.Bira.b_outcome then begin
+    match Obs.span ~cat:"campaign" "escape-sweep" (fun () -> Sweep.run mr) with
+    | [] -> ()
+    | mismatches -> push (Escape { flow = Iterated; mismatches })
+  end;
+  if Obs.enabled () then begin
+    flush_model_stats mc;
+    flush_model_stats mr;
+    Obs.observe "campaign.repair_rounds" c_res.Bira.b_rounds
+  end;
+  ( { controller = c_res.Bira.b_outcome
+    ; reference = r_res.Bira.b_outcome
+    ; iterated = c_res.Bira.b_outcome
+    ; rounds = c_res.Bira.b_rounds
+    ; cycles = 0
+    ; alloc =
+        Option.map
+          (fun a -> (a.Bira.a_rows, a.Bira.a_cols))
+          c_res.Bira.b_alloc
+    }
+  , List.rev !anomalies )
+
+let run_faults_tlb cfg faults =
   let bgs = backgrounds cfg in
   (* fresh model per flow: each run mutates array contents and remap *)
   let mc = model_with cfg faults in
@@ -248,8 +343,14 @@ let run_faults cfg faults =
     ; iterated = it.Repair.i_outcome
     ; rounds = it.Repair.i_rounds
     ; cycles = report.Bisram_bist.Controller.cycles
+    ; alloc = None
     }
   , List.rev !anomalies )
+
+let run_faults cfg faults =
+  match cfg.repair with
+  | Row_tlb -> run_faults_tlb cfg faults
+  | Bira strat -> run_faults_bira cfg strat faults
 
 type trial = {
   t_index : int;  (** -1 for a replay outside a campaign *)
@@ -288,25 +389,52 @@ let check_escape cfg ~flow faults =
   let bgs = backgrounds cfg in
   let m = model_with cfg faults in
   let outcome =
-    match flow with
-    | Two_pass ->
-        let outcome, _, _ = Repair.run m cfg.march ~backgrounds:bgs in
-        outcome
-    | Iterated ->
-        (Repair.run_iterated_result ~max_rounds:cfg.max_rounds m cfg.march
+    match cfg.repair with
+    | Bira strat ->
+        (* under BIRA the two flow labels name the two extraction
+           sides: Two_pass carries the packed analog, Iterated the
+           bit-by-bit reference (see [run_faults_bira]) *)
+        let fast = match flow with Two_pass -> true | Iterated -> false in
+        (Bira.run ~max_rounds:cfg.max_rounds ~fast strat m cfg.march
            ~backgrounds:bgs)
-          .Repair.i_outcome
+          .Bira.b_outcome
+    | Row_tlb -> (
+        match flow with
+        | Two_pass ->
+            let outcome, _, _ = Repair.run m cfg.march ~backgrounds:bgs in
+            outcome
+        | Iterated ->
+            (Repair.run_iterated_result ~max_rounds:cfg.max_rounds m cfg.march
+               ~backgrounds:bgs)
+              .Repair.i_outcome)
   in
   success outcome && not (Sweep.clean m)
 
 let check_divergence cfg faults =
   let bgs = backgrounds cfg in
-  let mc = model_with cfg faults in
-  let controller, _, c_tlb = Repair.run mc cfg.march ~backgrounds:bgs in
-  let mr = model_with cfg faults in
-  let reference, r_tlb = Repair.run_reference mr cfg.march ~backgrounds:bgs in
-  (not (outcome_equal controller reference))
-  || (success controller && Tlb.mapped_rows c_tlb <> Tlb.mapped_rows r_tlb)
+  match cfg.repair with
+  | Bira strat ->
+      let mc = model_with cfg faults in
+      let c =
+        Bira.run ~max_rounds:cfg.max_rounds ~fast:true strat mc cfg.march
+          ~backgrounds:bgs
+      in
+      let mr = model_with cfg faults in
+      let r =
+        Bira.run ~max_rounds:cfg.max_rounds ~fast:false strat mr cfg.march
+          ~backgrounds:bgs
+      in
+      (not (outcome_equal c.Bira.b_outcome r.Bira.b_outcome))
+      || (success c.Bira.b_outcome && c.Bira.b_alloc <> r.Bira.b_alloc)
+  | Row_tlb ->
+      let mc = model_with cfg faults in
+      let controller, _, c_tlb = Repair.run mc cfg.march ~backgrounds:bgs in
+      let mr = model_with cfg faults in
+      let reference, r_tlb =
+        Repair.run_reference mr cfg.march ~backgrounds:bgs
+      in
+      (not (outcome_equal controller reference))
+      || (success controller && Tlb.mapped_rows c_tlb <> Tlb.mapped_rows r_tlb)
 
 let shrink_anomaly cfg anomaly faults =
   if not cfg.shrink then faults
@@ -430,17 +558,33 @@ type result = {
 }
 
 let analytic_yield cfg =
-  let regular_rows = Org.rows cfg.org and spares = cfg.org.Org.spares in
-  let g =
-    if spares = 0 then Repairable.bare ~regular_rows
-    else
-      Repairable.make ~regular_rows ~spares ~logic_fraction:0.0
-        ~growth_factor:1.0
-  in
-  match cfg.mode with
-  | Uniform n -> Repairable.p_repairable g n
-  | Poisson mean -> Repairable.yield_poisson g ~mean_defects:mean
-  | Clustered { mean; alpha } -> Repairable.yield g ~mean_defects:mean ~alpha
+  match cfg.repair with
+  | Bira _ ->
+      (* 2D repair: the row-only closed form does not apply, so the
+         report embeds the deterministic seeded Monte-Carlo estimate
+         with the exact cover predicate *)
+      let g2 =
+        Repairable.make2 ~rows:(Org.rows cfg.org) ~cols:(Org.cols cfg.org)
+          ~spare_rows:cfg.org.Org.spares ~spare_cols:cfg.org.Org.spare_cols
+      in
+      (match cfg.mode with
+      | Uniform n -> Repairable.p_repairable2 g2 n
+      | Poisson mean -> Repairable.yield2_poisson g2 ~mean_defects:mean
+      | Clustered { mean; alpha } ->
+          Repairable.yield2 g2 ~mean_defects:mean ~alpha)
+  | Row_tlb -> (
+      let regular_rows = Org.rows cfg.org and spares = cfg.org.Org.spares in
+      let g =
+        if spares = 0 then Repairable.bare ~regular_rows
+        else
+          Repairable.make ~regular_rows ~spares ~logic_fraction:0.0
+            ~growth_factor:1.0
+      in
+      match cfg.mode with
+      | Uniform n -> Repairable.p_repairable g n
+      | Poisson mean -> Repairable.yield_poisson g ~mean_defects:mean
+      | Clustered { mean; alpha } ->
+          Repairable.yield g ~mean_defects:mean ~alpha)
 
 let failure_of_anomaly cfg trial anomaly =
   let f_kind, f_flow, f_detail =
@@ -560,11 +704,18 @@ let config_json cfg =
   J.Obj
     ([ ( "org"
        , J.Obj
-           [ ("words", J.Int cfg.org.Org.words)
-           ; ("bpw", J.Int cfg.org.Org.bpw)
-           ; ("bpc", J.Int cfg.org.Org.bpc)
-           ; ("spares", J.Int cfg.org.Org.spares)
-           ] )
+           ([ ("words", J.Int cfg.org.Org.words)
+            ; ("bpw", J.Int cfg.org.Org.bpw)
+            ; ("bpc", J.Int cfg.org.Org.bpc)
+            ; ("spares", J.Int cfg.org.Org.spares)
+            ]
+           (* like [proposal] below: the key appears only when the
+              organization actually has spare columns, so every
+              row-only config keeps its historical bytes *)
+           @
+           if cfg.org.Org.spare_cols > 0 then
+             [ ("spare_cols", J.Int cfg.org.Org.spare_cols) ]
+           else []) )
      ; ("march", J.String cfg.march.March.name)
      ; ("mix", mix_json cfg.mix)
      ; ("mode", mode_json cfg.mode)
@@ -575,6 +726,9 @@ let config_json cfg =
     @ (match cfg.proposal with
       | None -> []
       | Some p -> [ ("proposal", proposal_json p) ])
+    @ (match cfg.repair with
+      | Row_tlb -> []
+      | r -> [ ("repair", J.String (repair_name r)) ])
     @ [ ("trials", J.Int cfg.trials)
       ; ("seed", J.Int cfg.seed)
       ; ( "max_seconds"
@@ -717,6 +871,9 @@ and rc_body =
       rc_two_pass : string;
       rc_iterated : string;
       rc_rounds : int;
+      rc_alloc : (int list * int list) option;
+          (** BIRA spare allocation (rows, cols); [None] for the TLB
+              flow and for unrepaired trials *)
       rc_failures : failure list;  (** per-trial, anomaly order *)
     }
   | Rc_error of string
@@ -730,8 +887,19 @@ let record_json r =
         @ [ ("two_pass", J.String o.rc_two_pass)
           ; ("iterated", J.String o.rc_iterated)
           ; ("rounds", J.Int o.rc_rounds)
-          ; ("failures", J.List (List.map failure_json o.rc_failures))
-          ])
+          ]
+        (* only BIRA trials carry an allocation, so TLB records keep
+           their historical bytes *)
+        @ (match o.rc_alloc with
+          | None -> []
+          | Some (rows, cols) ->
+              [ ( "alloc"
+                , J.Obj
+                    [ ("rows", J.List (List.map (fun r -> J.Int r) rows))
+                    ; ("cols", J.List (List.map (fun c -> J.Int c) cols))
+                    ] )
+              ])
+        @ [ ("failures", J.List (List.map failure_json o.rc_failures)) ])
   | Rc_error e -> J.Obj (common @ [ ("error", J.String e) ])
 
 let record_of_json j =
@@ -745,12 +913,25 @@ let record_of_json j =
       if not (class_known rc_two_pass && class_known rc_iterated) then None
       else
         let* rc_rounds = field_int "rounds" j in
+        let* rc_alloc =
+          match J.member "alloc" j with
+          | None -> Some None
+          | Some a ->
+              let int_of = function J.Int i -> Some i | _ -> None in
+              let* rl = field_list "rows" a in
+              let* cl = field_list "cols" a in
+              let* rows = all_opt int_of rl in
+              let* cols = all_opt int_of cl in
+              Some (Some (rows, cols))
+        in
         let* failures = field_list "failures" j in
         let* rc_failures = all_opt failure_of_json failures in
         Some
           { rc_index
           ; rc_seed
-          ; rc_body = Rc_ok { rc_two_pass; rc_iterated; rc_rounds; rc_failures }
+          ; rc_body =
+              Rc_ok
+                { rc_two_pass; rc_iterated; rc_rounds; rc_alloc; rc_failures }
           }
 
 let compute_record cfg ~index =
@@ -765,6 +946,7 @@ let compute_record cfg ~index =
         { rc_two_pass = outcome_class trial.t_verdicts.controller
         ; rc_iterated = outcome_class trial.t_verdicts.iterated
         ; rc_rounds = trial.t_verdicts.rounds
+        ; rc_alloc = trial.t_verdicts.alloc
         ; rc_failures
         }
   }
@@ -810,6 +992,7 @@ let clean_body =
     { rc_two_pass = "passed_clean"
     ; rc_iterated = "passed_clean"
     ; rc_rounds = 1
+    ; rc_alloc = None
     ; rc_failures = []
     }
 
@@ -1374,6 +1557,18 @@ let run ?now ?(jobs = 1) ?(lanes = 1) ?(should_stop = fun () -> false)
                   (1
                   + Option.value ~default:0
                       (Hashtbl.find_opt rounds o.rc_rounds));
+                (* allocation decisions, like the anomaly sub-stream
+                   below, are emitted here in strict trial order on the
+                   calling domain — jobs/lanes-invariant *)
+                (match o.rc_alloc with
+                | Some (arows, acols) when Events.would_log Events.Info ->
+                    Events.emit ~domain:"campaign" "trial.bira_alloc"
+                      [ ("trial", J.Int rc.rc_index)
+                      ; ("seed", J.Int rc.rc_seed)
+                      ; ("rows", J.List (List.map (fun r -> J.Int r) arows))
+                      ; ("cols", J.List (List.map (fun c -> J.Int c) acols))
+                      ]
+                | _ -> ());
                 List.iter
                   (fun f ->
                     if String.equal f.f_kind "escape" then

@@ -34,6 +34,20 @@ type mode =
   | Clustered of { mean : float; alpha : float }
       (** negative-binomial (clustered) count *)
 
+(** Per-trial repair architecture.  [Row_tlb] is the paper's row-only
+    TLB flow (the default, and the only flow with a microprogrammed
+    controller); [Bira s] runs the 2D spare-row + spare-column flow of
+    {!Bisram_bira.Bira} with allocator [s], holding the packed-word
+    comparator analog against the bit-by-bit reference as the
+    differential oracle. *)
+type repair = Row_tlb | Bira of Bisram_bira.Bira.strategy
+
+val repair_name : repair -> string
+(** ["row-tlb"], ["bira-greedy"], ["bira-essential"], ["bira-bnb"] —
+    the CLI and report spellings. *)
+
+val repair_of_name : string -> repair option
+
 type config = {
   org : Bisram_sram.Org.t;
   march : Bisram_bist.March.t;
@@ -43,6 +57,7 @@ type config = {
       (** biased trial sampling for rare-event estimation; [None] =
           nominal draws, weight 1 everywhere (identity proposals are
           normalized to [None] by {!make_config}) *)
+  repair : repair;
   trials : int;
   seed : int;
   max_seconds : float option;  (** wall-clock budget; [None] = unbounded *)
@@ -65,6 +80,7 @@ val make_config :
   ?mix:Bisram_faults.Injection.mix ->
   ?mode:mode ->
   ?proposal:Bisram_faults.Proposal.t ->
+  ?repair:repair ->
   ?trials:int ->
   ?seed:int ->
   ?max_seconds:float ->
@@ -102,7 +118,10 @@ type verdicts = {
   reference : Bisram_bisr.Repair.outcome;
   iterated : Bisram_bisr.Repair.outcome;
   rounds : int;
-  cycles : int;
+  cycles : int;  (** 0 under BIRA (no microprogrammed controller) *)
+  alloc : (int list * int list) option;
+      (** the armed BIRA allocation (repaired rows, repaired columns);
+          [None] for TLB trials and unrepaired BIRA trials *)
 }
 
 type trial = {

@@ -61,24 +61,43 @@ let area_report cfg macros floorplan ~base_module_mm2 =
   let p = cfg.Config.process in
   let org = cfg.Config.org in
   let rows = Org.rows org and total = Org.total_rows org in
+  let cols = Org.cols org and total_cols = Org.total_cols org in
+  (* 2D regular fractions: the array carries spare rows and spare
+     columns; row periphery scales with rows, per-column periphery
+     (precharge) with physical columns.  With spare_cols = 0 both
+     column factors are exactly 1.0 and every formula reduces to the
+     historical row-only accounting bit-for-bit. *)
   let frac_regular = float_of_int rows /. float_of_int total in
+  let frac_regular_cols = float_of_int cols /. float_of_int total_cols in
   let a m = mm2 p (Macro.area m) in
   let array_total = a macros.Macros.ram_array in
   let row_periph_total =
     a macros.Macros.row_decoder +. a macros.Macros.wl_drivers
   in
-  let array_mm2 = array_total *. frac_regular in
+  let array_mm2 = array_total *. frac_regular *. frac_regular_cols in
   let base_mm2 =
     array_mm2
     +. (row_periph_total *. frac_regular)
-    +. a macros.Macros.precharge +. a macros.Macros.column_mux
+    +. (a macros.Macros.precharge *. frac_regular_cols)
+    +. a macros.Macros.column_mux
     +. a macros.Macros.sense_amps +. a macros.Macros.column_decoder
   in
   let logic_mm2 =
     a macros.Macros.addgen +. a macros.Macros.datagen +. a macros.Macros.tlb
+    +. (match macros.Macros.csteer with Some m -> a m | None -> 0.0)
     +. a macros.Macros.trpla +. a macros.Macros.streg
   in
-  let spare_mm2 = (array_total +. row_periph_total) *. (1.0 -. frac_regular) in
+  let spare_mm2 =
+    (* the row-only branch keeps the historical expression so existing
+       reports stay byte-identical (distributing the product would
+       perturb the last ulp) *)
+    if org.Org.spare_cols = 0 then
+      (array_total +. row_periph_total) *. (1.0 -. frac_regular)
+    else
+      (array_total *. (1.0 -. (frac_regular *. frac_regular_cols)))
+      +. (row_periph_total *. (1.0 -. frac_regular))
+      +. (a macros.Macros.precharge *. (1.0 -. frac_regular_cols))
+  in
   let module_mm2 =
     mm2 p
       (Bisram_geometry.Rect.area floorplan.Floorplan.placement.Bisram_pr.Placer.bbox)
@@ -204,6 +223,9 @@ let datasheet t =
   p "capacity          : %.0f Kb (%.1f KB)" (Org.kilobits org)
     (Org.kilobits org /. 8.0);
   p "rows              : %d regular + %d spare" (Org.rows org) org.Org.spares;
+  if org.Org.spare_cols > 0 then
+    p "columns           : %d regular + %d spare (2D BIRA repair)"
+      (Org.cols org) org.Org.spare_cols;
   p "process           : %s" cfg.Config.process.Pr.name;
   p "march algorithm   : %s" cfg.Config.march.March.name;
   p "backgrounds       : %d (Johnson counter)" t.ctl_report.backgrounds;
@@ -241,7 +263,9 @@ let datasheet t =
   p "base RAM area     : %.3f mm^2" t.area.base_mm2;
   p "BIST/BISR logic   : %.4f mm^2 (%.2f%% overhead)" t.area.logic_mm2
     t.area.overhead_logic_pct;
-  p "spare rows        : %.4f mm^2" t.area.spare_mm2;
+  (if t.config.Config.org.Org.spare_cols > 0 then
+     p "spare rows+cols   : %.4f mm^2" t.area.spare_mm2
+   else p "spare rows        : %.4f mm^2" t.area.spare_mm2);
   p "total overhead    : %.2f%% vs the plain module (growth factor %.3f)"
     t.area.overhead_total_pct t.area.growth_factor;
   p "";

@@ -6,7 +6,7 @@ type t = {
   march : Bisram_bist.March.t;
 }
 
-let make ?(spares = 4) ?(drive = 2) ?(strap = 32)
+let make ?(spares = 4) ?(spare_cols = 0) ?(drive = 2) ?(strap = 32)
     ?(march = Bisram_bist.Algorithms.ifa_9) ~process ~words ~bpw ~bpc () =
   if not (Bisram_tech.Process.supports_bisr process) then
     invalid_arg
@@ -16,7 +16,7 @@ let make ?(spares = 4) ?(drive = 2) ?(strap = 32)
          process.Bisram_tech.Process.metal_layers);
   if drive < 1 || drive > 8 then invalid_arg "Config.make: drive must be 1..8";
   if strap < 0 then invalid_arg "Config.make: strap must be >= 0";
-  let org = Bisram_sram.Org.make ~spares ~words ~bpw ~bpc () in
+  let org = Bisram_sram.Org.make ~spares ~spare_cols ~words ~bpw ~bpc () in
   { process; org; drive; strap; march }
 
 let backgrounds t =

@@ -13,9 +13,11 @@ type t = {
 (** @raise Invalid_argument when the process has fewer than three metal
     layers (BISR needs over-the-cell metal-3 routing), when [drive] is
     not in [1,8] or when [strap] is negative.  [march] defaults to
-    IFA-9, [drive] to 2, [strap] to 32, [spares] to 4. *)
+    IFA-9, [drive] to 2, [strap] to 32, [spares] to 4, [spare_cols]
+    to 0 (row-only redundancy, the paper's scheme). *)
 val make :
-  ?spares:int -> ?drive:int -> ?strap:int -> ?march:Bisram_bist.March.t ->
+  ?spares:int -> ?spare_cols:int -> ?drive:int -> ?strap:int ->
+  ?march:Bisram_bist.March.t ->
   process:Bisram_tech.Process.t -> words:int -> bpw:int -> bpc:int -> unit -> t
 
 (** The data backgrounds the Johnson counter applies: bpw/2 + 1. *)

@@ -27,7 +27,9 @@ let parse text =
                [ (String.lowercase_ascii key, value) ])
 
 let known_keys =
-  [ "process"; "words"; "bpw"; "bpc"; "spares"; "drive"; "strap"; "march" ]
+  [ "process"; "words"; "bpw"; "bpc"; "spares"; "spare_cols"; "drive"
+  ; "strap"; "march"
+  ]
 
 let to_config kvs =
   match
@@ -47,6 +49,7 @@ let to_config kvs =
       let* bpw = int_of "bpw" "128" in
       let* bpc = int_of "bpc" "8" in
       let* spares = int_of "spares" "4" in
+      let* spare_cols = int_of "spare_cols" "0" in
       let* drive = int_of "drive" "2" in
       let* strap = int_of "strap" "32" in
       let process_name = get "process" "CDA.7u3m1p" in
@@ -65,7 +68,8 @@ let to_config kvs =
             | exception Invalid_argument e -> Error e)
       in
       match
-        Config.make ~spares ~drive ~strap ~march ~process ~words ~bpw ~bpc ()
+        Config.make ~spares ~spare_cols ~drive ~strap ~march ~process ~words
+          ~bpw ~bpc ()
       with
       | cfg -> Ok cfg
       | exception Invalid_argument e -> Error e)

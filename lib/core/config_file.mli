@@ -7,6 +7,7 @@
     bpw     = 128
     bpc     = 8
     spares  = 4
+    spare_cols = 0
     drive   = 2
     strap   = 32
     march   = IFA-9

@@ -19,6 +19,7 @@ type t = {
   addgen : Macro.t;
   datagen : Macro.t;
   tlb : Macro.t;
+  csteer : Macro.t option;
   trpla : Macro.t;
   streg : Macro.t;
 }
@@ -35,10 +36,11 @@ let cell_h = 20
 let strap_w = 8
 
 (* The RAM core: subarrays of [strap] columns separated by strap
-   columns, [total_rows] tall, odd rows mirrored to share rails. *)
+   columns, [total_cols] wide and [total_rows] tall (spare lines are
+   ordinary cells), odd rows mirrored to share rails. *)
 let ram_array cfg =
   let org = cfg.Config.org in
-  let cols = Org.cols org and rows = Org.total_rows org in
+  let cols = Org.total_cols org and rows = Org.total_rows org in
   let cell = Leaf.sram_6t () in
   let strap_cell = Leaf.strap ~w:strap_w in
   let group = if cfg.Config.strap = 0 then cols else min cfg.Config.strap cols in
@@ -65,8 +67,10 @@ let ram_array cfg =
   done;
   Macro.make ~name:"RAMARRAY" (List.rev !elements)
 
+(* Per-physical-column periphery spans the spare columns too: a spare
+   column is only usable if its bitlines precharge like any other. *)
 let column_peripheral cfg ~name cell =
-  let cols = Org.cols cfg.Config.org in
+  let cols = Org.total_cols cfg.Config.org in
   Macro.make ~name [ Macro.array ~origin:P.zero ~nx:cols ~ny:1 cell ]
 
 let generate cfg ~pla =
@@ -138,6 +142,23 @@ let generate cfg ~pla =
           encoder
       ]
   in
+  (* Column steering (BIRA only): per spare column, a 2:1 steering mux
+     per data I/O plus a CAM word on the physical column address that
+     holds the allocated column — the column analogue of the TLB. *)
+  let csteer =
+    if org.Org.spare_cols = 0 then None
+    else
+      let cb = max 1 (log2i (Org.cols org)) in
+      let mux = Leaf.column_mux ~bpc:2 in
+      Some
+        (Macro.make ~name:"CSTEER"
+           [ Macro.array ~origin:P.zero ~nx:org.Org.bpw ~ny:org.Org.spare_cols
+               mux
+           ; Macro.array
+               ~origin:(P.make (org.Org.bpw * Cell.width mux) 0)
+               ~nx:cb ~ny:org.Org.spare_cols (Leaf.cam_bit ())
+           ])
+  in
   let trpla =
     Macro.make ~name:"TRPLA"
       [ Macro.inst
@@ -159,6 +180,7 @@ let generate cfg ~pla =
   ; addgen
   ; datagen
   ; tlb
+  ; csteer
   ; trpla
   ; streg
   }
@@ -174,9 +196,11 @@ let to_list t =
   ; ("ADDGEN", t.addgen)
   ; ("DATAGEN", t.datagen)
   ; ("TLB", t.tlb)
-  ; ("TRPLA", t.trpla)
-  ; ("STREG", t.streg)
   ]
+  @ (match t.csteer with Some m -> [ ("CSTEER", m) ] | None -> [])
+  @ [ ("TRPLA", t.trpla)
+    ; ("STREG", t.streg)
+    ]
 
 (* Floorplanner view: representative pins encode the module netlist so
    the placer's port-alignment heuristic pulls connected blocks
@@ -220,6 +244,11 @@ let blocks t =
     ; block_of "ADDGEN" t.addgen [ ("addr", Port.North); ("ctl", Port.West) ]
     ; block_of "TLB" t.tlb
         [ ("addr", Port.South); ("saddr", Port.East); ("ctl", Port.West) ]
-    ; block_of "TRPLA" t.trpla [ ("ctl", Port.East); ("status", Port.South) ]
+    ]
+  @ (match t.csteer with
+    | Some m ->
+        [ block_of "CSTEER" m [ ("muxio", Port.North); ("ctl", Port.West) ] ]
+    | None -> [])
+  @ [ block_of "TRPLA" t.trpla [ ("ctl", Port.East); ("status", Port.South) ]
     ; block_of "STREG" t.streg [ ("status", Port.North) ]
     ]

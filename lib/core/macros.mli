@@ -15,6 +15,9 @@ type t = {
   addgen : Bisram_layout.Macro.t;
   datagen : Bisram_layout.Macro.t;
   tlb : Bisram_layout.Macro.t;
+  csteer : Bisram_layout.Macro.t option;
+      (** column steering muxes + allocation CAM; present iff the
+          organization has spare columns *)
   trpla : Bisram_layout.Macro.t;
   streg : Bisram_layout.Macro.t;
 }

@@ -53,12 +53,29 @@ let yield_json (p : Spec.point) (d : Compiler.t) =
   let bare =
     Stapper.stapper_yield ~mean_defects:p.Spec.mean_defects ~alpha:p.Spec.alpha
   in
+  (* 2D line-cover yield, only for organizations that carry spare
+     columns (row-only orgs keep the exact historical rendering) *)
+  let two_d =
+    if p.Spec.org.Org.spare_cols = 0 then []
+    else
+      let g2 =
+        Repairable.make2 ~rows:(Org.rows p.Spec.org)
+          ~cols:(Org.cols p.Spec.org) ~spare_rows:p.Spec.org.Org.spares
+          ~spare_cols:p.Spec.org.Org.spare_cols
+      in
+      [ ( "repairable2"
+        , J.Float
+            (Repairable.yield2 g2 ~mean_defects:p.Spec.mean_defects
+               ~alpha:p.Spec.alpha) )
+      ]
+  in
   J.Obj
-    [ ("repairable", J.Float y)
-    ; ("repairable_poisson", J.Float yp)
-    ; ("stapper_bare", J.Float bare)
-    ; ("gain_vs_bare", J.Float (y /. bare))
-    ]
+    ([ ("repairable", J.Float y)
+     ; ("repairable_poisson", J.Float yp)
+     ; ("stapper_bare", J.Float bare)
+     ; ("gain_vs_bare", J.Float (y /. bare))
+     ]
+    @ two_d)
 
 let cost_json (spec : Spec.t) (p : Spec.point) (d : Compiler.t) =
   let a = d.Compiler.area in
@@ -133,23 +150,36 @@ let campaign_json (spec : Spec.t) (p : Spec.point) =
   if not (Org.simulable p.Spec.org) then
     J.Obj [ ("simulable", J.Bool false) ]
   else begin
+    let repair =
+      match Campaign.repair_of_name spec.Spec.repair with
+      | Some r -> r
+      | None ->
+          (* Spec.of_string validated the spelling already *)
+          invalid_arg ("Explore: unknown repair strategy " ^ spec.Spec.repair)
+    in
     let cfg =
       Campaign.make_config ~org:p.Spec.org ~march:spec.Spec.march
         ~mode:(Campaign.Clustered { mean = p.Spec.mean_defects; alpha = p.Spec.alpha })
         ~trials:spec.Spec.campaign_trials ~seed:spec.Spec.campaign_seed
-        ~shrink:false ()
+        ~repair ~shrink:false ()
     in
     (* sequential inside the pool worker: points are the parallel axis *)
     let r = Campaign.run ~jobs:1 cfg in
     J.Obj
-      [ ("simulable", J.Bool true)
-      ; ("trials", J.Int r.Campaign.trials_run)
-      ; ("repair_rate_two_pass", J.Float r.Campaign.observed_yield_two_pass)
-      ; ("repair_rate_iterated", J.Float r.Campaign.observed_yield_iterated)
-      ; ("analytic_yield", J.Float r.Campaign.analytic_yield)
-      ; ("escapes", J.Int (List.length r.Campaign.escapes))
-      ; ("divergences", J.Int (List.length r.Campaign.divergences))
-      ]
+      ([ ("simulable", J.Bool true)
+       ; ("trials", J.Int r.Campaign.trials_run)
+       ]
+      @ (* only spelled for a non-default strategy, so cached row-tlb
+           evaluations from older sweeps keep their exact rendering *)
+      (match repair with
+      | Campaign.Row_tlb -> []
+      | _ -> [ ("repair", J.String (Campaign.repair_name repair)) ])
+      @ [ ("repair_rate_two_pass", J.Float r.Campaign.observed_yield_two_pass)
+        ; ("repair_rate_iterated", J.Float r.Campaign.observed_yield_iterated)
+        ; ("analytic_yield", J.Float r.Campaign.analytic_yield)
+        ; ("escapes", J.Int (List.length r.Campaign.escapes))
+        ; ("divergences", J.Int (List.length r.Campaign.divergences))
+        ])
   end
 
 let compute spec p design = function
@@ -257,6 +287,7 @@ let eval_field r i ~evaluator ~field =
 let objective_specs =
   [ ("cost_per_good_die", "cost", "cost_per_good_die", Pareto.Minimize)
   ; ("repairable_yield", "yield", "repairable", Pareto.Maximize)
+  ; ("repair_rate", "campaign", "repair_rate_iterated", Pareto.Maximize)
   ; ("mttf_h", "reliability", "mttf_h", Pareto.Maximize)
   ; ("overhead_total_pct", "area", "overhead_total_pct", Pareto.Minimize)
   ]
@@ -365,11 +396,16 @@ let rank_members r members =
 
 let org_json (org : Org.t) =
   J.Obj
-    [ ("words", J.Int org.Org.words)
-    ; ("bpw", J.Int org.Org.bpw)
-    ; ("bpc", J.Int org.Org.bpc)
-    ; ("spares", J.Int org.Org.spares)
-    ]
+    ([ ("words", J.Int org.Org.words)
+     ; ("bpw", J.Int org.Org.bpw)
+     ; ("bpc", J.Int org.Org.bpc)
+     ; ("spares", J.Int org.Org.spares)
+     ]
+    @
+    (* spelled only when present, like the campaign report's org echo *)
+    if org.Org.spare_cols > 0 then
+      [ ("spare_cols", J.Int org.Org.spare_cols) ]
+    else [])
 
 let objective_fields r i =
   List.map
@@ -414,10 +450,16 @@ let best_spares_json r =
              , J.List
                  (List.map
                     (fun i ->
+                      let org = r.points.(i).Spec.org in
+                      let sc =
+                        if org.Org.spare_cols > 0 then
+                          [ ("spare_cols", J.Int org.Org.spare_cols) ]
+                        else []
+                      in
                       J.Obj
-                        (("spares", J.Int r.points.(i).Spec.org.Org.spares)
-                         :: ("index", J.Int i)
-                         :: objective_fields r i))
+                        ((("spares", J.Int org.Org.spares) :: sc)
+                        @ ("index", J.Int i)
+                          :: objective_fields r i))
                     ranking) )
            ; ("best_spares", best)
            ])

@@ -11,6 +11,7 @@ type t = {
   bpw : int list;
   bpc : int list;
   spares : int list;
+  spare_cols : int list;
   mean_defects : float list;
   alpha : float list;
   lambda : float list;
@@ -22,6 +23,7 @@ type t = {
   evaluators : string list;
   campaign_trials : int;
   campaign_seed : int;
+  repair : string;
 }
 
 type point = {
@@ -39,6 +41,7 @@ let default =
   ; bpw = [ 4 ]
   ; bpc = [ 4 ]
   ; spares = [ 0; 4; 8; 16 ]
+  ; spare_cols = [ 0 ]
   ; mean_defects = [ 0.5; 1.0; 2.0; 5.0; 10.0 ]
   ; alpha = [ 2.0 ]
   ; lambda = [ 1e-10 ]
@@ -51,16 +54,21 @@ let default =
   ; evaluators = [ "area"; "yield"; "cost"; "reliability" ]
   ; campaign_trials = 0
   ; campaign_seed = 42
+  ; repair = "row-tlb"
   }
+
+(* same strategy-name surface as the campaign CLI; spec only validates
+   the spelling — resolution to an allocator happens in the evaluator *)
+let known_repairs = [ "row-tlb"; "bira-greedy"; "bira-essential"; "bira-bnb" ]
 
 (* ------------------------------------------------------------------ *)
 (* parsing (same key = value surface syntax as Config_file, with
    comma-separated lists for the range keys) *)
 
 let known_keys =
-  [ "words"; "bpw"; "bpc"; "spares"; "mean_defects"; "alpha"; "lambda"
-  ; "process"; "march"; "drive"; "strap"; "chip"; "evaluators"
-  ; "campaign_trials"; "campaign_seed"
+  [ "words"; "bpw"; "bpc"; "spares"; "spare_cols"; "mean_defects"; "alpha"
+  ; "lambda"; "process"; "march"; "drive"; "strap"; "chip"; "evaluators"
+  ; "campaign_trials"; "campaign_seed"; "repair"
   ]
 
 let parse_kvs text =
@@ -150,6 +158,7 @@ let of_string text =
           let* bpw = ints "bpw" default.bpw in
           let* bpc = ints "bpc" default.bpc in
           let* spares = ints "spares" default.spares in
+          let* spare_cols = ints "spare_cols" default.spare_cols in
           let* mean_defects =
             Result.bind (floats "mean_defects" default.mean_defects)
               (check_range "mean_defects" (fun v -> v >= 0.0))
@@ -216,6 +225,17 @@ let of_string text =
                            (fun e -> List.mem e named)
                            known_evaluators))
           in
+          let* repair =
+            match get "repair" with
+            | None -> Ok default.repair
+            | Some s ->
+                if List.mem s known_repairs then Ok s
+                else
+                  Error
+                    (Printf.sprintf
+                       "key \"repair\": unknown strategy %S (expected %s)" s
+                       (String.concat ", " known_repairs))
+          in
           let* () =
             if campaign_trials < 0 then
               Error "key \"campaign_trials\": must be >= 0"
@@ -226,9 +246,9 @@ let of_string text =
             else Ok ()
           in
           Ok
-            { words; bpw; bpc; spares; mean_defects; alpha; lambda; process
-            ; march; drive; strap; chip; evaluators; campaign_trials
-            ; campaign_seed
+            { words; bpw; bpc; spares; spare_cols; mean_defects; alpha
+            ; lambda; process; march; drive; strap; chip; evaluators
+            ; campaign_trials; campaign_seed; repair
             })
 
 (* ------------------------------------------------------------------ *)
@@ -244,24 +264,27 @@ let expand (t : t) =
             (fun bpc ->
               List.iter
                 (fun spares ->
-                  match Org.make ~spares ~words ~bpw ~bpc () with
-                  | exception Invalid_argument _ -> incr skipped
-                  | org ->
-                      List.iter
-                        (fun mean_defects ->
+                  List.iter
+                    (fun spare_cols ->
+                      match Org.make ~spares ~spare_cols ~words ~bpw ~bpc () with
+                      | exception Invalid_argument _ -> incr skipped
+                      | org ->
                           List.iter
-                            (fun alpha ->
+                            (fun mean_defects ->
                               List.iter
-                                (fun lambda ->
-                                  points :=
-                                    { index = !index; org; mean_defects
-                                    ; alpha; lambda
-                                    }
-                                    :: !points;
-                                  incr index)
-                                t.lambda)
-                            t.alpha)
-                        t.mean_defects)
+                                (fun alpha ->
+                                  List.iter
+                                    (fun lambda ->
+                                      points :=
+                                        { index = !index; org; mean_defects
+                                        ; alpha; lambda
+                                        }
+                                        :: !points;
+                                      incr index)
+                                    t.lambda)
+                                t.alpha)
+                            t.mean_defects)
+                    t.spare_cols)
                 t.spares)
             t.bpc)
         t.bpw)
@@ -279,8 +302,12 @@ let config_of_point t p =
 let fk = Printf.sprintf "%.17g"
 
 let org_key org =
-  Printf.sprintf "w%d.b%d.c%d.s%d" org.Org.words org.Org.bpw org.Org.bpc
+  (* the spare-column suffix appears only when non-zero so cache entries
+     from row-only sweeps stay addressable under the same key *)
+  Printf.sprintf "w%d.b%d.c%d.s%d%s" org.Org.words org.Org.bpw org.Org.bpc
     org.Org.spares
+    (if org.Org.spare_cols > 0 then Printf.sprintf ".sc%d" org.Org.spare_cols
+     else "")
 
 (* area (and through it yield and cost) depends on the full compiled
    design: organization, process, gate sizing, strapping and the march
@@ -302,10 +329,13 @@ let cache_key t p ~evaluator =
   | "reliability" ->
       Printf.sprintf "reliability|%s|l=%s" (org_key p.org) (fk p.lambda)
   | "campaign" ->
-      Printf.sprintf "campaign|%s|m=%s|n=%s|a=%s|trials=%d|seed=%d"
+      (* same back-compat rule as org_key: the repair component is only
+         spelled when a non-default strategy is selected *)
+      Printf.sprintf "campaign|%s|m=%s|n=%s|a=%s|trials=%d|seed=%d%s"
         (org_key p.org)
         (March.to_string t.march)
         (fk p.mean_defects) (fk p.alpha) t.campaign_trials t.campaign_seed
+        (if t.repair <> "row-tlb" then "|r=" ^ t.repair else "")
   | e -> invalid_arg ("Spec.cache_key: unknown evaluator " ^ e)
 
 (* ------------------------------------------------------------------ *)
@@ -319,6 +349,7 @@ let to_json t =
     ; ("bpw", ints t.bpw)
     ; ("bpc", ints t.bpc)
     ; ("spares", ints t.spares)
+    ; ("spare_cols", ints t.spare_cols)
     ; ("mean_defects", floats t.mean_defects)
     ; ("alpha", floats t.alpha)
     ; ("lambda", floats t.lambda)
@@ -330,4 +361,5 @@ let to_json t =
     ; ("evaluators", J.List (List.map (fun e -> J.String e) t.evaluators))
     ; ("campaign_trials", J.Int t.campaign_trials)
     ; ("campaign_seed", J.Int t.campaign_seed)
+    ; ("repair", J.String t.repair)
     ]

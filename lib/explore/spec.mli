@@ -31,6 +31,7 @@ type t = {
   bpw : int list;
   bpc : int list;
   spares : int list;
+  spare_cols : int list;  (** spare-column budgets; [0] = row-only *)
   mean_defects : float list;
   alpha : float list;
   lambda : float list;  (** per-bit hard-failure rate, per hour *)
@@ -42,6 +43,9 @@ type t = {
   evaluators : string list;  (** evaluator ids, validated, fixed order *)
   campaign_trials : int;  (** 0 disables the campaign evaluator *)
   campaign_seed : int;
+  repair : string;
+      (** campaign repair strategy name (validated against
+          {!known_repairs}); ["row-tlb"] by default *)
 }
 
 (** One lattice point: an organization under one (defect, alpha,
@@ -59,6 +63,11 @@ type point = {
     ["area"], ["yield"], ["cost"], ["reliability"], ["campaign"]. *)
 val known_evaluators : string list
 
+(** The repair-strategy names the [repair] key accepts — the same
+    surface as the campaign CLI's [--repair]: ["row-tlb"],
+    ["bira-greedy"], ["bira-essential"], ["bira-bnb"]. *)
+val known_repairs : string list
+
 (** Defaults: the paper's Fig.-4 organization (4096 words, bpw 4,
     bpc 4) over spares 0/4/8/16 and mean defects 0.5/1/2/5/10,
     alpha 2, lambda 1e-10, CDA.7u3m1p, IFA-9, drive 2, strap 32,
@@ -73,9 +82,9 @@ val default : t
 val of_string : string -> (t, string) result
 
 (** Expand the ranges into the point lattice, nesting in the fixed
-    order words > bpw > bpc > spares > mean_defects > alpha > lambda
-    (rightmost fastest).  Returns the points and the number of skipped
-    invalid combinations. *)
+    order words > bpw > bpc > spares > spare_cols > mean_defects >
+    alpha > lambda (rightmost fastest).  Returns the points and the
+    number of skipped invalid combinations. *)
 val expand : t -> point array * int
 
 (** The full compiler configuration of a point (spec scalars + point

@@ -17,7 +17,11 @@ type t = {
   lanes : int;
   all : int; (* mask of the armed lanes: (1 lsl lanes) - 1 *)
   nrows : int;
-  cols : int;
+  cols : int; (* regular physical columns *)
+  tcols : int; (* row stride: cols + spare_cols (spare-column cells can
+                  carry armed faults; word accesses never reach them —
+                  only clean lanes are resolved here, and their
+                  steering is the identity) *)
   bpc : int;
   bpw : int;
   state : int array; (* one slot per cell, bit l = lane l's value *)
@@ -55,12 +59,14 @@ let create org ~lanes =
       (Printf.sprintf "Lanes.create: lanes must be in 1..%d" Word.max_width);
   let nrows = Org.total_rows org in
   let cols = Org.cols org in
-  let ncells = nrows * cols in
+  let tcols = Org.total_cols org in
+  let ncells = nrows * tcols in
   { org
   ; lanes
   ; all = (1 lsl lanes) - 1
   ; nrows
   ; cols
+  ; tcols
   ; bpc = org.Org.bpc
   ; bpw = org.Org.bpw
   ; state = Array.make ncells 0
@@ -76,7 +82,7 @@ let create org ~lanes =
   ; residue = Array.make org.Org.bpw 0
   ; addr_base =
       Array.init org.Org.words (fun a ->
-          (Org.row_of_addr org a * cols) + Org.col_of_addr org a)
+          (Org.row_of_addr org a * tcols) + Org.col_of_addr org a)
   ; addr_row = Array.init org.Org.words (fun a -> Org.row_of_addr org a)
   ; row_fault = Bytes.make nrows '\000'
   ; pinned = []
@@ -87,9 +93,9 @@ let create org ~lanes =
 let idx t (c : F.cell) =
   if c.F.row < 0 || c.F.row >= t.nrows then
     invalid_arg "Lanes: fault row out of range";
-  if c.F.col < 0 || c.F.col >= t.cols then
+  if c.F.col < 0 || c.F.col >= t.tcols then
     invalid_arg "Lanes: fault col out of range";
-  (c.F.row * t.cols) + c.F.col
+  (c.F.row * t.tcols) + c.F.col
 
 let row_is_faulty t row = Bytes.unsafe_get t.row_fault row <> '\000'
 let mark_row_fault t row = Bytes.unsafe_set t.row_fault row '\001'

@@ -8,7 +8,13 @@ type t = {
   org : Org.t;
   ncells : int;
   nrows : int;
-  cols : int;
+  cols : int; (* regular physical columns: bpw * bpc *)
+  (* Row stride of the cell arrays: cols + spare_cols.  Cells at
+     offsets cols .. tcols-1 within a row are the spare columns; they
+     are reachable only through an armed column remap (and by fault
+     arming), and they always live in the byte store — the packed store
+     covers exactly the regular [cols] grid. *)
+  tcols : int;
   bpc : int;
   bpw : int;
   (* Packed fast-path store: one int per (row, col-mux) word, bit [b]
@@ -29,6 +35,12 @@ type t = {
   agg_effects : agg_effect list array; (* aggressor -> effects *)
   sense_residue : bool array; (* one per I/O (bpw) *)
   mutable remap : (int -> int) option;
+  (* Column steering (2D BIRA): maps a regular physical column to the
+     physical column actually accessed (a spare column for repaired
+     lines, itself everywhere else).  While armed, every word access
+     takes the per-bit path — the packed fast path assumes the identity
+     column map. *)
+  mutable col_remap : (int -> int) option;
   mutable n_reads : int;
   mutable n_writes : int;
   (* Access-regime telemetry: how many of the reads/writes took the
@@ -62,11 +74,13 @@ let create org =
          org.Org.bpw Word.max_width);
   let nrows = Org.total_rows org in
   let cols = Org.cols org in
-  let ncells = nrows * cols in
+  let tcols = Org.total_cols org in
+  let ncells = nrows * tcols in
   { org
   ; ncells
   ; nrows
   ; cols
+  ; tcols
   ; bpc = org.Org.bpc
   ; bpw = org.Org.bpw
   ; packed = Array.make (nrows * org.Org.bpc) 0
@@ -81,6 +95,7 @@ let create org =
   ; agg_effects = Array.make ncells []
   ; sense_residue = Array.make org.Org.bpw false
   ; remap = None
+  ; col_remap = None
   ; n_reads = 0
   ; n_writes = 0
   ; n_fast_reads = 0
@@ -97,9 +112,9 @@ let create org =
 let idx t (c : F.cell) =
   if c.F.row < 0 || c.F.row >= t.nrows then
     invalid_arg "Model: fault row out of range";
-  if c.F.col < 0 || c.F.col >= t.cols then
+  if c.F.col < 0 || c.F.col >= t.tcols then
     invalid_arg "Model: fault col out of range";
-  (c.F.row * t.cols) + c.F.col
+  (c.F.row * t.tcols) + c.F.col
 
 let row_is_faulty t row = Bytes.unsafe_get t.row_fault row <> '\000'
 let mark_row_fault t row = Bytes.unsafe_set t.row_fault row '\001'
@@ -115,18 +130,18 @@ let row_in_packed t row = t.fast && not (row_is_faulty t row)
    aware: a State_coupling victim re-reads its aggressor's stored
    state, and the aggressor may sit on a clean (packed) row. *)
 let stored t i =
-  let row = i / t.cols in
-  if row_in_packed t row then begin
-    let c = i - (row * t.cols) in
+  let row = i / t.tcols in
+  let c = i - (row * t.tcols) in
+  if c < t.cols && row_in_packed t row then begin
     let col = c mod t.bpc and bit = c / t.bpc in
     (Array.unsafe_get t.packed ((row * t.bpc) + col) lsr bit) land 1 = 1
   end
   else Bytes.get t.cells i <> '\000'
 
 let store t i v =
-  let row = i / t.cols in
-  if row_in_packed t row then begin
-    let c = i - (row * t.cols) in
+  let row = i / t.tcols in
+  let c = i - (row * t.tcols) in
+  if c < t.cols && row_in_packed t row then begin
     let col = c mod t.bpc and bit = c / t.bpc in
     let slot = (row * t.bpc) + col in
     let cur = Array.unsafe_get t.packed slot in
@@ -143,9 +158,11 @@ let set_fast_path t on =
     for row = 0 to t.nrows - 1 do
       if not (row_is_faulty t row) then begin
         t.n_rows_migrated <- t.n_rows_migrated + 1;
+        (* only the regular [cols] grid migrates; spare-column cells
+           are byte-store residents in both regimes *)
         for col = 0 to t.bpc - 1 do
           let slot = (row * t.bpc) + col in
-          let base = (row * t.cols) + col in
+          let base = (row * t.tcols) + col in
           if on then begin
             let v = ref 0 in
             for bit = 0 to t.bpw - 1 do
@@ -179,7 +196,7 @@ let clear t =
       Bytes.unsafe_get t.row_written row <> '\000'
       || Bytes.unsafe_get t.row_fault row <> '\000'
     then begin
-      Bytes.fill t.cells (row * t.cols) t.cols '\000';
+      Bytes.fill t.cells (row * t.tcols) t.tcols '\000';
       Array.fill t.packed (row * t.bpc) t.bpc 0;
       Bytes.unsafe_set t.row_written row '\000';
       t.n_rows_cleared <- t.n_rows_cleared + 1
@@ -196,14 +213,14 @@ let set_faults t faults =
   (* tear down the previous fault machinery, armed rows only *)
   for row = 0 to t.nrows - 1 do
     if Bytes.unsafe_get t.row_fault row <> '\000' then begin
-      let off = row * t.cols in
-      Array.fill t.pin off t.cols None;
-      Array.fill t.no_rise off t.cols false;
-      Array.fill t.no_fall off t.cols false;
-      Array.fill t.opens off t.cols false;
-      Array.fill t.retention off t.cols None;
-      Array.fill t.state_cpl off t.cols [];
-      Array.fill t.agg_effects off t.cols [];
+      let off = row * t.tcols in
+      Array.fill t.pin off t.tcols None;
+      Array.fill t.no_rise off t.tcols false;
+      Array.fill t.no_fall off t.tcols false;
+      Array.fill t.opens off t.tcols false;
+      Array.fill t.retention off t.tcols None;
+      Array.fill t.state_cpl off t.tcols [];
+      Array.fill t.agg_effects off t.tcols [];
       (* the row may hold non-zero bytes planted by the old config
          without [row_written] being set (pin re-assertion in [clear],
          retention decay, coupling force-stores), so flag it written:
@@ -260,6 +277,18 @@ let set_faults t faults =
 
 let faults t = t.fault_list
 let set_remap t f = t.remap <- f
+
+let set_col_remap t f =
+  (match f with
+  | None -> ()
+  | Some g ->
+      (* validate the whole map up front so the hot path can trust it *)
+      for p = 0 to t.cols - 1 do
+        let q = g p in
+        if q < 0 || q >= t.tcols then
+          invalid_arg "Model.set_col_remap: mapped column out of range"
+      done);
+  t.col_remap <- f
 
 (* Coupling-driven store: respects pins (a stuck node cannot be flipped
    by crosstalk) but bypasses transition faults. *)
@@ -319,14 +348,22 @@ let write_phys t ~row ~col w =
   check_word t w;
   if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
   if col < 0 || col >= t.bpc then invalid_arg "Model: col out of range";
-  (if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then begin
-     Array.unsafe_set t.packed ((row * t.bpc) + col) (Word.to_int w);
-     t.n_fast_writes <- t.n_fast_writes + 1
-   end
-   else
-     for bit = 0 to t.bpw - 1 do
-       write_bit t ((row * t.cols) + (bit * t.bpc) + col) (Word.get w bit)
-     done);
+  (match t.col_remap with
+  | None ->
+      if t.fast && (t.nfaults = 0 || not (row_is_faulty t row)) then begin
+        Array.unsafe_set t.packed ((row * t.bpc) + col) (Word.to_int w);
+        t.n_fast_writes <- t.n_fast_writes + 1
+      end
+      else
+        for bit = 0 to t.bpw - 1 do
+          write_bit t ((row * t.tcols) + (bit * t.bpc) + col) (Word.get w bit)
+        done
+  | Some f ->
+      (* steering armed: every access resolves per bit through the
+         column map (repaired columns land on their spare column) *)
+      for bit = 0 to t.bpw - 1 do
+        write_bit t ((row * t.tcols) + f ((bit * t.bpc) + col)) (Word.get w bit)
+      done);
   mark_row_written t row;
   t.n_writes <- t.n_writes + 1
 
@@ -340,18 +377,25 @@ let read_phys t ~row ~col =
   if row < 0 || row >= t.nrows then invalid_arg "Model: row out of range";
   if col < 0 || col >= t.bpc then invalid_arg "Model: col out of range";
   let w =
-    if
-      t.fast
-      && (t.nfaults = 0 || (t.nopens = 0 && not (row_is_faulty t row)))
-    then begin
-      t.n_fast_reads <- t.n_fast_reads + 1;
-      Word.of_int ~width:t.bpw (Array.unsafe_get t.packed ((row * t.bpc) + col))
-    end
-    else
-      (* [Word.init] applies f in increasing bit order, preserving the
-         per-I/O sense-residue update sequence of the legacy path *)
-      Word.init t.bpw (fun bit ->
-          read_bit t ~io:bit ((row * t.cols) + (bit * t.bpc) + col))
+    match t.col_remap with
+    | None ->
+        if
+          t.fast
+          && (t.nfaults = 0 || (t.nopens = 0 && not (row_is_faulty t row)))
+        then begin
+          t.n_fast_reads <- t.n_fast_reads + 1;
+          Word.of_int ~width:t.bpw
+            (Array.unsafe_get t.packed ((row * t.bpc) + col))
+        end
+        else
+          (* [Word.init] applies f in increasing bit order, preserving
+             the per-I/O sense-residue update sequence of the legacy
+             path *)
+          Word.init t.bpw (fun bit ->
+              read_bit t ~io:bit ((row * t.tcols) + (bit * t.bpc) + col))
+    | Some f ->
+        Word.init t.bpw (fun bit ->
+            read_bit t ~io:bit ((row * t.tcols) + f ((bit * t.bpc) + col)))
   in
   t.n_reads <- t.n_reads + 1;
   w

@@ -31,6 +31,17 @@ val faults : t -> Bisram_faults.Fault.t list
     (the TLB's output); [None] restores identity. *)
 val set_remap : t -> (int -> int) option -> unit
 
+(** [set_col_remap t f] installs a physical-column steering map (the 2D
+    BIRA allocation's output): a word access to mux position [col]
+    resolves bit [b] at physical column [f (b*bpc + col)] instead of
+    [b*bpc + col].  Spare columns occupy physical columns
+    [cols .. total_cols - 1].  While a map is armed every word access
+    takes the per-bit path (the packed fast path assumes identity
+    steering); [None] restores identity and re-enables the fast path.
+    @raise Invalid_argument if the map sends any regular column outside
+    [0 .. total_cols - 1]. *)
+val set_col_remap : t -> (int -> int) option -> unit
+
 (** Word access through the addressing logic (column mux + remap).
     @raise Invalid_argument if the address is out of range or the word
     width mismatches. *)

@@ -1,19 +1,28 @@
-type t = { words : int; bpw : int; bpc : int; spares : int }
+type t = {
+  words : int;
+  bpw : int;
+  bpc : int;
+  spares : int;
+  spare_cols : int;
+}
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
-let make ?(spares = 4) ~words ~bpw ~bpc () =
+let make ?(spares = 4) ?(spare_cols = 0) ~words ~bpw ~bpc () =
   if not (is_pow2 bpc) then invalid_arg "Org.make: bpc must be a power of 2";
   if not (is_pow2 bpw) then invalid_arg "Org.make: bpw must be a power of 2";
   if words <= 0 || words mod bpc <> 0 then
     invalid_arg "Org.make: words must be a positive multiple of bpc";
   if not (List.mem spares [ 0; 4; 8; 16 ]) then
     invalid_arg "Org.make: spares must be 0, 4, 8 or 16";
-  { words; bpw; bpc; spares }
+  if spare_cols < 0 || spare_cols > 8 then
+    invalid_arg "Org.make: spare_cols must be in 0 .. 8";
+  { words; bpw; bpc; spares; spare_cols }
 
 let rows t = t.words / t.bpc
 let total_rows t = rows t + t.spares
 let cols t = t.bpw * t.bpc
+let total_cols t = cols t + t.spare_cols
 let bits t = t.words * t.bpw
 let kilobits t = float_of_int (bits t) /. 1024.0
 let spare_words t = t.spares * t.bpc
@@ -48,4 +57,5 @@ let equal (a : t) b = a = b
 
 let pp ppf t =
   Format.fprintf ppf "%dw x %db (bpc=%d, %d+%d rows)" t.words t.bpw t.bpc
-    (rows t) t.spares
+    (rows t) t.spares;
+  if t.spare_cols > 0 then Format.fprintf ppf " +%dc" t.spare_cols

@@ -12,11 +12,14 @@ type t = private {
   bpw : int;  (** bits per word; power of two *)
   bpc : int;  (** bits per column; power of two *)
   spares : int;  (** spare rows: 0, 4, 8 or 16 *)
+  spare_cols : int;  (** spare columns (2D BIRA): 0 .. 8 *)
 }
 
 (** @raise Invalid_argument when constraints are violated.  [spares]
-    defaults to 4. *)
-val make : ?spares:int -> words:int -> bpw:int -> bpc:int -> unit -> t
+    defaults to 4, [spare_cols] to 0 (the paper's row-only scheme). *)
+val make :
+  ?spares:int -> ?spare_cols:int -> words:int -> bpw:int -> bpc:int ->
+  unit -> t
 
 val rows : t -> int
 (** regular rows = words / bpc *)
@@ -25,7 +28,11 @@ val total_rows : t -> int
 (** regular + spare rows *)
 
 val cols : t -> int
-(** physical columns per row = bpw * bpc *)
+(** regular physical columns per row = bpw * bpc *)
+
+val total_cols : t -> int
+(** regular + spare physical columns — the full row stride of the
+    simulated array.  Equal to {!cols} when [spare_cols = 0]. *)
 
 val bits : t -> int
 (** regular capacity in bits = words * bpw *)

@@ -96,6 +96,106 @@ let yield_poisson g ~mean_defects =
   let mean = mean_defects *. g.growth_factor in
   mixture g ~mean ~pmf:(fun n -> D.poisson_pmf ~mean n)
 
+(* ------------------------------------------------------------------ *)
+(* 2D (row + column) repairability *)
+
+type geometry2 = {
+  rows : int;
+  cols : int;
+  spare_rows : int;
+  spare_cols : int;
+}
+
+let make2 ~rows ~cols ~spare_rows ~spare_cols =
+  if rows <= 0 then invalid_arg "Repairable.make2: rows";
+  if cols <= 0 then invalid_arg "Repairable.make2: cols";
+  if spare_rows < 0 then invalid_arg "Repairable.make2: spare_rows";
+  if spare_cols < 0 then invalid_arg "Repairable.make2: spare_cols";
+  { rows; cols; spare_rows; spare_cols }
+
+(* Repairability of one explicit fault placement, by the same
+   branch-and-bound cover the BIRA flow's optimal allocator uses.  A
+   fault on a spare line burns that line (it cannot be deployed); a
+   fault in the regular grid must be line-covered within the surviving
+   budget.  A module with no regular-grid faults passes clean, so burnt
+   spares alone never fail it. *)
+let placement_repairable g cells =
+  let reg = ref [] in
+  let burnt_r = Hashtbl.create 4 and burnt_c = Hashtbl.create 4 in
+  List.iter
+    (fun (r, c) ->
+      if r >= g.rows then Hashtbl.replace burnt_r r ();
+      if c >= g.cols then Hashtbl.replace burnt_c c ();
+      if r < g.rows && c < g.cols then reg := (r, c) :: !reg)
+    cells;
+  match !reg with
+  | [] -> true
+  | cells -> (
+      let p =
+        {
+          Bisram_bira.Cover.rows = g.rows;
+          cols = g.cols;
+          spare_rows = max 0 (g.spare_rows - Hashtbl.length burnt_r);
+          spare_cols = max 0 (g.spare_cols - Hashtbl.length burnt_c);
+          cells;
+        }
+      in
+      match Bisram_bira.Cover.Exhaustive.solve p with
+      | Bisram_bira.Cover.Cover _ -> true
+      | Bisram_bira.Cover.Uncoverable -> false)
+
+(* No closed form exists for the 2D line-cover probability, so
+   [p_repairable2] is a seeded internal Monte-Carlo over uniform cell
+   placements — deterministic for given (samples, seed, n), which keeps
+   campaign reports byte-stable. *)
+let p_repairable2 ?(samples = 2000) ?(seed = 0x2D) g n =
+  if samples <= 0 then invalid_arg "Repairable.p_repairable2: samples";
+  if n < 0 then invalid_arg "Repairable.p_repairable2: n";
+  if n = 0 then 1.0
+  else begin
+    let total_rows = g.rows + g.spare_rows
+    and total_cols = g.cols + g.spare_cols in
+    let rng = Random.State.make [| 0xB12A; seed; n |] in
+    let good = ref 0 in
+    for _ = 1 to samples do
+      let cells =
+        List.init n (fun _ ->
+            (Random.State.int rng total_rows, Random.State.int rng total_cols))
+      in
+      if placement_repairable g cells then incr good
+    done;
+    float_of_int !good /. float_of_int samples
+  end
+
+(* Count mixture for the 2D model.  The tail is truncated at [n_max]
+   faults; the truncated mass counts as unrepairable, so the result is
+   a (tight) lower bound. *)
+let mixture2 ?samples ?seed g ~mean ~pmf =
+  if mean <= 0.0 then 1.0
+  else begin
+    let acc = ref 0.0 and mass = ref 0.0 in
+    let n = ref 0 in
+    let n_max = 300 in
+    while !mass < 1.0 -. 1e-9 && !n < n_max do
+      let p = pmf !n in
+      mass := !mass +. p;
+      acc := !acc +. (p *. p_repairable2 ?samples ?seed g !n);
+      incr n
+    done;
+    !acc
+  end
+
+let yield2 ?samples ?seed g ~mean_defects ~alpha =
+  check_mean "Repairable.yield2" mean_defects;
+  check_alpha "Repairable.yield2" alpha;
+  mixture2 ?samples ?seed g ~mean:mean_defects ~pmf:(fun n ->
+      D.negative_binomial_pmf ~mean:mean_defects ~alpha n)
+
+let yield2_poisson ?samples ?seed g ~mean_defects =
+  check_mean "Repairable.yield2_poisson" mean_defects;
+  mixture2 ?samples ?seed g ~mean:mean_defects ~pmf:(fun n ->
+      D.poisson_pmf ~mean:mean_defects n)
+
 let yield_monte_carlo rng g ~mean_defects ~alpha ~trials =
   check_mean "Repairable.yield_monte_carlo" mean_defects;
   check_alpha "Repairable.yield_monte_carlo" alpha;

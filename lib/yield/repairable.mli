@@ -47,6 +47,42 @@ val yield : geometry -> mean_defects:float -> alpha:float -> float
 (** Same under the pure Poisson count model. *)
 val yield_poisson : geometry -> mean_defects:float -> float
 
+(** 2D geometry for spare-row + spare-column (BIRA) repair.  Unlike
+    the row-only {!geometry} there is no closed form for the line-cover
+    probability, so the [*2] functions below run a seeded internal
+    Monte-Carlo with the exact branch-and-bound cover predicate — fully
+    deterministic for fixed [samples]/[seed], which is what lets the
+    campaign report embed the value byte-stably. *)
+type geometry2 = {
+  rows : int;  (** regular rows *)
+  cols : int;  (** regular physical columns *)
+  spare_rows : int;
+  spare_cols : int;
+}
+
+(** Raises [Invalid_argument] on non-positive dimensions or negative
+    spare budgets. *)
+val make2 :
+  rows:int -> cols:int -> spare_rows:int -> spare_cols:int -> geometry2
+
+(** [p_repairable2 g n] — probability that [n] uniformly placed cell
+    faults (over the full array including spare lines; a fault on a
+    spare line burns it) are 2D-repairable.  Defaults: 2000 samples,
+    seed 0x2D. *)
+val p_repairable2 : ?samples:int -> ?seed:int -> geometry2 -> int -> float
+
+(** 2D analogues of {!yield} / {!yield_poisson}.  The count mixture is
+    truncated at 300 faults with the truncated tail counted as
+    unrepairable (a tight lower bound).  Same [Invalid_argument]
+    guards as the 1D versions (non-finite or negative means, NaN,
+    non-positive alpha). *)
+val yield2 :
+  ?samples:int -> ?seed:int -> geometry2 -> mean_defects:float ->
+  alpha:float -> float
+
+val yield2_poisson :
+  ?samples:int -> ?seed:int -> geometry2 -> mean_defects:float -> float
+
 (** Monte-Carlo estimate of [yield] by direct simulation (used to
     validate the analytic path). *)
 val yield_monte_carlo :
